@@ -1,0 +1,756 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation.  Run with no arguments for everything, or name experiments:
+
+     dune exec bench/main.exe -- fig1 table1 fig5 fig6 fig7 fig8 fig11 fig12
+                                 table2 fig13 table3 table4 buildtime apps
+                                 foreign datalayout ablate micro
+
+   Results worth keeping are also summarized in EXPERIMENTS.md. *)
+
+let table = Repro_stats.Texttable.render
+let title t = print_string (Repro_stats.Texttable.render_title t)
+let pct a b = 100. *. (float_of_int a -. float_of_int b) /. float_of_int a
+
+let ok_exn = function
+  | Ok x -> x
+  | Error e -> failwith e
+
+(* Shared builds, computed once. *)
+let rider_modules =
+  lazy (ok_exn (Workload.Appgen.generate_modules Workload.Appgen.uber_rider))
+
+let per_module_cfg =
+  { Pipeline.default_ios_config with flag_semantics = Link.Attributes }
+
+let build ?(config = Pipeline.default_config) mods = ok_exn (Pipeline.build ~config mods)
+
+let rider_baseline = lazy (build ~config:per_module_cfg (Lazy.force rider_modules))
+let rider_wpo = lazy (build (Lazy.force rider_modules))
+
+let rider_unoutlined =
+  lazy (build ~config:{ Pipeline.default_config with outline_rounds = 0 } (Lazy.force rider_modules))
+
+let rider_report =
+  lazy (Outcore.Analysis.analyze (Lazy.force rider_unoutlined).Pipeline.program)
+
+(* ------------------------------------------------------------------ E1 *)
+
+let fig1 () =
+  title "Figure 1: code-size growth over time (weeks), baseline vs optimized";
+  let weeks = [ 0; 2; 4; 6; 8; 10; 12; 14 ] in
+  let rows = ref [] in
+  let base_pts = ref [] and opt_pts = ref [] in
+  List.iter
+    (fun w ->
+      let profile = Workload.Appgen.at_week Workload.Appgen.uber_rider w in
+      let mods = ok_exn (Workload.Appgen.generate_modules profile) in
+      let b = build ~config:per_module_cfg mods in
+      let o = build mods in
+      base_pts := (float_of_int w, float_of_int b.Pipeline.code_size) :: !base_pts;
+      opt_pts := (float_of_int w, float_of_int o.Pipeline.code_size) :: !opt_pts;
+      rows :=
+        [
+          string_of_int w;
+          string_of_int b.Pipeline.code_size;
+          string_of_int o.Pipeline.code_size;
+          Printf.sprintf "%.1f%%" (pct b.Pipeline.code_size o.Pipeline.code_size);
+        ]
+        :: !rows)
+    weeks;
+  print_string
+    (table
+       ~header:[ "week"; "baseline code B"; "optimized code B"; "saving" ]
+       (List.rev !rows));
+  let fb = Repro_stats.Regression.linear !base_pts in
+  let fo = Repro_stats.Regression.linear !opt_pts in
+  Printf.printf
+    "baseline slope: %.0f B/week (R2 %.3f)\noptimized slope: %.0f B/week (R2 %.3f)\n\
+     growth-rate reduction: %.2fx   [paper: ~2x, slopes 2.7 vs 1.37]\n"
+    fb.Repro_stats.Regression.slope fb.Repro_stats.Regression.r2
+    fo.Repro_stats.Regression.slope fo.Repro_stats.Regression.r2
+    (fb.Repro_stats.Regression.slope /. fo.Repro_stats.Regression.slope)
+
+(* ------------------------------------------------------------------ E2 *)
+
+let table1 () =
+  title "Table I: the landscape of binary-size savings, level by level";
+  let mods = Lazy.force rider_modules in
+  let base = (Lazy.force rider_unoutlined).Pipeline.code_size in
+  let with_pass name config =
+    let r = build ~config mods in
+    (name, r.Pipeline.code_size)
+  in
+  (* AST-level clone detection on the generated sources. *)
+  let sources = Workload.Appgen.generate_sources Workload.Appgen.uber_rider in
+  let asts =
+    List.filter_map
+      (fun (name, src) ->
+        match Swiftlet.Parser.parse_module ~name src with
+        | Ok a -> Some a
+        | Error _ -> None)
+      sources
+  in
+  let clones = Swiftlet.Clone_detect.analyze asts in
+  let rounds0 = { Pipeline.default_config with outline_rounds = 0 } in
+  let rows =
+    [
+      [ "AST"; "source clone detection (PMD)";
+        Printf.sprintf "%.2f%% function replication" (100. *. clones.clone_fraction);
+        "<1% replication" ];
+    ]
+    @ (let name, sz = with_pass "SIL outlining" { rounds0 with run_sil_outline = true } in
+       [ [ "SIL"; name; Printf.sprintf "%.2f%% size saving" (pct base sz); "0.41%" ] ])
+    @ (let name, sz = with_pass "MergeFunction" { rounds0 with run_merge_functions = true } in
+       [ [ "LLVM-IR"; name; Printf.sprintf "%.2f%% size saving" (pct base sz); "0.9%" ] ])
+    @ (let name, sz = with_pass "FMSA" { rounds0 with run_fmsa = true } in
+       [ [ "LLVM-IR"; name; Printf.sprintf "%.2f%% size saving" (pct base sz); "2%" ] ])
+    @
+    let wpo = Lazy.force rider_wpo in
+    let baseline = Lazy.force rider_baseline in
+    [
+      [ "ISA"; "repeated machine outlining (vs per-module baseline)";
+        Printf.sprintf "%.1f%% size reduction"
+          (pct baseline.Pipeline.code_size wpo.Pipeline.code_size);
+        "23%" ];
+    ]
+  in
+  print_string (table ~header:[ "Level"; "Optimization"; "Measured"; "Paper" ] rows)
+
+(* ------------------------------------------------------------------ E3 *)
+
+let fig5 () =
+  title "Figure 5: pattern repetition frequency follows a power law";
+  let r = Lazy.force rider_report in
+  let pts =
+    Array.to_list
+      (Array.map
+         (fun (p : Outcore.Analysis.pattern_stat) ->
+           (float_of_int p.rank, float_of_int p.frequency))
+         r.patterns)
+  in
+  let fit = Repro_stats.Powerlaw.fit pts in
+  Printf.printf
+    "profitable patterns: %d   candidates: %d\n\
+     power-law fit: freq = %.1f * rank^%.3f   (log-log R2 = %.3f)\n\
+     [paper: power law with 99.4%% confidence]\n\n"
+    (Array.length r.patterns) r.candidates_total fit.Repro_stats.Powerlaw.a
+    fit.Repro_stats.Powerlaw.b fit.Repro_stats.Powerlaw.r2;
+  let sample_ranks = [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 2048; 4096 ] in
+  let rows =
+    List.filter_map
+      (fun rank ->
+        if rank <= Array.length r.patterns then
+          let p = r.patterns.(rank - 1) in
+          Some
+            [ string_of_int rank; string_of_int p.frequency; string_of_int p.length;
+              Printf.sprintf "%.0f" (Repro_stats.Powerlaw.predict fit (float_of_int rank)) ]
+        else None)
+      sample_ranks
+  in
+  print_string (table ~header:[ "rank"; "frequency"; "length"; "fit" ] rows);
+  Printf.printf "fraction of candidates ending in call/ret: %.1f%% [paper: 67%%]\n"
+    (100. *. r.call_or_ret_fraction)
+
+(* ------------------------------------------------------------------ E4 *)
+
+let fig6 () =
+  title "Figure 6: fractal structure - frequency clusters vs length diversity";
+  let r = Lazy.force rider_report in
+  let clusters = Hashtbl.create 64 in
+  Array.iter
+    (fun (p : Outcore.Analysis.pattern_stat) ->
+      let lens = Option.value ~default:[] (Hashtbl.find_opt clusters p.frequency) in
+      Hashtbl.replace clusters p.frequency (p.length :: lens))
+    r.patterns;
+  let sorted =
+    Hashtbl.fold (fun f lens acc -> (f, lens) :: acc) clusters []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare b a)
+  in
+  let rows =
+    List.filteri (fun i _ -> i < 18) sorted
+    |> List.map (fun (freq, lens) ->
+           let n = List.length lens in
+           let mx = List.fold_left max 0 lens in
+           let mn = List.fold_left min max_int lens in
+           [ string_of_int freq; string_of_int n; string_of_int mn; string_of_int mx ])
+  in
+  print_string
+    (table ~header:[ "frequency"; "#patterns"; "min len"; "max len" ] rows);
+  print_endline
+    "[paper: higher-frequency clusters have few, short patterns; lower-frequency\n\
+    \ clusters have progressively more patterns and longer maxima]"
+
+(* ------------------------------------------------------------------ E5 *)
+
+let fig7 () =
+  title "Figure 7: cumulative size savings vs number of patterns outlined";
+  let r = Lazy.force rider_report in
+  let curve = Outcore.Analysis.cumulative_savings r in
+  let total = if Array.length curve = 0 then 0 else snd curve.(Array.length curve - 1) in
+  let rows =
+    List.map
+      (fun frac ->
+        let n = Outcore.Analysis.patterns_needed_for r frac in
+        [ Printf.sprintf "%.0f%%" (frac *. 100.); string_of_int n ])
+      [ 0.5; 0.75; 0.9; 0.99; 1.0 ]
+  in
+  print_string (table ~header:[ "fraction of total saving"; "#patterns needed" ] rows);
+  Printf.printf "total potential saving: %d bytes across %d patterns\n" total
+    (Array.length r.patterns);
+  Printf.printf "patterns needed for 90%%: %d  [paper: > 10^2 - no small hard-coded set suffices]\n"
+    (Outcore.Analysis.patterns_needed_for r 0.9)
+
+(* ------------------------------------------------------------------ E6 *)
+
+let fig8 () =
+  title "Figure 8: histogram of candidates by sequence length";
+  let r = Lazy.force rider_report in
+  let hist = Outcore.Analysis.length_histogram r in
+  let tail = List.fold_left (fun a (len, n) -> if len > 12 then a + n else a) 0 hist in
+  let rows =
+    List.filter_map
+      (fun (len, n) ->
+        if len <= 12 then Some [ string_of_int len; string_of_int n ] else None)
+      hist
+    @ [ [ ">12"; string_of_int tail ] ]
+  in
+  print_string (table ~header:[ "sequence length"; "#candidates" ] rows);
+  (match r.longest with
+  | Some l ->
+    Printf.printf "longest repeating pattern: %d instructions, repeats %d times\n"
+      l.length l.frequency
+  | None -> ());
+  print_endline "[paper: length-2 dominates; longest = 279 insns repeating 3x]"
+
+(* ------------------------------------------------------------------ E7 *)
+
+let fig11 () =
+  title "Figure 11: greedy vs repeated outlining on the BCD/ABCD example";
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "extern ext\n";
+  let a = "mov x10, #100" and b = "mov x11, #111" in
+  let c = "mov x12, #122" and d = "mov x13, #133" in
+  let pro = "  stp fp, lr, [sp, #-16]!\n" in
+  let epi = "  ldp fp, lr, [sp], #16\n" in
+  for i = 1 to 8 do
+    Buffer.add_string buf
+      (Printf.sprintf "func bcd%d:\nentry:\n%s  mov x9, #%d\n  %s\n  %s\n  %s\n  mov x8, #%d\n%s  b ext\n"
+         i pro i b c d (1000 + i) epi)
+  done;
+  for i = 1 to 5 do
+    Buffer.add_string buf
+      (Printf.sprintf
+         "func abcd%d:\nentry:\n%s  mov x9, #%d\n  %s\n  %s\n  %s\n  %s\n  mov x8, #%d\n%s  b ext\n"
+         i pro (100 + i) a b c d (2000 + i) epi)
+  done;
+  let p =
+    match Machine.Asm_parser.parse_program (Buffer.contents buf) with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  let p1, _ = Outcore.Repeat.run ~rounds:1 p in
+  let p5, stats5 = Outcore.Repeat.run ~rounds:5 p in
+  let rows =
+    [
+      [ "original"; string_of_int (Machine.Program.code_size_bytes p); "-" ];
+      [ "greedy (1 round)"; string_of_int (Machine.Program.code_size_bytes p1);
+        "picks BCD first, discards ABCD" ];
+      [ Printf.sprintf "repeated (%d rounds)" (List.length stats5);
+        string_of_int (Machine.Program.code_size_bytes p5);
+        "recovers [A; bl BCD] in round 2" ];
+    ]
+  in
+  print_string (table ~header:[ "variant"; "code bytes"; "note" ] rows);
+  print_endline
+    "[paper's idealized counts: 44 insns -> 16 greedy -> 15 with the cascade]"
+
+(* ------------------------------------------------------------------ E8 *)
+
+let fig12 () =
+  title "Figure 12: size vs rounds of outlining, intra-module vs whole-program";
+  let mods = Lazy.force rider_modules in
+  let rows = ref [] in
+  for rounds = 0 to 6 do
+    let pm = build ~config:{ per_module_cfg with outline_rounds = rounds } mods in
+    let wp = build ~config:{ Pipeline.default_config with outline_rounds = rounds } mods in
+    rows :=
+      [
+        string_of_int rounds;
+        string_of_int pm.Pipeline.binary_size;
+        string_of_int pm.Pipeline.code_size;
+        string_of_int wp.Pipeline.binary_size;
+        string_of_int wp.Pipeline.code_size;
+      ]
+      :: !rows
+  done;
+  print_string
+    (table
+       ~header:
+         [ "rounds"; "intra binary"; "intra code"; "whole-prog binary"; "whole-prog code" ]
+       (List.rev !rows));
+  let pm5 = Lazy.force rider_baseline and wp5 = Lazy.force rider_wpo in
+  Printf.printf
+    "whole-program vs per-module at 5 rounds: %.1f%% code saving  [paper: 13.7%% gap,\n\
+     22.8%% total vs the default pipeline]\n"
+    (pct pm5.Pipeline.code_size wp5.Pipeline.code_size)
+
+(* ------------------------------------------------------------------ E9 *)
+
+let table2 () =
+  title "Table II: outlining statistics at different levels of repeats";
+  let wpo = Lazy.force rider_wpo in
+  let cum = Outcore.Repeat.cumulative wpo.Pipeline.outline_stats in
+  let rows =
+    List.mapi
+      (fun i (s : Outcore.Outliner.round_stats) ->
+        [
+          string_of_int (i + 1);
+          string_of_int s.sequences_outlined;
+          string_of_int s.functions_created;
+          string_of_int s.outlined_bytes;
+        ])
+      cum
+  in
+  print_string
+    (table
+       ~header:[ "rounds"; "#sequences outlined"; "#functions created"; "outlined bytes" ]
+       rows);
+  print_endline
+    "[paper at 5 rounds: 4.71M sequences, 259K functions, 3.53MB - on a 114MB app]"
+
+(* ----------------------------------------------------------- E10/E11 *)
+
+let heatmap_reports =
+  lazy
+    (let base = (Lazy.force rider_baseline).Pipeline.program in
+     let opt = (Lazy.force rider_wpo).Pipeline.program in
+     ok_exn
+       (Workload.Corespans.heatmap ~samples:2 ~base ~opt
+          ~spans:Workload.Appgen.span_entries ()))
+
+let fig13 () =
+  title "Figure 13: core-span P50 ratio heatmap (optimized / baseline)";
+  let reports = Lazy.force heatmap_reports in
+  List.iter
+    (fun (r : Workload.Corespans.span_report) ->
+      Printf.printf "\n%s\n" r.span;
+      let devices =
+        List.sort_uniq compare (List.map (fun (c : Workload.Corespans.cell) -> c.device) r.cells)
+      in
+      let oses =
+        List.sort_uniq compare (List.map (fun (c : Workload.Corespans.cell) -> c.os) r.cells)
+      in
+      let rows =
+        List.map
+          (fun d ->
+            d
+            :: List.map
+                 (fun os ->
+                   match
+                     List.find_opt
+                       (fun (c : Workload.Corespans.cell) -> c.device = d && c.os = os)
+                       r.cells
+                   with
+                   | Some c -> Printf.sprintf "%.3f" c.ratio
+                   | None -> "-")
+                 oses)
+          devices
+      in
+      print_string (table ~header:("device \\ OS" :: oses) rows))
+    reports;
+  Printf.printf
+    "\ngeomean ratio over all cells: %.3f  [paper: 0.966, i.e. 3.4%% gain; short\n\
+     hot spans may regress slightly]\n"
+    (Workload.Corespans.geomean_ratio reports)
+
+let table3 () =
+  title "Table III: average execution time of core spans (simulated seconds)";
+  let reports = Lazy.force heatmap_reports in
+  let rows =
+    List.map
+      (fun (r : Workload.Corespans.span_report) ->
+        [
+          r.span;
+          Printf.sprintf "%.3f" r.base_seconds;
+          Printf.sprintf "%.3f" r.opt_seconds;
+        ])
+      reports
+  in
+  print_string (table ~header:[ "span"; "baseline"; "optimized" ] rows)
+
+(* ----------------------------------------------------------------- E14 *)
+
+let table4 () =
+  title "Table IV: performance overhead of 5 rounds of outlining, 26 benchmarks";
+  let rows = ref [] in
+  let overheads = ref [] in
+  List.iter
+    (fun (b : Workload.Benchmarks.t) ->
+      let m = ok_exn (Swiftlet.Compile.compile_module ~name:"bench" b.source) in
+      let prog = Codegen.compile_modul m in
+      let prog5, _ = Outcore.Repeat.run ~rounds:5 prog in
+      let config = Perfsim.Interp.default_config in
+      match
+        ( Perfsim.Interp.run ~config ~entry:"main" prog,
+          Perfsim.Interp.run ~config ~entry:"main" prog5 )
+      with
+      | Ok a, Ok o ->
+        assert (a.exit_value = b.expected_exit);
+        assert (o.exit_value = b.expected_exit);
+        let ov = 100. *. (float_of_int o.cycles -. float_of_int a.cycles) /. float_of_int a.cycles in
+        overheads := ov :: !overheads;
+        rows :=
+          [
+            b.bench_name;
+            Printf.sprintf "%+.2f%%" ov;
+            string_of_int (Machine.Program.code_size_bytes prog);
+            string_of_int (Machine.Program.code_size_bytes prog5);
+          ]
+          :: !rows
+      | Error e, _ | _, Error e ->
+        failwith (b.bench_name ^ ": " ^ Perfsim.Interp.error_to_string e))
+    (Workload.Benchmarks.all @ [ Workload.Benchmarks.pathological ]);
+  print_string
+    (table ~header:[ "benchmark"; "%overhead"; "code B"; "outlined code B" ]
+       (List.rev !rows));
+  let n = List.length !overheads in
+  Printf.printf
+    "average overhead: %.2f%%  [paper: 1.63%%/1.83%%; pathological case 8.67%%]\n"
+    (List.fold_left ( +. ) 0. !overheads /. float_of_int n)
+
+(* ----------------------------------------------------------------- E11 *)
+
+let buildtime () =
+  title "Build time: pipeline phases (seconds), per SVII-C";
+  let mods = Lazy.force rider_modules in
+  let rows = ref [] in
+  List.iter
+    (fun rounds ->
+      let r = build ~config:{ Pipeline.default_config with outline_rounds = rounds } mods in
+      let phase name =
+        match List.assoc_opt name r.Pipeline.timings with
+        | Some t -> Printf.sprintf "%.2f" t
+        | None -> "-"
+      in
+      let total = List.fold_left (fun a (_, t) -> a +. t) 0. r.Pipeline.timings in
+      rows :=
+        [
+          string_of_int rounds;
+          phase "llvm-link";
+          phase "opt";
+          phase "llc";
+          phase "machine-outliner";
+          phase "system-linker";
+          Printf.sprintf "%.2f" total;
+        ]
+        :: !rows)
+    [ 0; 1; 2; 5 ];
+  let d = build ~config:per_module_cfg mods in
+  let dtotal = List.fold_left (fun a (_, t) -> a +. t) 0. d.Pipeline.timings in
+  print_string
+    (table
+       ~header:[ "rounds"; "llvm-link"; "opt"; "llc"; "outliner"; "linker"; "total" ]
+       (List.rev !rows));
+  Printf.printf
+    "default (per-module) pipeline total: %.2fs\n\
+     [paper: default 21 min; new pipeline 53 min + ~7 min/round, 66 min at 5 rounds]\n"
+    dtotal
+
+(* ----------------------------------------------------------------- E12 *)
+
+let apps () =
+  title "SVII-E1: generality across apps (5 rounds, whole-program vs per-module)";
+  let rows =
+    List.map
+      (fun (profile, paper) ->
+        let mods = ok_exn (Workload.Appgen.generate_modules profile) in
+        let pm = build ~config:per_module_cfg mods in
+        let wp = build mods in
+        [
+          profile.Workload.Appgen.app_name;
+          string_of_int pm.Pipeline.code_size;
+          string_of_int wp.Pipeline.code_size;
+          Printf.sprintf "%.1f%%" (pct pm.Pipeline.code_size wp.Pipeline.code_size);
+          paper;
+        ])
+      [
+        (Workload.Appgen.uber_rider, "23%");
+        (Workload.Appgen.uber_driver, "17%");
+        (Workload.Appgen.uber_eats, "19%");
+      ]
+  in
+  print_string
+    (table ~header:[ "app"; "baseline code B"; "optimized code B"; "saving"; "paper" ] rows)
+
+(* ----------------------------------------------------------------- E13 *)
+
+let foreign () =
+  title "SVII-E2: non-iOS programs - clang-like and kernel-like shapes";
+  List.iter
+    (fun (name, prog, paper) ->
+      let base = Machine.Program.code_size_bytes prog in
+      Printf.printf "\n%s: %d functions, %d insns, %d code bytes (paper saving: %s)\n"
+        name
+        (List.length prog.Machine.Program.funcs)
+        (Machine.Program.insn_count prog) base paper;
+      let rows = ref [] in
+      List.iter
+        (fun rounds ->
+          let p, stats = Outcore.Repeat.run ~rounds prog in
+          let cum = Outcore.Repeat.cumulative stats in
+          let last =
+            match List.rev cum with
+            | s :: _ -> s
+            | [] ->
+              { Outcore.Outliner.sequences_outlined = 0; functions_created = 0;
+                outlined_bytes = 0; bytes_saved = 0 }
+          in
+          rows :=
+            [
+              string_of_int rounds;
+              string_of_int last.Outcore.Outliner.sequences_outlined;
+              string_of_int last.Outcore.Outliner.functions_created;
+              string_of_int (Machine.Program.code_size_bytes p);
+              Printf.sprintf "%.1f%%" (pct base (Machine.Program.code_size_bytes p));
+            ]
+            :: !rows)
+        [ 1; 2; 3; 4; 5 ];
+      print_string
+        (table
+           ~header:[ "rounds"; "#seq outlined"; "#funcs created"; "code B"; "saving" ]
+           (List.rev !rows)))
+    [
+      ("clang-like", Workload.Foreign.clang_like (), "25%");
+      ("kernel-like", Workload.Foreign.kernel_like (), "14%");
+    ]
+
+(* ----------------------------------------------------------------- E16 *)
+
+let datalayout () =
+  title "SVI-3: llvm-link data ordering - the production regression and its fix";
+  let mods = Lazy.force rider_modules in
+  let variants =
+    [
+      ("no outlining, module-preserving",
+       { Pipeline.default_config with outline_rounds = 0 });
+      ("no outlining, interleaved",
+       { Pipeline.default_config with outline_rounds = 0; data_order = Link.Interleaved });
+      ("5 rounds, module-preserving", Pipeline.default_config);
+      ("5 rounds, interleaved",
+       { Pipeline.default_config with data_order = Link.Interleaved });
+    ]
+  in
+  let spans = [ "span2"; "span5"; "span9" ] in
+  let rows =
+    List.map
+      (fun (name, config) ->
+        let r = build ~config mods in
+        let cycles = ref 0 and faults = ref 0 and pages = ref 0 in
+        List.iter
+          (fun span ->
+            match
+              Perfsim.Interp.run ~config:Perfsim.Interp.default_config ~args:[ 1 ]
+                ~entry:span r.Pipeline.program
+            with
+            | Ok res ->
+              cycles := !cycles + res.cycles;
+              faults := !faults + res.data_fault_cycles;
+              pages := !pages + res.data_pages_touched
+            | Error e -> failwith (Perfsim.Interp.error_to_string e))
+          spans;
+        [ name; string_of_int !pages; string_of_int !faults; string_of_int !cycles ])
+      variants
+  in
+  print_string
+    (table
+       ~header:[ "configuration"; "data pages"; "fault cycles"; "total cycles" ]
+       rows);
+  print_endline
+    "[paper: ~10% regression from interleaving, present with or without outlining;\n\
+    \ fixed by preserving per-module data order in llvm-link]"
+
+(* --------------------------------------------------------------- ablation *)
+
+let ablate () =
+  title "Ablation: outlining call strategies (whole program, 5 rounds)";
+  let prog = (Lazy.force rider_unoutlined).Pipeline.program in
+  let base = Machine.Program.code_size_bytes prog in
+  let variant ?(pre = fun p -> p) name options =
+    let p, _ = Outcore.Repeat.run ~options ~rounds:5 (pre prog) in
+    [ name; string_of_int (Machine.Program.code_size_bytes p);
+      Printf.sprintf "%.1f%%" (pct base (Machine.Program.code_size_bytes p)) ]
+  in
+  let d = Outcore.Outliner.default_options in
+  let rows =
+    [
+      variant "all strategies" d;
+      variant "no save-LR sites" { d with allow_save_lr = false };
+      variant "no tail-call thunks" { d with allow_thunk = false };
+      variant "no ret-ending patterns" { d with allow_ret = false };
+      variant "min pattern length 3" { d with min_length = 3 };
+      variant ~pre:(fun p -> fst (Outcore.Canonicalize.run p))
+        "+ commutative canonicalization (future work 1)" d;
+    ]
+  in
+  print_string (table ~header:[ "variant"; "code B"; "saving vs unoutlined" ] rows);
+  (* Future work (2): deterministic vs randomized register assignment. *)
+  title "Ablation: register assignment vs outlining (future work 2)";
+  let mods = Lazy.force rider_modules in
+  let merged =
+    match Link.link ~flag_semantics:Link.Attributes ~name:"w" mods with
+    | Ok m -> m
+    | Error e -> failwith (Link.error_to_string e)
+  in
+  let rows =
+    List.map
+      (fun (name, seed) ->
+        let prog =
+          match seed with
+          | None -> Codegen.compile_modul merged
+          | Some s -> Codegen.compile_modul ~regalloc_seed:s merged
+        in
+        let b = Machine.Program.code_size_bytes prog in
+        let p, _ = Outcore.Repeat.run ~rounds:5 prog in
+        let a = Machine.Program.code_size_bytes p in
+        [ name; string_of_int b; string_of_int a; Printf.sprintf "%.1f%%" (pct b a) ])
+      [ ("deterministic allocation", None); ("randomized pools (seed 1)", Some 1);
+        ("randomized pools (seed 2)", Some 2) ]
+  in
+  print_string
+    (table ~header:[ "register assignment"; "code B"; "outlined B"; "saving" ] rows);
+  print_endline
+    "[randomized assignment destroys cross-function repetition: the outliner\n\
+    \ recovers less — the interaction the paper's future work (2) points at]";
+  (* Future work (3): outlined-code placement. *)
+  title "Ablation: outlined-function placement (future work 3)";
+  let span = "span8" in
+  let base_prog = (Lazy.force rider_baseline).Pipeline.program in
+  let rows =
+    List.map
+      (fun (name, layout) ->
+        let r =
+          build ~config:{ Pipeline.default_config with outlined_layout = layout }
+            (Lazy.force rider_modules)
+        in
+        let cfg = Perfsim.Interp.default_config in
+        match
+          ( Perfsim.Interp.run ~config:cfg ~args:[ 1 ] ~entry:span base_prog,
+            Perfsim.Interp.run ~config:cfg ~args:[ 1 ] ~entry:span r.Pipeline.program )
+        with
+        | Ok b, Ok o ->
+          [ name;
+            Printf.sprintf "%.3f" (float_of_int o.cycles /. float_of_int b.cycles);
+            string_of_int o.icache_misses; string_of_int o.itlb_misses ]
+        | Error e, _ | _, Error e -> failwith (Perfsim.Interp.error_to_string e))
+      [ ("dense appended region (LLVM)", `Append);
+        ("caller-affinity placement", `Caller_affinity) ]
+  in
+  print_string
+    (table
+       ~header:[ "placement"; span ^ " ratio vs baseline"; "icache misses"; "itlb misses" ]
+       rows);
+  print_endline
+    "[negative result: shared outlined helpers want one dense hot region;\n\
+    \ scattering them next to single callers inflates iTLB misses]"
+
+(* ------------------------------------------------------------------ micro *)
+
+let micro () =
+  title "Micro-benchmarks (Bechamel): core data structures and passes";
+  let prog = (Lazy.force rider_unoutlined).Pipeline.program in
+  let seqs =
+    let imap = ref 0 in
+    let tbl = Hashtbl.create 1024 in
+    List.filteri (fun i _ -> i < 400) prog.Machine.Program.funcs
+    |> List.concat_map (fun (f : Machine.Mfunc.t) ->
+           List.map
+             (fun (b : Machine.Block.t) ->
+               Array.map
+                 (fun insn ->
+                   match Hashtbl.find_opt tbl insn with
+                   | Some id -> id
+                   | None ->
+                     incr imap;
+                     Hashtbl.replace tbl insn !imap;
+                     !imap)
+                 b.body)
+             f.blocks)
+  in
+  let small_seqs = List.filteri (fun i _ -> i < 60) seqs in
+  let open Bechamel in
+  let tests =
+    [
+      Test.make ~name:"suffix-tree build (app sample)" (Staged.stage (fun () ->
+          ignore (Sufftree.Suffix_tree.build seqs)));
+      Test.make ~name:"suffix-tree repeats (app sample)" (Staged.stage (fun () ->
+          ignore (Sufftree.Suffix_tree.repeats (Sufftree.Suffix_tree.build seqs))));
+      Test.make ~name:"naive repeats (small sample)" (Staged.stage (fun () ->
+          ignore (Sufftree.Naive.all_repeated ~min_length:2 small_seqs)));
+      Test.make ~name:"one outliner round (whole app)" (Staged.stage (fun () ->
+          ignore (Outcore.Outliner.run_round Outcore.Outliner.default_options prog)));
+      Test.make ~name:"liveness (all functions)" (Staged.stage (fun () ->
+          List.iter
+            (fun f -> ignore (Machine.Liveness.compute f))
+            prog.Machine.Program.funcs));
+    ]
+  in
+  List.iter
+    (fun t ->
+      let instances = [ Toolkit.Instance.monotonic_clock ] in
+      let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) () in
+      let raw = Benchmark.all cfg instances t in
+      let results =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |])
+          Toolkit.Instance.monotonic_clock raw
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-42s %14.0f ns/run\n" name est
+          | Some _ | None -> Printf.printf "%-42s (no estimate)\n" name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ main *)
+
+let experiments =
+  [
+    ("fig1", fig1);
+    ("table1", table1);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig11", fig11);
+    ("fig12", fig12);
+    ("table2", table2);
+    ("fig13", fig13);
+    ("table3", table3);
+    ("table4", table4);
+    ("buildtime", buildtime);
+    ("apps", apps);
+    ("foreign", foreign);
+    ("datalayout", datalayout);
+    ("ablate", ablate);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let chosen =
+    match args with
+    | [] -> List.map fst experiments
+    | args -> args
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f ->
+        let t0 = Unix.gettimeofday () in
+        f ();
+        Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t0)
+      | None ->
+        Printf.printf "unknown experiment %S; available: %s\n" name
+          (String.concat " " (List.map fst experiments)))
+    chosen

@@ -1,0 +1,258 @@
+(* sizeopt: command-line driver for the code-size toolchain.
+
+   Subcommands:
+     compile   Swiftlet source -> machine assembly
+     outline   machine assembly -> outlined machine assembly (+ stats)
+     stats     pattern statistics report for a machine program (§IV)
+     run       execute a program's entry point in the simulator
+     appgen    emit a synthetic app's Swiftlet sources to a directory *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_out path contents =
+  match path with
+  | None -> print_string contents
+  | Some p ->
+    let oc = open_out p in
+    output_string oc contents;
+    close_out oc
+
+let load_program path =
+  let text = read_file path in
+  if Filename.check_suffix path ".swl" then begin
+    match Swiftlet.Compile.compile_module ~name:"cli" text with
+    | Error e -> Error e
+    | Ok m -> Ok (Codegen.compile_modul m)
+  end
+  else
+    match Machine.Asm_parser.parse_program text with
+    | Ok p -> Ok p
+    | Error e -> Error e
+
+let or_die = function
+  | Ok x -> x
+  | Error e ->
+    prerr_endline ("error: " ^ e);
+    exit 1
+
+(* --- compile -------------------------------------------------------------- *)
+
+let compile_cmd =
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.swl") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT.s")
+  in
+  let rounds =
+    Arg.(value & opt int 0 & info [ "outline-repeat-count" ] ~docv:"N"
+           ~doc:"Rounds of machine outlining to apply (the artifact's flag).")
+  in
+  let run input output rounds =
+    let prog = or_die (load_program input) in
+    let prog =
+      if rounds > 0 then fst (Outcore.Repeat.run ~rounds prog) else prog
+    in
+    write_out output (Machine.Asm_printer.to_source prog)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile Swiftlet source to machine assembly.")
+    Term.(const run $ input $ output $ rounds)
+
+(* --- outline -------------------------------------------------------------- *)
+
+let outline_cmd =
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.s") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT.s")
+  in
+  let rounds =
+    Arg.(value & opt int 5 & info [ "outline-repeat-count"; "rounds" ] ~docv:"N")
+  in
+  let run input output rounds =
+    let prog = or_die (load_program input) in
+    let before = Machine.Program.code_size_bytes prog in
+    let outlined, stats = Outcore.Repeat.run ~rounds prog in
+    let after = Machine.Program.code_size_bytes outlined in
+    write_out output (Machine.Asm_printer.to_source outlined);
+    Printf.eprintf "code size: %d -> %d bytes (%.1f%% saving) in %d round(s)\n"
+      before after
+      (100. *. float_of_int (before - after) /. float_of_int before)
+      (List.length stats);
+    List.iteri
+      (fun i (s : Outcore.Outliner.round_stats) ->
+        Printf.eprintf
+          "  round %d: %d occurrences -> %d functions (%d bytes of outlined code)\n"
+          (i + 1) s.sequences_outlined s.functions_created s.outlined_bytes)
+      stats
+  in
+  Cmd.v
+    (Cmd.info "outline"
+       ~doc:"Apply repeated machine outlining to an assembly or Swiftlet file.")
+    Term.(const run $ input $ output $ rounds)
+
+(* --- stats ---------------------------------------------------------------- *)
+
+let stats_cmd =
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.s") in
+  let top = Arg.(value & opt int 10 & info [ "top" ] ~docv:"N") in
+  let run input top =
+    let prog = or_die (load_program input) in
+    let r = Outcore.Analysis.analyze prog in
+    Printf.printf
+      "instructions: %d   code bytes: %d\n\
+       profitable patterns: %d   candidates: %d\n\
+       candidates ending in call/ret: %.1f%%\n"
+      r.total_insns r.total_code_bytes (Array.length r.patterns)
+      r.candidates_total
+      (100. *. r.call_or_ret_fraction);
+    (match r.longest with
+    | Some l ->
+      Printf.printf "longest pattern: %d instructions, repeats %d times\n" l.length
+        l.frequency
+    | None -> ());
+    Printf.printf "\ntop %d patterns by repetition frequency:\n" top;
+    Array.iteri
+      (fun i (p : Outcore.Analysis.pattern_stat) ->
+        if i < top then begin
+          Printf.printf "#%-3d x%-6d len %-3d saves %d bytes\n" (i + 1) p.frequency
+            p.length p.saving;
+          List.iter
+            (fun insn -> Printf.printf "      %s\n" (Machine.Insn.to_string insn))
+            p.sample
+        end)
+      r.patterns
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Report repeated machine-code pattern statistics (the paper's §IV pass).")
+    Term.(const run $ input $ top)
+
+(* --- run ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let entry = Arg.(value & opt string "main" & info [ "entry" ] ~docv:"SYMBOL") in
+  let args_ =
+    Arg.(value & opt_all int [] & info [ "arg" ] ~docv:"N" ~doc:"Integer argument (repeatable).")
+  in
+  let rounds = Arg.(value & opt int 0 & info [ "outline-repeat-count" ] ~docv:"N") in
+  let run input entry args_ rounds =
+    let prog = or_die (load_program input) in
+    let prog = if rounds > 0 then fst (Outcore.Repeat.run ~rounds prog) else prog in
+    match Perfsim.Interp.run ~args:args_ ~entry prog with
+    | Error e ->
+      prerr_endline ("execution error: " ^ Perfsim.Interp.error_to_string e);
+      exit 1
+    | Ok r ->
+      List.iter (fun v -> Printf.printf "%d\n" v) r.output;
+      Printf.eprintf
+        "exit=%d steps=%d cycles=%d icache-misses=%d itlb-misses=%d branches=%d calls=%d\n"
+        r.exit_value r.steps r.cycles r.icache_misses r.itlb_misses r.branches
+        r.calls;
+      exit (r.exit_value land 0xff)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a program in the performance simulator.")
+    Term.(const run $ input $ entry $ args_ $ rounds)
+
+(* --- appgen --------------------------------------------------------------- *)
+
+let appgen_cmd =
+  let dir = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR") in
+  let profile_arg =
+    Arg.(value & opt string "rider" & info [ "profile" ] ~docv:"rider|driver|eats|small")
+  in
+  let week = Arg.(value & opt int 0 & info [ "week" ] ~docv:"W") in
+  let run dir profile_name week =
+    let profile =
+      match profile_name with
+      | "rider" -> Workload.Appgen.uber_rider
+      | "driver" -> Workload.Appgen.uber_driver
+      | "eats" -> Workload.Appgen.uber_eats
+      | "small" -> Workload.Appgen.small
+      | other ->
+        prerr_endline ("unknown profile " ^ other);
+        exit 1
+    in
+    let profile = Workload.Appgen.at_week profile week in
+    let sources = Workload.Appgen.generate_sources profile in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    List.iter
+      (fun (name, src) ->
+        let path = Filename.concat dir (name ^ ".swl") in
+        let oc = open_out path in
+        output_string oc src;
+        close_out oc)
+      sources;
+    Printf.printf "wrote %d modules to %s/\n" (List.length sources) dir
+  in
+  Cmd.v
+    (Cmd.info "appgen" ~doc:"Emit a synthetic app's Swiftlet sources.")
+    Term.(const run $ dir $ profile_arg $ week)
+
+(* --- report --------------------------------------------------------------- *)
+
+let report_cmd =
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.s") in
+  let top = Arg.(value & opt int 15 & info [ "top" ] ~docv:"N") in
+  let run input top =
+    let prog = or_die (load_program input) in
+    let layout = Linker.link prog in
+    Printf.printf "binary size: %d B (code %d B, data %d B, image overhead %d B)\n\n"
+      (Linker.binary_size layout) layout.Linker.text_size layout.Linker.data_size
+      layout.Linker.image_overhead;
+    (* Per-module attribution. *)
+    let by_module = Hashtbl.create 32 in
+    List.iter
+      (fun (f : Machine.Mfunc.t) ->
+        let key = if f.Machine.Mfunc.from_module = "" then "(none)" else f.Machine.Mfunc.from_module in
+        let code, funcs =
+          Option.value ~default:(0, 0) (Hashtbl.find_opt by_module key)
+        in
+        Hashtbl.replace by_module key
+          (code + Machine.Mfunc.size_bytes f, funcs + 1))
+      prog.Machine.Program.funcs;
+    let rows =
+      Hashtbl.fold (fun m (c, n) acc -> (m, c, n) :: acc) by_module []
+      |> List.sort (fun (_, a, _) (_, b, _) -> Int.compare b a)
+    in
+    Printf.printf "%-24s %10s %8s\n" "module" "code B" "#funcs";
+    List.iter (fun (m, c, n) -> Printf.printf "%-24s %10d %8d\n" m c n) rows;
+    (* Largest functions. *)
+    let funcs =
+      List.sort
+        (fun a b ->
+          Int.compare (Machine.Mfunc.size_bytes b) (Machine.Mfunc.size_bytes a))
+        prog.Machine.Program.funcs
+    in
+    Printf.printf "\nlargest %d functions:\n" top;
+    List.iteri
+      (fun i (f : Machine.Mfunc.t) ->
+        if i < top then
+          Printf.printf "  %6d B  %s%s\n" (Machine.Mfunc.size_bytes f) f.name
+            (if f.Machine.Mfunc.is_outlined then "  [outlined]" else ""))
+      funcs;
+    (* Outlined share. *)
+    let outlined_bytes =
+      List.fold_left
+        (fun acc (f : Machine.Mfunc.t) ->
+          if f.Machine.Mfunc.is_outlined then acc + Machine.Mfunc.size_bytes f else acc)
+        0 prog.Machine.Program.funcs
+    in
+    Printf.printf "\noutlined functions: %d B (%.1f%% of code)\n" outlined_bytes
+      (100. *. float_of_int outlined_bytes /. float_of_int layout.Linker.text_size)
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Per-module size attribution for a program.")
+    Term.(const run $ input $ top)
+
+let () =
+  let doc = "whole-program repeated machine outlining toolchain (CGO'21 reproduction)" in
+  let info = Cmd.info "sizeopt" ~doc in
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; outline_cmd; stats_cmd; run_cmd; appgen_cmd; report_cmd ]))

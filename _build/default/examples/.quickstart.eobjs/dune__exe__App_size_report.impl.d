@@ -1,0 +1,1 @@
+examples/app_size_report.ml: Link Perfsim Pipeline Printf Workload

@@ -1,0 +1,1 @@
+examples/json_decoder_bloat.ml: Buffer Codegen Ir List Machine Option Out_of_ssa Outcore Perfsim Printf Swiftlet

@@ -1,0 +1,1 @@
+examples/json_decoder_bloat.mli:

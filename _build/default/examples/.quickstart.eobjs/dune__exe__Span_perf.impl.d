@@ -1,0 +1,1 @@
+examples/span_perf.ml: Link List Perfsim Pipeline Printf Repro_stats Workload

@@ -1,0 +1,1 @@
+examples/span_perf.mli:

@@ -1,0 +1,63 @@
+(* Quickstart: outline a small assembly program and watch what happens.
+
+     dune exec examples/quickstart.exe
+
+   Three functions share the same argument-shuffle-then-call prefix — the
+   paper's Figure 4 pattern.  One round of machine outlining extracts it. *)
+
+let source =
+  {|
+extern swift_release
+extern print_i64
+
+func release_a:
+entry:
+  stp fp, lr, [sp, #-16]!
+  orr x0, xzr, x20
+  bl swift_release
+  mov x0, #1
+  bl print_i64
+  ldp fp, lr, [sp], #16
+  ret
+
+func release_b:
+entry:
+  stp fp, lr, [sp, #-16]!
+  orr x0, xzr, x20
+  bl swift_release
+  mov x0, #2
+  bl print_i64
+  ldp fp, lr, [sp], #16
+  ret
+
+func release_c:
+entry:
+  stp fp, lr, [sp, #-16]!
+  orr x0, xzr, x20
+  bl swift_release
+  mov x0, #3
+  bl print_i64
+  ldp fp, lr, [sp], #16
+  ret
+|}
+
+let () =
+  let program =
+    match Machine.Asm_parser.parse_program source with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  Printf.printf "before outlining: %d bytes of code\n\n%s\n"
+    (Machine.Program.code_size_bytes program)
+    (Machine.Asm_printer.to_source program);
+  let outlined, stats = Outcore.Repeat.run ~rounds:5 program in
+  Printf.printf "after %d round(s): %d bytes of code\n\n%s\n"
+    (List.length stats)
+    (Machine.Program.code_size_bytes outlined)
+    (Machine.Asm_printer.to_source outlined);
+  List.iteri
+    (fun i (s : Outcore.Outliner.round_stats) ->
+      Printf.printf
+        "round %d: outlined %d occurrences into %d new function(s), saving %d bytes\n"
+        (i + 1) s.sequences_outlined s.functions_created s.bytes_saved)
+    stats

@@ -1,0 +1,42 @@
+(* Run the app's core spans (Figure 13 style) on one simulated device and
+   report the performance effect of whole-program outlining.
+
+     dune exec examples/span_perf.exe *)
+
+let () =
+  let mods =
+    match Workload.Appgen.generate_modules Workload.Appgen.uber_rider with
+    | Ok m -> m
+    | Error e -> failwith e
+  in
+  let build config =
+    match Pipeline.build ~config mods with
+    | Ok r -> r.Pipeline.program
+    | Error e -> failwith e
+  in
+  let base =
+    build { Pipeline.default_ios_config with flag_semantics = Link.Attributes }
+  in
+  let opt = build Pipeline.default_config in
+  Printf.printf
+    "span   baseline cycles  optimized cycles  ratio   icache misses (b->o)\n\
+     -----  ---------------  ----------------  ------  --------------------\n";
+  let ratios = ref [] in
+  List.iter
+    (fun span ->
+      let config = Perfsim.Interp.default_config in
+      match
+        ( Perfsim.Interp.run ~config ~args:[ 1 ] ~entry:span base,
+          Perfsim.Interp.run ~config ~args:[ 1 ] ~entry:span opt )
+      with
+      | Ok b, Ok o ->
+        let r = float_of_int o.cycles /. float_of_int b.cycles in
+        ratios := r :: !ratios;
+        Printf.printf "%-5s  %15d  %16d  %.3f   %d -> %d  (%.1f%% dyn outlined)\n" span
+          b.cycles o.cycles r b.icache_misses o.icache_misses
+          (100. *. float_of_int o.outlined_steps /. float_of_int o.steps)
+      | Error e, _ | _, Error e ->
+        failwith (span ^ ": " ^ Perfsim.Interp.error_to_string e))
+    Workload.Appgen.span_entries;
+  Printf.printf "\ngeomean ratio: %.3f (< 1.0 means the optimized app is faster)\n"
+    (Repro_stats.Percentile.geomean !ratios)

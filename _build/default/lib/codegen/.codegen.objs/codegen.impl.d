@@ -1,0 +1,1 @@
+lib/codegen/codegen.ml: Array Block Dataobj Hashtbl Insn Intervals Ir List Machine Mfunc Out_of_ssa Program Random Reg String

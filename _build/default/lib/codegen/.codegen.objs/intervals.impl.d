@@ -1,0 +1,1 @@
+lib/codegen/intervals.ml: Hashtbl Int Ir List Set

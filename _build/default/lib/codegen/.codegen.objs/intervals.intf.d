@@ -1,0 +1,1 @@
+lib/codegen/intervals.mli: Ir

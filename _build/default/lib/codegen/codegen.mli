@@ -1,0 +1,29 @@
+(** Lowering from MIR to machine code: out-of-SSA, linear-scan register
+    allocation, AAPCS-like call lowering, and prologue/epilogue insertion.
+
+    This stage manufactures — organically, not by templating — the exact
+    repetition families the paper's §IV catalogues:
+
+    - argument-register shuffles before every call ([mov x0, x20; bl
+      swift_release], Listings 1–3): values live across calls sit in
+      callee-saved registers and must move to [x0..x7] at each call site;
+    - [stp]/[ldp] runs saving [x19..x26] in prologues/epilogues
+      (Listings 7–8);
+    - out-of-SSA copy/spill bursts from [try]-style join blocks
+      (Listing 11).  *)
+
+val runtime_externs : string list
+(** Symbols the generated code may reference; the interpreter implements
+    them. *)
+
+val compile_func : ?regalloc_seed:int -> Ir.func -> Machine.Mfunc.t
+(** Raises [Invalid_argument] for functions with more than 8 parameters.
+    [regalloc_seed] shuffles the register-allocation pools per function —
+    an ablation knob for the paper's future-work item (2), the interaction
+    between register assignment and outlining: randomized assignment
+    destroys the cross-function repetition that deterministic allocation
+    produces for free. *)
+
+val compile_modul : ?regalloc_seed:int -> Ir.modul -> Machine.Program.t
+(** Compiles every function, converts globals, and records externs (module
+    externs plus the runtime set). *)

@@ -1,0 +1,127 @@
+type t = {
+  v : Ir.value;
+  first : int;
+  last : int;
+  crosses_call : bool;
+}
+
+let is_call_position = function
+  | Ir.Call _ | Ir.Call_indirect _ | Ir.Retain _ | Ir.Release _
+  | Ir.Alloc_object _ | Ir.Alloc_array _ ->
+    true
+  | Ir.Assign _ | Ir.Binop _ | Ir.Icmp _ | Ir.Load _ | Ir.Store _ -> false
+
+let values_of_operand = function
+  | Ir.V v -> [ v ]
+  | Ir.Imm _ | Ir.Global _ | Ir.Fn _ -> []
+
+let term_values = function
+  | Ir.Ret o | Ir.Cond_br (o, _, _) -> values_of_operand o
+  | Ir.Br _ | Ir.Unreachable -> []
+
+let compute (f : Ir.func) =
+  assert (List.for_all (fun (b : Ir.block) -> b.phis = []) f.blocks);
+  (* Number positions. *)
+  let block_start = Hashtbl.create 16 in
+  let block_end = Hashtbl.create 16 in
+  let pos = ref 1 in
+  List.iter
+    (fun (b : Ir.block) ->
+      Hashtbl.replace block_start b.label !pos;
+      pos := !pos + List.length b.instrs;
+      Hashtbl.replace block_end b.label !pos;
+      (* terminator position *)
+      incr pos)
+    f.blocks;
+  (* Block-level liveness (backwards fixpoint over the value sets). *)
+  let module S = Set.Make (Int) in
+  let use_set = Hashtbl.create 16 and def_set = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Ir.block) ->
+      let uses = ref S.empty and defs = ref S.empty in
+      let use v = if not (S.mem v !defs) then uses := S.add v !uses in
+      List.iter
+        (fun i ->
+          List.iter
+            (fun o -> List.iter use (values_of_operand o))
+            (Ir.operands_of_instr i);
+          match Ir.def_of_instr i with
+          | Some d -> defs := S.add d !defs
+          | None -> ())
+        b.instrs;
+      List.iter use (term_values b.term);
+      Hashtbl.replace use_set b.label !uses;
+      Hashtbl.replace def_set b.label !defs)
+    f.blocks;
+  let live_in = Hashtbl.create 16 and live_out = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Ir.block) ->
+      Hashtbl.replace live_in b.label S.empty;
+      Hashtbl.replace live_out b.label S.empty)
+    f.blocks;
+  let changed = ref true in
+  let rev_blocks = List.rev f.blocks in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (b : Ir.block) ->
+        let out =
+          List.fold_left
+            (fun acc l -> S.union acc (Hashtbl.find live_in l))
+            S.empty
+            (Ir.successors b.term)
+        in
+        let inn =
+          S.union (Hashtbl.find use_set b.label)
+            (S.diff out (Hashtbl.find def_set b.label))
+        in
+        if not (S.equal inn (Hashtbl.find live_in b.label)) then begin
+          Hashtbl.replace live_in b.label inn;
+          changed := true
+        end;
+        Hashtbl.replace live_out b.label out)
+      rev_blocks
+  done;
+  (* Gather extents and call positions. *)
+  let first = Hashtbl.create 64 and last = Hashtbl.create 64 in
+  let touch v p =
+    (match Hashtbl.find_opt first v with
+    | Some q when q <= p -> ()
+    | Some _ | None -> Hashtbl.replace first v p);
+    match Hashtbl.find_opt last v with
+    | Some q when q >= p -> ()
+    | Some _ | None -> Hashtbl.replace last v p
+  in
+  List.iter (fun p -> touch p 0) f.params;
+  let call_positions = ref [] in
+  List.iter
+    (fun (b : Ir.block) ->
+      let bstart = Hashtbl.find block_start b.label in
+      let bend = Hashtbl.find block_end b.label in
+      S.iter (fun v -> touch v bstart) (Hashtbl.find live_in b.label);
+      S.iter (fun v -> touch v bend) (Hashtbl.find live_out b.label);
+      List.iteri
+        (fun i instr ->
+          let p = bstart + i in
+          if is_call_position instr then call_positions := p :: !call_positions;
+          List.iter
+            (fun o -> List.iter (fun v -> touch v p) (values_of_operand o))
+            (Ir.operands_of_instr instr);
+          match Ir.def_of_instr instr with
+          | Some d -> touch d p
+          | None -> ())
+        b.instrs;
+      List.iter (fun v -> touch v bend) (term_values b.term))
+    f.blocks;
+  let calls = List.sort Int.compare !call_positions in
+  let crosses a b = List.exists (fun p -> p > a && p < b) calls in
+  let out = ref [] in
+  Hashtbl.iter
+    (fun v p1 ->
+      let p2 = Hashtbl.find last v in
+      out := { v; first = p1; last = p2; crosses_call = crosses p1 p2 } :: !out)
+    first;
+  List.sort
+    (fun a b ->
+      match Int.compare a.first b.first with 0 -> Int.compare a.v b.v | c -> c)
+    !out

@@ -1,0 +1,23 @@
+(** Live intervals for MIR values over a linearized (phi-free) function,
+    feeding the linear-scan register allocator.
+
+    Positions number every instruction and terminator in block order.
+    Because the input has already gone through out-of-SSA, a value may have
+    several definitions; its interval spans from the first definition or
+    live-in point to the last use or live-out point.  [crosses_call] marks
+    intervals that span a position at which the lowered code performs a
+    call (explicit calls, retain/release, allocations) — such values must
+    live in callee-saved registers or on the stack. *)
+
+type t = {
+  v : Ir.value;
+  first : int;
+  last : int;
+  crosses_call : bool;
+}
+
+val is_call_position : Ir.instr -> bool
+
+val compute : Ir.func -> t list
+(** Sorted by [first] (ties by value id).  Parameters start at position 0;
+    the first instruction of the entry block is position 1. *)

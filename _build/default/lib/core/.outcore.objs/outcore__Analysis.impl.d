@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Array Candidate Cost_model Hashtbl Int List Machine Option Outliner

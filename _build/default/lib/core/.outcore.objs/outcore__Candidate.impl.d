@@ -1,0 +1,1 @@
+lib/core/candidate.ml: Format List Machine

@@ -1,0 +1,1 @@
+lib/core/canonicalize.ml: Array Block Insn List Machine Mfunc Program Reg

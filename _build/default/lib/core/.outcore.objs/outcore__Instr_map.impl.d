@@ -1,0 +1,1 @@
+lib/core/instr_map.ml: Hashtbl Legality Machine

@@ -1,0 +1,1 @@
+lib/core/layout.ml: Array Block Hashtbl Insn List Machine Mfunc Option Program

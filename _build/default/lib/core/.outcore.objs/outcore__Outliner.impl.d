@@ -1,0 +1,1 @@
+lib/core/outliner.ml: Array Block Candidate Cost_model Hashtbl Insn Instr_map Int List Liveness Machine Mfunc Option Printf Program Reg Sufftree

@@ -1,0 +1,1 @@
+lib/core/outliner.mli: Candidate Machine

@@ -1,0 +1,1 @@
+lib/core/repeat.ml: List Outliner

@@ -1,0 +1,1 @@
+lib/core/repeat.mli: Machine Outliner

@@ -1,0 +1,26 @@
+open Machine
+
+let is_commutative = function
+  | Insn.Add | Insn.Mul | Insn.And | Insn.Orr | Insn.Eor -> true
+  | Insn.Sub | Insn.Sdiv | Insn.Lsl | Insn.Lsr | Insn.Asr -> false
+
+let canonicalize_insn count i =
+  match i with
+  | Insn.Binop (op, d, a, Insn.Rop b)
+    when is_commutative op && Reg.index b < Reg.index a ->
+    incr count;
+    Insn.Binop (op, d, b, Insn.Rop a)
+  | other -> other
+
+let run (p : Program.t) =
+  let count = ref 0 in
+  let funcs =
+    List.map
+      (fun (f : Mfunc.t) ->
+        Mfunc.map_blocks
+          (fun (b : Block.t) ->
+            { b with body = Array.map (canonicalize_insn count) b.body })
+          f)
+      p.funcs
+  in
+  (Program.replace_funcs p funcs, !count)

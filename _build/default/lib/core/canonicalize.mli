@@ -1,0 +1,17 @@
+(** Semantic canonicalization before outlining — the paper's future-work
+    item (1) in §VIII ("semantic equivalence of machine-code sequences"),
+    in its simplest profitable form.
+
+    Two instructions can compute the same value yet differ syntactically;
+    the suffix tree only matches exact symbols.  This pass rewrites
+    commutative data-processing instructions ([add], [mul], [and], [orr],
+    [eor]) with two register sources into a canonical operand order (lower
+    register index first), so sequences that differ only in that order fall
+    into the same pattern.  Register moves spelled as [ORR dst, xzr, src]
+    are untouched (they are already canonical [Mov]s in our IR).
+
+    Semantics are preserved instruction-for-instruction; the differential
+    suite checks it. *)
+
+val run : Machine.Program.t -> Machine.Program.t * int
+(** Returns the program and the number of instructions rewritten. *)

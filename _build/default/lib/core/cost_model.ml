@@ -1,0 +1,19 @@
+let outlined_function_bytes strategy ~needs_lr_frame ~pattern_len =
+  let frame = if needs_lr_frame then 8 else 0 in
+  match (strategy : Candidate.strategy) with
+  | Ends_with_ret | Thunk -> (4 * pattern_len) + frame
+  | Plain_call -> (4 * (pattern_len + 1)) + frame
+
+let benefit (c : Candidate.t) =
+  let inline_bytes = Candidate.pattern_bytes c in
+  let saved_per_site =
+    List.map
+      (fun (s : Candidate.site) ->
+        inline_bytes - Candidate.site_cost_bytes s.call)
+      c.sites
+  in
+  List.fold_left ( + ) 0 saved_per_site
+  - outlined_function_bytes c.strategy ~needs_lr_frame:c.needs_lr_frame
+      ~pattern_len:c.length
+
+let profitable (c : Candidate.t) = List.length c.sites >= 2 && benefit c >= 1

@@ -1,0 +1,21 @@
+(** The AArch64-flavoured outlining cost model (§II-C, §V).
+
+    All quantities are bytes.  Outlining a pattern with [n] sites saves
+    [n * pattern_bytes], costs [call_cost] at each site, and pays once for
+    the outlined function body.  Profitability requires at least one byte
+    of savings, as in the paper. *)
+
+val outlined_function_bytes :
+  Candidate.strategy -> needs_lr_frame:bool -> pattern_len:int -> int
+(** Size of the function created for a pattern:
+    - [Ends_with_ret]: the body including its [ret] — [4 * pattern_len];
+    - [Thunk]: prefix plus a tail branch — [4 * pattern_len];
+    - [Plain_call]: body plus an appended [ret] — [4 * (pattern_len + 1)];
+    plus 8 bytes when the body contains interior calls and the outlined
+    function must spill/reload LR around it ([needs_lr_frame]). *)
+
+val benefit : Candidate.t -> int
+(** Total bytes saved by outlining this candidate at all its sites; may be
+    negative.  A candidate is worth outlining iff [benefit c >= 1]. *)
+
+val profitable : Candidate.t -> bool

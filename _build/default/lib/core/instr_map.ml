@@ -1,0 +1,39 @@
+type desc =
+  | Insn of Machine.Insn.t
+  | Ret
+  | Unique
+
+type t = {
+  shared : (Machine.Insn.t, int) Hashtbl.t;
+  back : (int, desc) Hashtbl.t;
+  mutable next : int;
+}
+
+let create () =
+  let t = { shared = Hashtbl.create 1024; back = Hashtbl.create 1024; next = 1 } in
+  Hashtbl.replace t.back 0 Ret;
+  t
+
+let ret_symbol (_ : t) = 0
+
+let fresh t desc =
+  let id = t.next in
+  t.next <- id + 1;
+  Hashtbl.replace t.back id desc;
+  id
+
+let symbol_of_insn t insn =
+  match Legality.classify insn with
+  | Legality.Illegal -> fresh t Unique
+  | Legality.Legal -> (
+    match Hashtbl.find_opt t.shared insn with
+    | Some id -> id
+    | None ->
+      let id = fresh t (Insn insn) in
+      Hashtbl.replace t.shared insn id;
+      id)
+
+let describe t id =
+  match Hashtbl.find_opt t.back id with
+  | Some d -> d
+  | None -> invalid_arg "Instr_map.describe: unknown symbol"

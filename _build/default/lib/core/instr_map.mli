@@ -1,0 +1,19 @@
+(** Mapping between machine instructions and suffix-tree symbols.
+
+    Identical legal instructions share a symbol; every illegal instruction
+    receives a fresh symbol so it can never participate in a repeat (the
+    standard MachineOutliner trick).  A distinguished symbol stands for a
+    block-terminating [ret]. *)
+
+type t
+
+val create : unit -> t
+val symbol_of_insn : t -> Machine.Insn.t -> int
+val ret_symbol : t -> int
+
+type desc =
+  | Insn of Machine.Insn.t
+  | Ret
+  | Unique
+
+val describe : t -> int -> desc

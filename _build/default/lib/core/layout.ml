@@ -1,0 +1,82 @@
+open Machine
+
+let static_callers (p : Program.t) =
+  let callers : (string, (string * int) list) Hashtbl.t = Hashtbl.create 256 in
+  let note callee caller =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt callers callee) in
+    let prev =
+      match List.assoc_opt caller prev with
+      | Some n -> (caller, n + 1) :: List.remove_assoc caller prev
+      | None -> (caller, 1) :: prev
+    in
+    Hashtbl.replace callers callee prev
+  in
+  List.iter
+    (fun (f : Mfunc.t) ->
+      List.iter
+        (fun (b : Block.t) ->
+          Array.iter
+            (fun i -> match i with Insn.Bl t -> note t f.name | _ -> ())
+            b.body;
+          match b.term with
+          | Block.Tail_call t -> note t f.name
+          | _ -> ())
+        f.blocks)
+    p.funcs;
+  callers
+
+let optimize (p : Program.t) =
+  let callers = static_callers p in
+  (* Primary caller of each outlined function. *)
+  let home : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Mfunc.t) ->
+      if f.is_outlined then
+        match Hashtbl.find_opt callers f.name with
+        | Some ((_ :: _) as cs) ->
+          let best, _ =
+            List.fold_left
+              (fun (bn, bc) (n, c) -> if c > bc then (n, c) else (bn, bc))
+              ("", 0) cs
+          in
+          if best <> "" then Hashtbl.replace home f.name best
+        | Some [] | None -> ())
+    p.funcs;
+  (* An outlined function's home may itself be outlined; chase to a
+     non-outlined anchor (cycles impossible: calls go to earlier rounds). *)
+  let by_name = Hashtbl.create 256 in
+  List.iter (fun (f : Mfunc.t) -> Hashtbl.replace by_name f.name f) p.funcs;
+  let rec anchor name depth =
+    if depth > 16 then name
+    else
+      match Hashtbl.find_opt by_name name with
+      | Some f when f.Mfunc.is_outlined -> (
+        match Hashtbl.find_opt home name with
+        | Some h -> anchor h (depth + 1)
+        | None -> name)
+      | Some _ | None -> name
+  in
+  (* Group outlined functions under their anchors. *)
+  let attached : (string, Mfunc.t list) Hashtbl.t = Hashtbl.create 64 in
+  let detached = ref [] in
+  List.iter
+    (fun (f : Mfunc.t) ->
+      if f.is_outlined then begin
+        let a = anchor f.name 0 in
+        if a <> f.name && Hashtbl.mem by_name a && not (Hashtbl.find by_name a).Mfunc.is_outlined
+        then
+          let prev = Option.value ~default:[] (Hashtbl.find_opt attached a) in
+          Hashtbl.replace attached a (f :: prev)
+        else detached := f :: !detached
+      end)
+    p.funcs;
+  let funcs =
+    List.concat_map
+      (fun (f : Mfunc.t) ->
+        if f.is_outlined then []
+        else
+          f :: List.rev (Option.value ~default:[] (Hashtbl.find_opt attached f.name)))
+      p.funcs
+    @ List.rev !detached
+  in
+  Program.replace_funcs p funcs

@@ -1,0 +1,23 @@
+(** Layout placement for outlined code — the paper's future-work item (3)
+    in §VIII, implemented and measured.
+
+    This pass re-orders functions so each outlined function sits
+    immediately after the function containing the most static calls to it
+    (chasing chains of outlined-calling-outlined to a concrete anchor).
+    Layout is pure re-ordering: code bytes and behaviour are unchanged
+    (property-tested), only addresses move.
+
+    The measured outcome is a {e negative result}: because outlined
+    functions are shared across the whole program, caller-affinity
+    placement scatters them over the image and the simulator shows iTLB
+    misses exploding, whereas LLVM's dense appended region behaves like a
+    small, hot page set.  The pipeline therefore defaults to [`Append];
+    this pass exists to make that comparison reproducible (see the
+    [ablate] bench experiment). *)
+
+val static_callers : Machine.Program.t -> (string, (string * int) list) Hashtbl.t
+(** For each function, its callers with static call counts. *)
+
+val optimize : Machine.Program.t -> Machine.Program.t
+(** Re-order functions for caller affinity; non-outlined functions keep
+    their relative order. *)

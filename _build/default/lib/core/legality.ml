@@ -1,0 +1,7 @@
+type verdict =
+  | Legal
+  | Illegal
+
+let classify i =
+  if Machine.Insn.touches_lr i && not (Machine.Insn.is_call i) then Illegal
+  else Legal

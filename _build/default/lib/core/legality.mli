@@ -1,0 +1,17 @@
+(** Per-instruction outlining legality, mirroring the AArch64 rules in
+    LLVM's MachineOutliner:
+
+    - instructions that read or write the link register cannot move into an
+      outlined body (the call there redefines LR);
+    - everything else in a block body is outlinable — including SP-relative
+      accesses, because [BL] does not move SP on AArch64 (strategies that
+      do adjust SP around the call are restricted separately, see
+      {!Cost_model});
+    - position-independent references ([ADR sym], [BL sym]) are legal since
+      our symbols relocate. *)
+
+type verdict =
+  | Legal
+  | Illegal
+
+val classify : Machine.Insn.t -> verdict

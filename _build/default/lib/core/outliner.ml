@@ -1,0 +1,390 @@
+open Machine
+
+type options = {
+  scope_name : string;
+  round : int;
+  min_length : int;
+  allow_save_lr : bool;
+  allow_thunk : bool;
+  allow_ret : bool;
+}
+
+let default_options =
+  {
+    scope_name = "";
+    round = 1;
+    min_length = 2;
+    allow_save_lr = true;
+    allow_thunk = true;
+    allow_ret = true;
+  }
+
+type round_stats = {
+  sequences_outlined : int;
+  functions_created : int;
+  outlined_bytes : int;
+  bytes_saved : int;
+}
+
+(* Metadata for each sequence fed to the suffix tree. *)
+type seq_meta = {
+  sm_func : Mfunc.t;
+  sm_block : Block.t;
+  sm_has_ret : bool;
+}
+
+let build_sequences imap (p : Program.t) =
+  let seqs = ref [] and metas = ref [] in
+  List.iter
+    (fun (f : Mfunc.t) ->
+      if not f.no_outline then
+        List.iter
+          (fun (b : Block.t) ->
+            let has_ret = b.term = Block.Ret in
+            let n = Array.length b.body in
+            let len = if has_ret then n + 1 else n in
+            if len >= 1 then begin
+              let arr = Array.make len 0 in
+              for i = 0 to n - 1 do
+                arr.(i) <- Instr_map.symbol_of_insn imap b.body.(i)
+              done;
+              if has_ret then arr.(n) <- Instr_map.ret_symbol imap;
+              seqs := arr :: !seqs;
+              metas := { sm_func = f; sm_block = b; sm_has_ret = has_ret } :: !metas
+            end)
+          f.blocks)
+    p.funcs;
+  (List.rev !seqs, Array.of_list (List.rev !metas))
+
+(* Drop occurrences that overlap an earlier-kept occurrence of the same
+   pattern within the same sequence. *)
+let prune_self_overlaps occs len =
+  let sorted =
+    List.sort
+      (fun (a : Sufftree.Suffix_tree.occurrence) b ->
+        match Int.compare a.seq b.seq with 0 -> Int.compare a.pos b.pos | c -> c)
+      occs
+  in
+  let rec go last_seq last_end = function
+    | [] -> []
+    | (o : Sufftree.Suffix_tree.occurrence) :: rest ->
+      if o.seq = last_seq && o.pos < last_end then go last_seq last_end rest
+      else o :: go o.seq (o.pos + len) rest
+  in
+  go (-1) 0 sorted
+
+(* Outlined functions whose bodies are frame fragments (unbalanced SP
+   changes, e.g. half a prologue) are legal and valuable to outline — but a
+   call to one is *not* SP-neutral, unlike a call to any ABI-conforming
+   function.  Strategies that spill LR around such a call would reload from
+   the wrong slot.  Compute, transitively, which outlined functions a call
+   must be treated as SP-modifying. *)
+let sp_unsafe_callees (p : Program.t) =
+  let unsafe : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let outlined =
+    List.filter (fun (f : Mfunc.t) -> f.is_outlined) p.funcs
+  in
+  let body_calls (f : Mfunc.t) =
+    List.concat_map
+      (fun (b : Block.t) ->
+        let calls =
+          Array.to_list b.body
+          |> List.filter_map (function Insn.Bl t -> Some t | _ -> None)
+        in
+        match b.term with
+        | Block.Tail_call t -> t :: calls
+        | _ -> calls)
+      f.blocks
+  in
+  let touches (f : Mfunc.t) =
+    List.exists
+      (fun (b : Block.t) -> Array.exists Insn.touches_sp b.body)
+      f.blocks
+  in
+  List.iter (fun (f : Mfunc.t) -> if touches f then Hashtbl.replace unsafe f.name ()) outlined;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (f : Mfunc.t) ->
+        if not (Hashtbl.mem unsafe f.name) then
+          if List.exists (Hashtbl.mem unsafe) (body_calls f) then begin
+            Hashtbl.replace unsafe f.name ();
+            changed := true
+          end)
+      outlined
+  done;
+  fun name -> Hashtbl.mem unsafe name
+
+let candidate_of_repeat options ~callee_sp_unsafe metas liveness_of
+    (r : Sufftree.Suffix_tree.repeat) : Candidate.t option =
+  match prune_self_overlaps r.occs r.length with
+  | [] | [ _ ] -> None
+  | (first :: _) as occs ->
+    let meta = metas.(first.seq) in
+    let body = meta.sm_block.Block.body in
+    let with_ret =
+      meta.sm_has_ret && first.pos + r.length = Array.length body + 1
+    in
+    let insn_len = if with_ret then r.length - 1 else r.length in
+    if insn_len = 0 then None
+    else begin
+      let insns =
+        Array.to_list (Array.sub body first.pos insn_len)
+      in
+      let strategy =
+        if with_ret then
+          if options.allow_ret then Some Candidate.Ends_with_ret else None
+        else
+          match List.rev insns with
+          | Insn.Bl _ :: _ when options.allow_thunk -> Some Candidate.Thunk
+          | _ -> Some Candidate.Plain_call
+      in
+      match strategy with
+      | None -> None
+      | Some strategy ->
+        (* SP-relevant instructions: direct SP uses, plus calls to outlined
+           frame fragments, which are not SP-neutral callees. *)
+        let insn_touches_sp i =
+          Insn.touches_sp i
+          || (match i with Insn.Bl t -> callee_sp_unsafe t | _ -> false)
+        in
+        (* The final call of a thunk becomes a tail branch, so it is exempt
+           from both the interior-call and the SP checks. *)
+        let checked_insns =
+          match (strategy, List.rev insns) with
+          | Candidate.Thunk, Insn.Bl _ :: rev_prefix -> List.rev rev_prefix
+          | (Candidate.Thunk | Candidate.Ends_with_ret | Candidate.Plain_call), _
+            ->
+            insns
+        in
+        let touches_sp = List.exists insn_touches_sp checked_insns in
+        (* Calls before the end of the body clobber LR inside the outlined
+           function, so it needs its own LR spill — impossible if the body
+           is SP-relevant. *)
+        let needs_lr_frame = List.exists Insn.is_call checked_insns in
+        if needs_lr_frame && touches_sp then None
+        else
+        let site_of (o : Sufftree.Suffix_tree.occurrence) =
+          let m = metas.(o.seq) in
+          let call =
+            match strategy with
+            | Candidate.Ends_with_ret | Candidate.Thunk -> Some Candidate.Call_free
+            | Candidate.Plain_call ->
+              let lv = liveness_of m.sm_func in
+              if Liveness.lr_live_before lv ~label:m.sm_block.Block.label o.pos
+              then
+                if options.allow_save_lr && not touches_sp then
+                  Some Candidate.Call_save_lr
+                else None
+              else Some Candidate.Call_free
+          in
+          match call with
+          | None -> None
+          | Some call ->
+            Some
+              {
+                Candidate.func = m.sm_func.Mfunc.name;
+                block = m.sm_block.Block.label;
+                start = o.pos;
+                len = r.length;
+                with_ret;
+                call;
+              }
+        in
+        let sites = List.filter_map site_of occs in
+        if List.length sites < 2 then None
+        else Some { Candidate.insns; length = r.length; strategy; sites; needs_lr_frame }
+    end
+
+let enumerate ?min_length ?(options = default_options) (p : Program.t) =
+  let min_length =
+    match min_length with Some m -> m | None -> options.min_length
+  in
+  let imap = Instr_map.create () in
+  let seqs, metas = build_sequences imap p in
+  if seqs = [] then []
+  else begin
+    let liveness_cache : (string, Liveness.t) Hashtbl.t = Hashtbl.create 64 in
+    let liveness_of (f : Mfunc.t) =
+      match Hashtbl.find_opt liveness_cache f.name with
+      | Some lv -> lv
+      | None ->
+        let lv = Liveness.compute f in
+        Hashtbl.replace liveness_cache f.name lv;
+        lv
+    in
+    let tree = Sufftree.Suffix_tree.build seqs in
+    let reps = Sufftree.Suffix_tree.repeats ~min_length tree in
+    let callee_sp_unsafe = sp_unsafe_callees p in
+    ignore imap;
+    List.filter_map
+      (candidate_of_repeat options ~callee_sp_unsafe metas liveness_of)
+      reps
+  end
+
+(* --- Rewriting --------------------------------------------------------- *)
+
+type plan_entry = {
+  pe_site : Candidate.site;
+  pe_name : string;  (** outlined function to call *)
+}
+
+let save_lr_pre = Insn.Str (Reg.lr, { Insn.base = Reg.SP; off = -16; mode = Insn.Pre })
+let restore_lr_post = Insn.Ldr (Reg.lr, { Insn.base = Reg.SP; off = 16; mode = Insn.Post })
+
+let rewrite_block entries (b : Block.t) =
+  (* entries: disjoint, any order. *)
+  let mine =
+    List.sort
+      (fun a b -> Int.compare a.pe_site.Candidate.start b.pe_site.Candidate.start)
+      entries
+  in
+  let body = b.body in
+  let out = ref [] in
+  let term = ref b.term in
+  let pos = ref 0 in
+  List.iter
+    (fun e ->
+      let s = e.pe_site in
+      for i = !pos to s.Candidate.start - 1 do
+        out := body.(i) :: !out
+      done;
+      if s.with_ret then begin
+        (* Consumes the ret terminator: branch to the outlined function. *)
+        term := Block.Tail_call e.pe_name;
+        pos := Array.length body
+      end
+      else begin
+        (match s.call with
+        | Candidate.Call_free -> out := Insn.Bl e.pe_name :: !out
+        | Candidate.Call_save_lr ->
+          out := restore_lr_post :: Insn.Bl e.pe_name :: save_lr_pre :: !out);
+        pos := s.start + s.len
+      end)
+    mine;
+  for i = !pos to Array.length body - 1 do
+    out := body.(i) :: !out
+  done;
+  { b with body = Array.of_list (List.rev !out); term = !term }
+
+let make_outlined_function ~name ~from_module (c : Candidate.t) =
+  (* When the body performs interior calls, the outlined function must
+     preserve the caller's return address across them. *)
+  let frame body =
+    if c.needs_lr_frame then (save_lr_pre :: body) @ [ restore_lr_post ]
+    else body
+  in
+  let blocks =
+    match c.strategy with
+    | Candidate.Ends_with_ret ->
+      [ Block.make ~label:"entry" (frame c.insns) Block.Ret ]
+    | Candidate.Thunk -> (
+      match List.rev c.insns with
+      | Insn.Bl target :: rev_prefix ->
+        [
+          Block.make ~label:"entry"
+            (frame (List.rev rev_prefix))
+            (Block.Tail_call target);
+        ]
+      | _ -> assert false)
+    | Candidate.Plain_call ->
+      [ Block.make ~label:"entry" (frame c.insns) Block.Ret ]
+  in
+  Mfunc.make ~from_module ~is_outlined:true ~name blocks
+
+let run_round options (p : Program.t) =
+  let cands = enumerate ~options p in
+  let scored =
+    List.filter_map
+      (fun c ->
+        let b = Cost_model.benefit c in
+        if b >= 1 then Some (b, c) else None)
+      cands
+  in
+  let sorted = List.sort (fun (a, _) (b, _) -> Int.compare b a) scored in
+  (* Occupancy map: (func, block) -> consumed slots (body length + 1 for the
+     terminator slot used by ret-ending patterns). *)
+  let consumed : (string * string, bool array) Hashtbl.t = Hashtbl.create 256 in
+  let block_len = Hashtbl.create 256 in
+  List.iter
+    (fun (f : Mfunc.t) ->
+      List.iter
+        (fun (b : Block.t) ->
+          Hashtbl.replace block_len (f.name, b.Block.label)
+            (Array.length b.Block.body))
+        f.blocks)
+    p.funcs;
+  let slots key =
+    match Hashtbl.find_opt consumed key with
+    | Some a -> a
+    | None ->
+      let n = Hashtbl.find block_len key in
+      let a = Array.make (n + 1) false in
+      Hashtbl.replace consumed key a;
+      a
+  in
+  let site_free (s : Candidate.site) =
+    let a = slots (s.func, s.block) in
+    let hi = if s.with_ret then s.start + s.len - 1 else s.start + s.len - 1 in
+    let free = ref true in
+    for i = s.start to hi do
+      if a.(i) then free := false
+    done;
+    !free
+  in
+  let site_take (s : Candidate.site) =
+    let a = slots (s.func, s.block) in
+    for i = s.start to s.start + s.len - 1 do
+      a.(i) <- true
+    done
+  in
+  let plans : (string * string, plan_entry list) Hashtbl.t = Hashtbl.create 256 in
+  let new_funcs = ref [] in
+  let idx = ref 0 in
+  let stats =
+    ref { sequences_outlined = 0; functions_created = 0; outlined_bytes = 0; bytes_saved = 0 }
+  in
+  List.iter
+    (fun ((_, c) : int * Candidate.t) ->
+      let sites = List.filter site_free c.sites in
+      let c' = { c with sites } in
+      if Cost_model.profitable c' then begin
+        let name =
+          let scope = if options.scope_name = "" then "" else options.scope_name ^ "_" in
+          Printf.sprintf "OUTLINED_FUNCTION_%s%d_%d" scope options.round !idx
+        in
+        incr idx;
+        List.iter site_take sites;
+        List.iter
+          (fun (s : Candidate.site) ->
+            let key = (s.func, s.block) in
+            let prev = Option.value ~default:[] (Hashtbl.find_opt plans key) in
+            Hashtbl.replace plans key ({ pe_site = s; pe_name = name } :: prev))
+          sites;
+        let from_module =
+          if options.scope_name = "" then "outlined" else options.scope_name
+        in
+        let f = make_outlined_function ~name ~from_module c' in
+        new_funcs := f :: !new_funcs;
+        stats :=
+          {
+            sequences_outlined = !stats.sequences_outlined + List.length sites;
+            functions_created = !stats.functions_created + 1;
+            outlined_bytes = !stats.outlined_bytes + Mfunc.size_bytes f;
+            bytes_saved = !stats.bytes_saved + Cost_model.benefit c';
+          }
+      end)
+    sorted;
+  let rewrite_func (f : Mfunc.t) =
+    Mfunc.map_blocks
+      (fun b ->
+        match Hashtbl.find_opt plans (f.name, b.Block.label) with
+        | None | Some [] -> b
+        | Some entries -> rewrite_block entries b)
+      f
+  in
+  let p' =
+    Program.replace_funcs p (List.map rewrite_func p.funcs @ List.rev !new_funcs)
+  in
+  (p', !stats)

@@ -1,0 +1,31 @@
+(** One round of whole-unit machine outlining: discover repeated sequences
+    with a suffix tree, score them with the cost model, pick greedily by
+    immediate benefit (LLVM's heuristic, §II-C), and rewrite. *)
+
+type options = {
+  scope_name : string;
+      (** infix for outlined function names; pass the module name when
+          outlining per module so clones from different modules get
+          distinct symbols, and [""] for whole-program outlining *)
+  round : int;        (** round number, included in generated names *)
+  min_length : int;   (** minimum pattern length in symbols (default 2) *)
+  allow_save_lr : bool;  (** permit the LR-spilling call strategy *)
+  allow_thunk : bool;    (** permit tail-call thunks for call-ending patterns *)
+  allow_ret : bool;      (** permit outlining patterns that end with [ret] *)
+}
+
+val default_options : options
+
+type round_stats = {
+  sequences_outlined : int;  (** candidate occurrences replaced *)
+  functions_created : int;
+  outlined_bytes : int;      (** total size of the created functions *)
+  bytes_saved : int;         (** net size reduction achieved this round *)
+}
+
+val enumerate : ?min_length:int -> ?options:options -> Machine.Program.t -> Candidate.t list
+(** All legal candidates with their sites and strategies, self-overlaps
+    pruned, unsorted, not yet filtered for profitability.  Shared with the
+    statistics pass of §IV. *)
+
+val run_round : options -> Machine.Program.t -> Machine.Program.t * round_stats

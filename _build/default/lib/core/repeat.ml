@@ -1,0 +1,36 @@
+let run ?(options = Outliner.default_options) ~rounds p =
+  let rec go round p acc =
+    if round > rounds then (p, List.rev acc)
+    else begin
+      let opts = { options with Outliner.round = options.Outliner.round + round - 1 } in
+      let p', stats = Outliner.run_round opts p in
+      if stats.Outliner.sequences_outlined = 0 then (p, List.rev acc)
+      else go (round + 1) p' (stats :: acc)
+    end
+  in
+  go 1 p []
+
+let cumulative stats =
+  let add (a : Outliner.round_stats) (b : Outliner.round_stats) =
+    {
+      Outliner.sequences_outlined = a.sequences_outlined + b.sequences_outlined;
+      functions_created = a.functions_created + b.functions_created;
+      outlined_bytes = a.outlined_bytes + b.outlined_bytes;
+      bytes_saved = a.bytes_saved + b.bytes_saved;
+    }
+  in
+  let zero =
+    {
+      Outliner.sequences_outlined = 0;
+      functions_created = 0;
+      outlined_bytes = 0;
+      bytes_saved = 0;
+    }
+  in
+  List.rev
+    (snd
+       (List.fold_left
+          (fun (acc, out) s ->
+            let acc = add acc s in
+            (acc, acc :: out))
+          (zero, []) stats))

@@ -1,0 +1,17 @@
+(** Repeated machine outlining (§V-B): run the greedy outliner again on the
+    rewritten program, so sequences that now contain calls to outlined
+    functions — and the outlined functions themselves — become candidates.
+    This is the paper's headline extension to LLVM's MachineOutliner. *)
+
+val run :
+  ?options:Outliner.options ->
+  rounds:int ->
+  Machine.Program.t ->
+  Machine.Program.t * Outliner.round_stats list
+(** [run ~rounds p] applies up to [rounds] rounds, stopping early when a
+    round outlines nothing.  Returns the final program and per-round stats
+    (length <= rounds).  Round numbers in generated names start from
+    [options.round]. *)
+
+val cumulative : Outliner.round_stats list -> Outliner.round_stats list
+(** Per-round running totals, as presented in Table II of the paper. *)

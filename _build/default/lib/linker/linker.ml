@@ -1,0 +1,83 @@
+open Machine
+
+type symbol_kind =
+  | Text
+  | Data
+  | Extern
+
+type layout = {
+  addresses : (string, int) Hashtbl.t;
+  kinds : (string, symbol_kind) Hashtbl.t;
+  text_base : int;
+  text_size : int;
+  data_base : int;
+  data_size : int;
+  image_overhead : int;
+}
+
+let text_base_default = 0x1_0000
+let image_overhead_default = 16_384 (* headers + load commands stand-in *)
+
+let align n a = (n + a - 1) / a * a
+
+let link ?(text_base = text_base_default)
+    ?(image_overhead = image_overhead_default) (p : Program.t) =
+  let addresses = Hashtbl.create 1024 in
+  let kinds = Hashtbl.create 1024 in
+  let cursor = ref text_base in
+  List.iter
+    (fun (f : Mfunc.t) ->
+      Hashtbl.replace addresses f.name !cursor;
+      Hashtbl.replace kinds f.name Text;
+      cursor := !cursor + Mfunc.size_bytes f)
+    p.funcs;
+  let text_size = !cursor - text_base in
+  (* Segments are page-aligned, as in Mach-O (16 KiB pages on iOS). *)
+  let data_base = align !cursor 16384 in
+  cursor := data_base;
+  List.iter
+    (fun (d : Dataobj.t) ->
+      Hashtbl.replace addresses d.name !cursor;
+      Hashtbl.replace kinds d.name Data;
+      cursor := !cursor + align (Dataobj.size_bytes d) 8)
+    p.data;
+  let data_size = !cursor - data_base in
+  (* Externs live far above the image; spacing keeps them distinct. *)
+  let extern_base = 0x7000_0000 in
+  List.iteri
+    (fun i e ->
+      if not (Hashtbl.mem addresses e) then begin
+        Hashtbl.replace addresses e (extern_base + (i * 16));
+        Hashtbl.replace kinds e Extern
+      end)
+    p.externs;
+  { addresses; kinds; text_base; text_size; data_base; data_size; image_overhead }
+
+let binary_size l = l.text_size + l.data_size + l.image_overhead
+let address_of l s = Hashtbl.find l.addresses s
+
+let duplicate_function_bodies (p : Program.t) =
+  (* Key: printed body with the function name erased (labels are local). *)
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun (f : Mfunc.t) ->
+      let key =
+        Format.asprintf "%a"
+          (fun ppf () ->
+            List.iter
+              (fun (b : Block.t) ->
+                Format.fprintf ppf "%s:" b.label;
+                Array.iter (fun i -> Format.fprintf ppf "%a;" Insn.pp i) b.body;
+                Format.fprintf ppf "%a|" Block.pp_terminator b.term)
+              f.blocks)
+          ()
+      in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+      Hashtbl.replace tbl key (f :: prev))
+    p.funcs;
+  Hashtbl.fold
+    (fun _ fs acc ->
+      match fs with
+      | [] | [ _ ] -> acc
+      | f :: _ -> (List.length fs, Mfunc.size_bytes f) :: acc)
+    tbl []

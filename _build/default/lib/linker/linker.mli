@@ -1,0 +1,38 @@
+(** The system-linker stand-in: lay out text and data, resolve symbols to
+    addresses, and account for binary size the way §VII-A does (binary =
+    code section + data section + fixed image overhead). *)
+
+type symbol_kind =
+  | Text
+  | Data
+  | Extern
+
+type layout = {
+  addresses : (string, int) Hashtbl.t;   (** symbol -> virtual address *)
+  kinds : (string, symbol_kind) Hashtbl.t;
+  text_base : int;
+  text_size : int;
+  data_base : int;
+  data_size : int;
+  image_overhead : int;   (** headers, load commands, linkedit stand-in *)
+}
+
+val text_base_default : int
+val image_overhead_default : int
+
+val link : ?text_base:int -> ?image_overhead:int -> Machine.Program.t -> layout
+(** Functions are placed consecutively in program order, 4-byte aligned
+    (they already are); data objects consecutively after text, 8-byte
+    aligned.  Extern symbols receive distinct high addresses so indirect
+    calls to them can be recognized. *)
+
+val binary_size : layout -> int
+(** [text_size + data_size + image_overhead]. *)
+
+val address_of : layout -> string -> int
+(** Raises [Not_found] for undefined symbols. *)
+
+val duplicate_function_bodies : Machine.Program.t -> (int * int) list
+(** Groups of functions with byte-identical bodies: returns
+    [(group_size, bytes_per_body)] for each group with two or more members.
+    Used to show how per-module outlining leaves clones behind (§V-A). *)

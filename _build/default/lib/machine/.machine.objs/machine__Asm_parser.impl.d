@@ -1,0 +1,1 @@
+lib/machine/asm_parser.ml: Block Buffer Cond Dataobj Format Insn List Mfunc Printf Program Reg String

@@ -1,0 +1,1 @@
+lib/machine/asm_parser.mli: Mfunc Program

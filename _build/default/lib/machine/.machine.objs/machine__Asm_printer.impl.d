@@ -1,0 +1,1 @@
+lib/machine/asm_printer.ml: Array Block Buffer Cond Dataobj Insn List Mfunc Printf Program Reg

@@ -1,0 +1,1 @@
+lib/machine/asm_printer.mli: Mfunc Program

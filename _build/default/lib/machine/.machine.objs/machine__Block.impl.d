@@ -1,0 +1,1 @@
+lib/machine/block.ml: Array Cond Format Insn Reg Regset

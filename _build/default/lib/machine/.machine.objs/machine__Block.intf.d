@@ -1,0 +1,1 @@
+lib/machine/block.mli: Cond Format Insn Reg Regset

@@ -1,0 +1,1 @@
+lib/machine/cond.mli: Format

@@ -1,0 +1,1 @@
+lib/machine/dataobj.ml: Array Format

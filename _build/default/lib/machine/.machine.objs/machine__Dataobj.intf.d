@@ -1,0 +1,1 @@
+lib/machine/dataobj.mli: Format

@@ -1,0 +1,1 @@
+lib/machine/insn.ml: Cond Format Hashtbl Reg Regset

@@ -1,0 +1,1 @@
+lib/machine/insn.mli: Cond Format Reg Regset

@@ -1,0 +1,1 @@
+lib/machine/liveness.ml: Array Block Hashtbl Insn List Mfunc Reg Regset

@@ -1,0 +1,1 @@
+lib/machine/liveness.mli: Mfunc Regset

@@ -1,0 +1,1 @@
+lib/machine/mfunc.ml: Array Block Format List String

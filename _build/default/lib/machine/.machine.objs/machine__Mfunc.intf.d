@@ -1,0 +1,1 @@
+lib/machine/mfunc.mli: Block Format

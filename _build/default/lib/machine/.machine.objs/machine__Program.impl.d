@@ -1,0 +1,1 @@
+lib/machine/program.ml: Array Block Dataobj Format Hashtbl Insn List Mfunc String

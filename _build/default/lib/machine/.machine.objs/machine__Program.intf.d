@@ -1,0 +1,1 @@
+lib/machine/program.mli: Dataobj Format Mfunc

@@ -1,0 +1,1 @@
+lib/machine/reg.ml: Format Int String

@@ -1,0 +1,1 @@
+lib/machine/regset.ml: Format Int List Reg

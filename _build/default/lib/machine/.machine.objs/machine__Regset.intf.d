@@ -1,0 +1,1 @@
+lib/machine/regset.mli: Format Reg

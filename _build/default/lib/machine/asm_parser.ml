@@ -1,0 +1,289 @@
+exception Parse_error of int * string
+
+let fail line fmt = Format.kasprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+let strip_comment s =
+  match String.index_opt s ';' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let tokenize s =
+  (* Split on whitespace and commas; brackets and #/!/@ stay attached. *)
+  let buf = Buffer.create 16 in
+  let toks = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      toks := Buffer.contents buf :: !toks;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | ',' -> flush ()
+      | c -> Buffer.add_char buf c)
+    s;
+  flush ();
+  List.rev !toks
+
+let parse_reg line s =
+  match Reg.of_string s with
+  | Some r -> r
+  | None -> fail line "expected register, got %S" s
+
+let parse_imm line s =
+  let s = if String.length s > 0 && s.[0] = '#' then String.sub s 1 (String.length s - 1) else s in
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> fail line "expected immediate, got %S" s
+
+let parse_operand line s =
+  match Reg.of_string s with
+  | Some r -> Insn.Rop r
+  | None -> Insn.Imm (parse_imm line s)
+
+(* Address syntax arrives as tokens like "[sp" "#16]" or "[sp]" or
+   "[sp" "#-16]!" or "[sp]" "#16" (post-indexed). *)
+let parse_addr line toks =
+  match toks with
+  | [ one ] ->
+    let n = String.length one in
+    if n >= 2 && one.[0] = '[' && one.[n - 1] = ']' then
+      { Insn.base = parse_reg line (String.sub one 1 (n - 2)); off = 0; mode = Insn.Offset }
+    else fail line "bad address %S" one
+  | [ base; off ] when String.length base > 0 && base.[0] = '[' ->
+    let base_s = String.sub base 1 (String.length base - 1) in
+    if String.length base_s > 0 && base_s.[String.length base_s - 1] = ']' then
+      (* "[sp]" "#16" : post-indexed *)
+      let base_r = parse_reg line (String.sub base_s 0 (String.length base_s - 1)) in
+      { Insn.base = base_r; off = parse_imm line off; mode = Insn.Post }
+    else
+      let base_r = parse_reg line base_s in
+      let n = String.length off in
+      if n >= 2 && off.[n - 1] = '!' && off.[n - 2] = ']' then
+        { Insn.base = base_r; off = parse_imm line (String.sub off 0 (n - 2)); mode = Insn.Pre }
+      else if n >= 1 && off.[n - 1] = ']' then
+        { Insn.base = base_r; off = parse_imm line (String.sub off 0 (n - 1)); mode = Insn.Offset }
+      else fail line "bad address offset %S" off
+  | _ -> fail line "bad address"
+
+let binop_of_string = function
+  | "add" -> Some Insn.Add
+  | "sub" -> Some Insn.Sub
+  | "mul" -> Some Insn.Mul
+  | "sdiv" -> Some Insn.Sdiv
+  | "and" -> Some Insn.And
+  | "orr" -> Some Insn.Orr
+  | "eor" -> Some Insn.Eor
+  | "lsl" -> Some Insn.Lsl
+  | "lsr" -> Some Insn.Lsr
+  | "asr" -> Some Insn.Asr
+  | _ -> None
+
+type parsed_line =
+  | L_func of string * string * bool  (* name, module, no_outline *)
+  | L_label of string
+  | L_insn of Insn.t
+  | L_term_ret
+  | L_term_b of string                (* branch or tail call, resolved later *)
+  | L_term_bcond of Cond.t * string * string
+  | L_term_cbz of Reg.t * string * string
+  | L_term_cbnz of Reg.t * string * string
+  | L_data of Dataobj.t
+  | L_extern of string
+  | L_blank
+
+let parse_line lineno raw =
+  let s = String.trim (strip_comment raw) in
+  if s = "" then L_blank
+  else
+    let toks = tokenize s in
+    match toks with
+    | [] -> L_blank
+    | kw :: rest -> (
+      match kw, rest with
+      | "func", _ ->
+        let rest_s = String.concat " " rest in
+        let n = String.length rest_s in
+        if n = 0 || rest_s.[n - 1] <> ':' then fail lineno "func line must end with ':'"
+        else
+          let parts = String.split_on_char ' ' (String.sub rest_s 0 (n - 1)) in
+          (match parts with
+          | name :: opts ->
+            let module_ = ref "" and no_outline = ref false in
+            List.iter
+              (fun o ->
+                if o = "" then ()
+                else if o = "no_outline" then no_outline := true
+                else if String.length o > 7 && String.sub o 0 7 = "module=" then
+                  module_ := String.sub o 7 (String.length o - 7)
+                else fail lineno "unknown func option %S" o)
+              opts;
+            L_func (name, !module_, !no_outline)
+          | [] -> fail lineno "func needs a name")
+      | "extern", [ name ] -> L_extern name
+      | "data", name_colon :: inits when String.length name_colon > 0 ->
+        let name, from_module =
+          let n = String.length name_colon in
+          if name_colon.[n - 1] = ':' then (String.sub name_colon 0 (n - 1), "")
+          else
+            match inits with
+            | m :: _ when String.length m > 7 && String.sub m 0 7 = "module=" ->
+              (name_colon, String.sub m 7 (String.length m - 7))
+            | _ -> fail lineno "data line must have 'name:'"
+        in
+        let inits =
+          if from_module = "" then inits
+          else match inits with _ :: r -> r | [] -> []
+        in
+        let inits =
+          List.map
+            (fun t ->
+              if String.length t > 1 && t.[0] = '@' then
+                Dataobj.Sym (String.sub t 1 (String.length t - 1))
+              else Dataobj.Word (parse_imm lineno t))
+            (List.filter (fun t -> t <> "") inits)
+        in
+        L_data (Dataobj.make ~from_module ~name inits)
+      | "ret", [] -> L_term_ret
+      | "b", [ l ] -> L_term_b l
+      | "b.eq", [ a; b ] -> L_term_bcond (Cond.Eq, a, b)
+      | "b.ne", [ a; b ] -> L_term_bcond (Cond.Ne, a, b)
+      | "b.lt", [ a; b ] -> L_term_bcond (Cond.Lt, a, b)
+      | "b.le", [ a; b ] -> L_term_bcond (Cond.Le, a, b)
+      | "b.gt", [ a; b ] -> L_term_bcond (Cond.Gt, a, b)
+      | "b.ge", [ a; b ] -> L_term_bcond (Cond.Ge, a, b)
+      | "cbz", [ r; a; b ] -> L_term_cbz (parse_reg lineno r, a, b)
+      | "cbnz", [ r; a; b ] -> L_term_cbnz (parse_reg lineno r, a, b)
+      | "mov", [ d; src ] -> L_insn (Insn.Mov (parse_reg lineno d, parse_operand lineno src))
+      | "orr", [ d; z; src ] when z = "xzr" ->
+        L_insn (Insn.Mov (parse_reg lineno d, parse_operand lineno src))
+      | "cmp", [ a; b ] -> L_insn (Insn.Cmp (parse_reg lineno a, parse_operand lineno b))
+      | "cset", [ d; c ] -> (
+        match Cond.of_string c with
+        | Some c -> L_insn (Insn.Cset (parse_reg lineno d, c))
+        | None -> fail lineno "bad condition %S" c)
+      | "csel", [ d; a; b; c ] -> (
+        match Cond.of_string c with
+        | Some c ->
+          L_insn (Insn.Csel (parse_reg lineno d, parse_reg lineno a, parse_reg lineno b, c))
+        | None -> fail lineno "bad condition %S" c)
+      | "ldr", d :: addr -> L_insn (Insn.Ldr (parse_reg lineno d, parse_addr lineno addr))
+      | "str", s :: addr -> L_insn (Insn.Str (parse_reg lineno s, parse_addr lineno addr))
+      | "ldp", d1 :: d2 :: addr ->
+        L_insn (Insn.Ldp (parse_reg lineno d1, parse_reg lineno d2, parse_addr lineno addr))
+      | "stp", s1 :: s2 :: addr ->
+        L_insn (Insn.Stp (parse_reg lineno s1, parse_reg lineno s2, parse_addr lineno addr))
+      | "adr", [ d; sym ] -> L_insn (Insn.Adr (parse_reg lineno d, sym))
+      | "bl", [ sym ] -> L_insn (Insn.Bl sym)
+      | "blr", [ r ] -> L_insn (Insn.Blr (parse_reg lineno r))
+      | "nop", [] -> L_insn Insn.Nop
+      | _, _ -> (
+        match binop_of_string kw, rest with
+        | Some op, [ d; a; b ] ->
+          L_insn (Insn.Binop (op, parse_reg lineno d, parse_reg lineno a, parse_operand lineno b))
+        | Some _, _ -> fail lineno "binop takes 3 operands"
+        | None, _ ->
+          let n = String.length kw in
+          if n > 1 && kw.[n - 1] = ':' && rest = [] then
+            L_label (String.sub kw 0 (n - 1))
+          else fail lineno "cannot parse %S" s))
+
+type pending_block = {
+  pb_label : string;
+  mutable pb_body : Insn.t list;  (* reversed *)
+  mutable pb_term : Block.terminator option;
+}
+
+type pending_func = {
+  pf_name : string;
+  pf_module : string;
+  pf_no_outline : bool;
+  mutable pf_blocks : pending_block list;  (* reversed *)
+}
+
+let finish_func lineno (pf : pending_func) =
+  let blocks =
+    List.rev_map
+      (fun pb ->
+        match pb.pb_term with
+        | None -> fail lineno "block %s of %s has no terminator" pb.pb_label pf.pf_name
+        | Some t -> Block.make ~label:pb.pb_label (List.rev pb.pb_body) t)
+      pf.pf_blocks
+  in
+  (* Resolve `b target`: block label => branch, else tail call. *)
+  let labels = List.map (fun (b : Block.t) -> b.label) blocks in
+  let resolve (b : Block.t) =
+    match b.term with
+    | Block.B l when not (List.mem l labels) -> { b with term = Block.Tail_call l }
+    | _ -> b
+  in
+  Mfunc.make ~from_module:pf.pf_module ~no_outline:pf.pf_no_outline
+    ~name:pf.pf_name (List.map resolve blocks)
+
+let parse_program text =
+  let lines = String.split_on_char '\n' text in
+  let funcs = ref [] and data = ref [] and externs = ref [] in
+  let cur_func : pending_func option ref = ref None in
+  let cur_block : pending_block option ref = ref None in
+  let close_block lineno =
+    match !cur_block, !cur_func with
+    | Some pb, Some pf ->
+      if pb.pb_term = None then fail lineno "block %s has no terminator" pb.pb_label;
+      pf.pf_blocks <- pb :: pf.pf_blocks;
+      cur_block := None
+    | Some _, None -> assert false
+    | None, _ -> ()
+  in
+  let close_func lineno =
+    close_block lineno;
+    match !cur_func with
+    | Some pf ->
+      funcs := finish_func lineno pf :: !funcs;
+      cur_func := None
+    | None -> ()
+  in
+  let in_block lineno f =
+    match !cur_block with
+    | Some pb -> f pb
+    | None -> fail lineno "instruction outside a block"
+  in
+  try
+    List.iteri
+      (fun i raw ->
+        let lineno = i + 1 in
+        match parse_line lineno raw with
+        | L_blank -> ()
+        | L_func (name, m, no_outline) ->
+          close_func lineno;
+          cur_func :=
+            Some { pf_name = name; pf_module = m; pf_no_outline = no_outline; pf_blocks = [] }
+        | L_label l -> (
+          match !cur_func with
+          | None -> fail lineno "label outside a function"
+          | Some _ ->
+            close_block lineno;
+            cur_block := Some { pb_label = l; pb_body = []; pb_term = None })
+        | L_insn insn -> in_block lineno (fun pb -> pb.pb_body <- insn :: pb.pb_body)
+        | L_term_ret -> in_block lineno (fun pb -> pb.pb_term <- Some Block.Ret)
+        | L_term_b l -> in_block lineno (fun pb -> pb.pb_term <- Some (Block.B l))
+        | L_term_bcond (c, a, b) ->
+          in_block lineno (fun pb -> pb.pb_term <- Some (Block.Bcond (c, a, b)))
+        | L_term_cbz (r, a, b) ->
+          in_block lineno (fun pb -> pb.pb_term <- Some (Block.Cbz (r, a, b)))
+        | L_term_cbnz (r, a, b) ->
+          in_block lineno (fun pb -> pb.pb_term <- Some (Block.Cbnz (r, a, b)))
+        | L_data d -> data := d :: !data
+        | L_extern e -> externs := e :: !externs)
+      lines;
+    close_func (List.length lines);
+    Ok (Program.make ~data:(List.rev !data) ~externs:(List.rev !externs) (List.rev !funcs))
+  with Parse_error (l, m) -> Error (Printf.sprintf "line %d: %s" l m)
+
+let parse_func text =
+  match parse_program text with
+  | Error _ as e -> e
+  | Ok p -> (
+    match p.Program.funcs with
+    | [ f ] -> Ok f
+    | fs -> Error (Printf.sprintf "expected exactly one function, got %d" (List.length fs)))

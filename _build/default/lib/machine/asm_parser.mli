@@ -1,0 +1,29 @@
+(** Parser for a small textual assembly format, used by tests, examples and
+    the command-line driver.  The grammar, line oriented:
+
+    {v
+    func NAME [module=M] [no_outline]:
+    LABEL:
+      mov x0, #5
+      orr x0, xzr, x1        ; the register-move idiom
+      add x0, x1, x2
+      ldr x0, [sp, #16]
+      stp x19, x20, [sp, #-16]!
+      bl some_symbol
+      b other_label          ; block branch or tail call, resolved by scope
+      b.eq l1, l2
+      cbz x0, l1, l2
+      ret
+    data NAME [module=M]: w0 w1 @sym ...
+    extern NAME
+    v}
+
+    Comments run from [;] to end of line.  [b LABEL] is an intra-function
+    branch when [LABEL] names a block of the current function, otherwise a
+    tail call. *)
+
+val parse_program : string -> (Program.t, string) result
+(** Parse a whole unit.  Errors carry a line number and message. *)
+
+val parse_func : string -> (Mfunc.t, string) result
+(** Parse text containing exactly one function. *)

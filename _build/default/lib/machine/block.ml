@@ -1,0 +1,50 @@
+type terminator =
+  | Ret
+  | B of string
+  | Bcond of Cond.t * string * string
+  | Cbz of Reg.t * string * string
+  | Cbnz of Reg.t * string * string
+  | Tail_call of string
+
+type t = {
+  label : string;
+  body : Insn.t array;
+  term : terminator;
+}
+
+let make ~label body term = { label; body = Array.of_list body; term }
+let term_size_bytes (_ : terminator) = 4
+let size_bytes b = (Array.length b.body * Insn.size_bytes) + term_size_bytes b.term
+
+let successors = function
+  | Ret | Tail_call _ -> []
+  | B l -> [ l ]
+  | Bcond (_, a, b) | Cbz (_, a, b) | Cbnz (_, a, b) -> [ a; b ]
+
+let term_uses = function
+  | Ret -> Regset.singleton Reg.lr
+  | B _ -> Regset.empty
+  | Bcond (_, _, _) -> Regset.singleton Reg.NZCV
+  | Cbz (r, _, _) | Cbnz (r, _, _) -> Regset.singleton r
+  | Tail_call _ ->
+    (* A tail call hands the argument registers to the target, and the
+       target returns through the *current* LR — so LR is live here. *)
+    let rec go i s =
+      if i >= Reg.max_args then s else go (i + 1) (Regset.add (Reg.arg i) s)
+    in
+    go 0 (Regset.singleton Reg.lr)
+
+let equal_terminator (a : terminator) b = a = b
+
+let pp_terminator ppf = function
+  | Ret -> Format.pp_print_string ppf "ret"
+  | B l -> Format.fprintf ppf "b %s" l
+  | Bcond (c, t, f) -> Format.fprintf ppf "b.%a %s (else %s)" Cond.pp c t f
+  | Cbz (r, t, f) -> Format.fprintf ppf "cbz %a, %s (else %s)" Reg.pp r t f
+  | Cbnz (r, t, f) -> Format.fprintf ppf "cbnz %a, %s (else %s)" Reg.pp r t f
+  | Tail_call s -> Format.fprintf ppf "b %s" s
+
+let pp ppf b =
+  Format.fprintf ppf "%s:@." b.label;
+  Array.iter (fun i -> Format.fprintf ppf "  %a@." Insn.pp i) b.body;
+  Format.fprintf ppf "  %a@." pp_terminator b.term

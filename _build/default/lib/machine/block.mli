@@ -1,0 +1,32 @@
+(** Basic blocks: a straight-line body of instructions followed by exactly
+    one terminator. *)
+
+type terminator =
+  | Ret                                   (** return via LR *)
+  | B of string                           (** unconditional branch to a block label *)
+  | Bcond of Cond.t * string * string     (** conditional branch: taken / fallthrough labels *)
+  | Cbz of Reg.t * string * string        (** branch to first label if register is zero *)
+  | Cbnz of Reg.t * string * string
+  | Tail_call of string                   (** [B symbol]: jump to another function *)
+
+type t = {
+  label : string;
+  body : Insn.t array;
+  term : terminator;
+}
+
+val make : label:string -> Insn.t list -> terminator -> t
+
+val term_size_bytes : terminator -> int
+(** [Bcond]/[Cbz]/[Cbnz] lower to a conditional branch plus an unconditional
+    branch when the fallthrough is not adjacent; we charge a flat 4 bytes and
+    let layout elide the extra branch, as real assemblers do. *)
+
+val size_bytes : t -> int
+(** Body plus terminator. *)
+
+val successors : terminator -> string list
+val term_uses : terminator -> Regset.t
+val equal_terminator : terminator -> terminator -> bool
+val pp_terminator : Format.formatter -> terminator -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,18 @@
+type init =
+  | Word of int
+  | Sym of string
+
+type t = {
+  name : string;
+  words : init array;
+  from_module : string;
+}
+
+let make ?(from_module = "") ~name inits =
+  { name; words = Array.of_list inits; from_module }
+
+let size_bytes d = Array.length d.words * 8
+
+let pp ppf d =
+  Format.fprintf ppf "%s: %d words  ; module=%s@." d.name
+    (Array.length d.words) d.from_module

@@ -1,0 +1,16 @@
+(** Data-section objects (globals).  Contents are 8-byte words; symbolic
+    initializers are resolved at link time. *)
+
+type init =
+  | Word of int            (** a literal 8-byte word *)
+  | Sym of string          (** address of another symbol *)
+
+type t = {
+  name : string;
+  words : init array;
+  from_module : string;    (** provenance, used by the data-layout experiment *)
+}
+
+val make : ?from_module:string -> name:string -> init list -> t
+val size_bytes : t -> int
+val pp : Format.formatter -> t -> unit

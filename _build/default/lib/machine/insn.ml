@@ -1,0 +1,159 @@
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Sdiv
+  | And
+  | Orr
+  | Eor
+  | Lsl
+  | Lsr
+  | Asr
+
+type operand =
+  | Rop of Reg.t
+  | Imm of int
+
+type amode =
+  | Offset
+  | Pre
+  | Post
+
+type addr = { base : Reg.t; off : int; mode : amode }
+
+type t =
+  | Mov of Reg.t * operand
+  | Binop of binop * Reg.t * Reg.t * operand
+  | Cmp of Reg.t * operand
+  | Cset of Reg.t * Cond.t
+  | Csel of Reg.t * Reg.t * Reg.t * Cond.t
+  | Ldr of Reg.t * addr
+  | Str of Reg.t * addr
+  | Ldp of Reg.t * Reg.t * addr
+  | Stp of Reg.t * Reg.t * addr
+  | Adr of Reg.t * string
+  | Bl of string
+  | Blr of Reg.t
+  | Nop
+
+let size_bytes = 4
+
+let operand_uses = function
+  | Rop r -> Regset.singleton r
+  | Imm _ -> Regset.empty
+
+(* Registers a call may read: the integer argument registers.  We do not
+   track callee arity at this level, so be conservative. *)
+let call_uses =
+  let rec go i s = if i >= Reg.max_args then s else go (i + 1) (Regset.add (Reg.arg i) s) in
+  go 0 Regset.empty
+
+(* Registers a call clobbers: caller-saved x0..x17, LR and the flags. *)
+let call_defs =
+  let rec go i s = if i > 17 then s else go (i + 1) (Regset.add (Reg.x i) s) in
+  Regset.add Reg.lr (Regset.add Reg.NZCV (go 0 Regset.empty))
+
+let addr_uses a = Regset.singleton a.base
+
+let addr_defs a =
+  match a.mode with
+  | Offset -> Regset.empty
+  | Pre | Post -> Regset.singleton a.base
+
+let uses = function
+  | Mov (_, op) -> operand_uses op
+  | Binop (_, _, a, op) -> Regset.add a (operand_uses op)
+  | Cmp (a, op) -> Regset.add a (operand_uses op)
+  | Cset (_, _) -> Regset.singleton Reg.NZCV
+  | Csel (_, a, b, _) -> Regset.of_list [ a; b; Reg.NZCV ]
+  | Ldr (_, a) -> addr_uses a
+  | Str (s, a) -> Regset.add s (addr_uses a)
+  | Ldp (_, _, a) -> addr_uses a
+  | Stp (s1, s2, a) -> Regset.add s1 (Regset.add s2 (addr_uses a))
+  | Adr (_, _) -> Regset.empty
+  | Bl _ -> call_uses
+  | Blr r -> Regset.add r call_uses
+  | Nop -> Regset.empty
+
+let defs = function
+  | Mov (d, _) -> Regset.singleton d
+  | Binop (_, d, _, _) -> Regset.singleton d
+  | Cmp (_, _) -> Regset.singleton Reg.NZCV
+  | Cset (d, _) -> Regset.singleton d
+  | Csel (d, _, _, _) -> Regset.singleton d
+  | Ldr (d, a) -> Regset.add d (addr_defs a)
+  | Str (_, a) -> addr_defs a
+  | Ldp (d1, d2, a) -> Regset.add d1 (Regset.add d2 (addr_defs a))
+  | Stp (_, _, a) -> addr_defs a
+  | Adr (d, _) -> Regset.singleton d
+  | Bl _ | Blr _ -> call_defs
+  | Nop -> Regset.empty
+
+let is_call = function
+  | Bl _ | Blr _ -> true
+  | Mov _ | Binop _ | Cmp _ | Cset _ | Csel _ | Ldr _ | Str _ | Ldp _ | Stp _
+  | Adr _ | Nop ->
+    false
+
+let touches_lr i =
+  Regset.mem Reg.lr (uses i) || Regset.mem Reg.lr (defs i)
+
+let touches_sp i =
+  Regset.mem Reg.SP (uses i) || Regset.mem Reg.SP (defs i)
+
+let modifies_sp i = Regset.mem Reg.SP (defs i)
+
+let equal (a : t) (b : t) = a = b
+let hash (i : t) = Hashtbl.hash i
+let mov_r dst src = Mov (dst, Rop src)
+let mov_i dst n = Mov (dst, Imm n)
+
+let binop_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Sdiv -> "sdiv"
+  | And -> "and"
+  | Orr -> "orr"
+  | Eor -> "eor"
+  | Lsl -> "lsl"
+  | Lsr -> "lsr"
+  | Asr -> "asr"
+
+let pp_operand ppf = function
+  | Rop r -> Reg.pp ppf r
+  | Imm n -> Format.fprintf ppf "#%d" n
+
+let pp_addr ppf a =
+  match a.mode with
+  | Offset ->
+    if a.off = 0 then Format.fprintf ppf "[%a]" Reg.pp a.base
+    else Format.fprintf ppf "[%a, #%d]" Reg.pp a.base a.off
+  | Pre -> Format.fprintf ppf "[%a, #%d]!" Reg.pp a.base a.off
+  | Post -> Format.fprintf ppf "[%a], #%d" Reg.pp a.base a.off
+
+let pp ppf = function
+  | Mov (d, Rop s) ->
+    (* Print as the ORR idiom to mirror the paper's listings. *)
+    Format.fprintf ppf "orr %a, xzr, %a" Reg.pp d Reg.pp s
+  | Mov (d, Imm n) -> Format.fprintf ppf "mov %a, #%d" Reg.pp d n
+  | Binop (op, d, a, b) ->
+    Format.fprintf ppf "%s %a, %a, %a" (binop_name op) Reg.pp d Reg.pp a
+      pp_operand b
+  | Cmp (a, b) -> Format.fprintf ppf "cmp %a, %a" Reg.pp a pp_operand b
+  | Cset (d, c) -> Format.fprintf ppf "cset %a, %a" Reg.pp d Cond.pp c
+  | Csel (d, a, b, c) ->
+    Format.fprintf ppf "csel %a, %a, %a, %a" Reg.pp d Reg.pp a Reg.pp b
+      Cond.pp c
+  | Ldr (d, a) -> Format.fprintf ppf "ldr %a, %a" Reg.pp d pp_addr a
+  | Str (s, a) -> Format.fprintf ppf "str %a, %a" Reg.pp s pp_addr a
+  | Ldp (d1, d2, a) ->
+    Format.fprintf ppf "ldp %a, %a, %a" Reg.pp d1 Reg.pp d2 pp_addr a
+  | Stp (s1, s2, a) ->
+    Format.fprintf ppf "stp %a, %a, %a" Reg.pp s1 Reg.pp s2 pp_addr a
+  | Adr (d, sym) -> Format.fprintf ppf "adr %a, %s" Reg.pp d sym
+  | Bl sym -> Format.fprintf ppf "bl %s" sym
+  | Blr r -> Format.fprintf ppf "blr %a" Reg.pp r
+  | Nop -> Format.pp_print_string ppf "nop"
+
+let to_string i = Format.asprintf "%a" pp i

@@ -1,0 +1,68 @@
+type t = {
+  per_point : (string, Regset.t array) Hashtbl.t;
+      (* arr.(i) = live before body insn i; arr.(len) = live before terminator *)
+  out : (string, Regset.t) Hashtbl.t;
+}
+
+(* Transfer a single instruction backwards: live_before = uses U (live_after \ defs). *)
+let transfer insn live_after =
+  Regset.union (Insn.uses insn) (Regset.diff live_after (Insn.defs insn))
+
+let block_live_in (b : Block.t) live_out =
+  let live = ref (Regset.union (Block.term_uses b.term) live_out) in
+  for i = Array.length b.body - 1 downto 0 do
+    live := transfer b.body.(i) !live
+  done;
+  !live
+
+let compute (f : Mfunc.t) =
+  let blocks = Array.of_list f.blocks in
+  let n = Array.length blocks in
+  let idx = Hashtbl.create (2 * n) in
+  Array.iteri (fun i (b : Block.t) -> Hashtbl.replace idx b.label i) blocks;
+  let live_in = Array.make n Regset.empty in
+  let live_out_arr = Array.make n Regset.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      let b = blocks.(i) in
+      let out =
+        List.fold_left
+          (fun acc l -> Regset.union acc live_in.(Hashtbl.find idx l))
+          Regset.empty
+          (Block.successors b.term)
+      in
+      live_out_arr.(i) <- out;
+      let inn = block_live_in b out in
+      if not (Regset.equal inn live_in.(i)) then begin
+        live_in.(i) <- inn;
+        changed := true
+      end
+    done
+  done;
+  let per_point = Hashtbl.create (2 * n) in
+  let out = Hashtbl.create (2 * n) in
+  Array.iteri
+    (fun i (b : Block.t) ->
+      let len = Array.length b.body in
+      let arr = Array.make (len + 1) Regset.empty in
+      let live = ref (Regset.union (Block.term_uses b.term) live_out_arr.(i)) in
+      arr.(len) <- !live;
+      for j = len - 1 downto 0 do
+        live := transfer b.body.(j) !live;
+        arr.(j) <- !live
+      done;
+      Hashtbl.replace per_point b.label arr;
+      Hashtbl.replace out b.label live_out_arr.(i))
+    blocks;
+  { per_point; out }
+
+let live_before t ~label i =
+  let arr = Hashtbl.find t.per_point label in
+  if i < 0 || i >= Array.length arr then
+    invalid_arg "Liveness.live_before: index out of range"
+  else arr.(i)
+
+let live_out t ~label = Hashtbl.find t.out label
+let lr_live_before t ~label i = Regset.mem Reg.lr (live_before t ~label i)

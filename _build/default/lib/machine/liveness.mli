@@ -1,0 +1,23 @@
+(** Backward register liveness over a machine function.
+
+    The outliner uses this to decide whether the link register (and hence a
+    plain [BL] to the outlined body) is free at a candidate site, and to
+    refresh liveness after rewriting — the detail §V-B of the paper notes
+    repeated outlining depends on. *)
+
+type t
+
+val compute : Mfunc.t -> t
+
+val live_before : t -> label:string -> int -> Regset.t
+(** [live_before t ~label i] is the set of registers live immediately before
+    instruction [i] of block [label]'s body.  [i] may equal the body length,
+    denoting the point just before the terminator.  Raises [Not_found] for
+    an unknown label and [Invalid_argument] for an out-of-range index. *)
+
+val live_out : t -> label:string -> Regset.t
+(** Live registers at block exit (after the terminator transfers). *)
+
+val lr_live_before : t -> label:string -> int -> bool
+(** Convenience: is LR live just before instruction [i]?  Inserting a [BL]
+    there clobbers LR, so this gates the no-save call strategy. *)

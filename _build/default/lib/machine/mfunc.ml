@@ -1,0 +1,33 @@
+type t = {
+  name : string;
+  blocks : Block.t list;
+  from_module : string;
+  is_outlined : bool;
+  no_outline : bool;
+}
+
+let make ?(from_module = "") ?(is_outlined = false) ?(no_outline = false)
+    ~name blocks =
+  { name; blocks; from_module; is_outlined; no_outline }
+
+let size_bytes f =
+  List.fold_left (fun acc b -> acc + Block.size_bytes b) 0 f.blocks
+
+let insn_count f =
+  List.fold_left (fun acc (b : Block.t) -> acc + Array.length b.body + 1) 0
+    f.blocks
+
+let find_block f label =
+  List.find (fun (b : Block.t) -> String.equal b.label label) f.blocks
+
+let entry f =
+  match f.blocks with
+  | [] -> invalid_arg ("Mfunc.entry: empty function " ^ f.name)
+  | b :: _ -> b
+
+let map_blocks g f = { f with blocks = List.map g f.blocks }
+
+let pp ppf f =
+  Format.fprintf ppf "%s:  ; module=%s%s@." f.name f.from_module
+    (if f.is_outlined then " [outlined]" else "");
+  List.iter (fun b -> Block.pp ppf b) f.blocks

@@ -1,0 +1,23 @@
+(** Machine functions: a named list of basic blocks, entry first. *)
+
+type t = {
+  name : string;
+  blocks : Block.t list;     (** entry block first; labels unique within the function *)
+  from_module : string;      (** provenance, for data/code-affinity experiments *)
+  is_outlined : bool;        (** created by the outliner *)
+  no_outline : bool;         (** outlining may not harvest sequences from this function *)
+}
+
+val make : ?from_module:string -> ?is_outlined:bool -> ?no_outline:bool ->
+  name:string -> Block.t list -> t
+
+val size_bytes : t -> int
+val insn_count : t -> int
+val find_block : t -> string -> Block.t
+(** Raises [Not_found] if the label is absent. *)
+
+val entry : t -> Block.t
+(** Raises [Invalid_argument] on a function with no blocks. *)
+
+val map_blocks : (Block.t -> Block.t) -> t -> t
+val pp : Format.formatter -> t -> unit

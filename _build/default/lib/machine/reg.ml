@@ -1,0 +1,84 @@
+type t =
+  | X of int
+  | SP
+  | XZR
+  | NZCV
+
+let fp = X 29
+let lr = X 30
+
+let x n =
+  if n < 0 || n > 30 then invalid_arg "Reg.x: register out of range"
+  else X n
+
+let equal a b =
+  match a, b with
+  | X i, X j -> i = j
+  | SP, SP | XZR, XZR | NZCV, NZCV -> true
+  | (X _ | SP | XZR | NZCV), _ -> false
+
+let index = function
+  | X i -> i
+  | SP -> 31
+  | XZR -> 32
+  | NZCV -> 33
+
+let count = 34
+
+let of_index i =
+  if i >= 0 && i <= 30 then X i
+  else
+    match i with
+    | 31 -> SP
+    | 32 -> XZR
+    | 33 -> NZCV
+    | _ -> invalid_arg "Reg.of_index"
+
+let compare a b = Int.compare (index a) (index b)
+let hash r = index r
+
+let is_callee_saved = function
+  | X i -> i >= 19 && i <= 30
+  | SP | XZR | NZCV -> false
+
+let is_caller_saved = function
+  | X i -> i <= 17
+  | SP | XZR | NZCV -> false
+
+(* x18 is the platform register on iOS and never allocated; x29/x30 have
+   dedicated roles. *)
+let is_allocatable = function
+  | X 18 | X 29 | X 30 -> false
+  | X _ -> true
+  | SP | XZR | NZCV -> false
+
+let max_args = 8
+
+let arg i =
+  if i < 0 || i >= max_args then invalid_arg "Reg.arg"
+  else X i
+
+let to_string = function
+  | X 29 -> "fp"
+  | X 30 -> "lr"
+  | X i -> "x" ^ string_of_int i
+  | SP -> "sp"
+  | XZR -> "xzr"
+  | NZCV -> "nzcv"
+
+let of_string s =
+  match s with
+  | "sp" -> Some SP
+  | "xzr" -> Some XZR
+  | "nzcv" -> Some NZCV
+  | "fp" -> Some (X 29)
+  | "lr" -> Some (X 30)
+  | _ ->
+    let n = String.length s in
+    if n >= 2 && n <= 3 && s.[0] = 'x' then
+      match int_of_string_opt (String.sub s 1 (n - 1)) with
+      | Some i when i >= 0 && i <= 30 -> Some (X i)
+      | Some _ | None -> None
+    else None
+
+let pp ppf r = Format.pp_print_string ppf (to_string r)

@@ -1,0 +1,54 @@
+(** AArch64-flavoured register file.
+
+    General-purpose registers are 64-bit [x0]..[x30]; [x29] doubles as the
+    frame pointer and [x30] as the link register.  [SP] is the stack
+    pointer, [XZR] the always-zero register, and [NZCV] a pseudo-register
+    standing for the condition flags (so liveness analysis can treat flag
+    setters/readers uniformly). *)
+
+type t =
+  | X of int  (** general-purpose register, 0..30 *)
+  | SP
+  | XZR
+  | NZCV
+
+val fp : t
+(** Frame pointer, [x29]. *)
+
+val lr : t
+(** Link register, [x30]; clobbered by [BL]. *)
+
+val x : int -> t
+(** [x n] is register [xn]; raises [Invalid_argument] unless [0 <= n <= 30]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val index : t -> int
+(** Dense index in [0, count), suitable for bitsets and arrays. *)
+
+val count : int
+(** Number of distinct registers, i.e. one past the largest [index]. *)
+
+val of_index : int -> t
+(** Inverse of [index]. *)
+
+val is_callee_saved : t -> bool
+(** [x19]..[x28], plus [fp] and [lr], per AAPCS64. *)
+
+val is_caller_saved : t -> bool
+(** [x0]..[x17]. *)
+
+val is_allocatable : t -> bool
+(** Registers the register allocator may assign to virtual values. *)
+
+val arg : int -> t
+(** [arg i] is the i-th integer argument register [x0]..[x7]. *)
+
+val max_args : int
+(** Number of register-passed arguments (8). *)
+
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit

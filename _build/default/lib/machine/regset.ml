@@ -1,0 +1,32 @@
+type t = int
+
+let empty = 0
+let singleton r = 1 lsl Reg.index r
+let add r s = s lor (1 lsl Reg.index r)
+let remove r s = s land lnot (1 lsl Reg.index r)
+let mem r s = s land (1 lsl Reg.index r) <> 0
+let union = ( lor )
+let inter = ( land )
+let diff a b = a land lnot b
+let equal = Int.equal
+let is_empty s = s = 0
+let of_list rs = List.fold_left (fun s r -> add r s) empty rs
+
+let to_list s =
+  let rec go i acc =
+    if i < 0 then acc
+    else if s land (1 lsl i) <> 0 then go (i - 1) (Reg.of_index i :: acc)
+    else go (i - 1) acc
+  in
+  go (Reg.count - 1) []
+
+let cardinal s =
+  let rec go s n = if s = 0 then n else go (s land (s - 1)) (n + 1) in
+  go s 0
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Reg.pp)
+    (to_list s)

@@ -1,0 +1,1 @@
+lib/mir/builder.ml: Ir List Printf

@@ -1,0 +1,1 @@
+lib/mir/builder.mli: Ir Machine

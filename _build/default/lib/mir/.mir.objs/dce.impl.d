@@ -1,0 +1,1 @@
+lib/mir/dce.ml: Hashtbl Ir List

@@ -1,0 +1,1 @@
+lib/mir/dce.mli: Ir

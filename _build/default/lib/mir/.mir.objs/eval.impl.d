@@ -1,0 +1,1 @@
+lib/mir/eval.ml: Hashtbl Ir List Machine Option Printf

@@ -1,0 +1,1 @@
+lib/mir/eval.mli: Ir Stdlib

@@ -1,0 +1,1 @@
+lib/mir/fmsa.ml: Buffer Hashtbl Ir List Machine Option Printf

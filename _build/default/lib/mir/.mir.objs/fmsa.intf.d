@@ -1,0 +1,1 @@
+lib/mir/fmsa.mli: Ir

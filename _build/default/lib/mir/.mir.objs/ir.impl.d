@@ -1,0 +1,1 @@
+lib/mir/ir.ml: Format Hashtbl List Machine String

@@ -1,0 +1,1 @@
+lib/mir/ir.mli: Format Machine

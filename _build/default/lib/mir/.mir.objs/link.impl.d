@@ -1,0 +1,1 @@
+lib/mir/link.ml: Hashtbl Int Ir List Printf String

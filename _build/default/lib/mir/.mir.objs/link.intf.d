@@ -1,0 +1,1 @@
+lib/mir/link.mli: Ir

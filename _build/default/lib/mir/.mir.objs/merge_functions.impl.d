@@ -1,0 +1,1 @@
+lib/mir/merge_functions.ml: Buffer Hashtbl Ir List Machine Option Printf

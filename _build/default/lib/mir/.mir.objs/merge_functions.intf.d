@@ -1,0 +1,1 @@
+lib/mir/merge_functions.mli: Ir

@@ -1,0 +1,1 @@
+lib/mir/out_of_ssa.ml: Hashtbl Ir List Option Printf String

@@ -1,0 +1,42 @@
+(** Imperative construction of MIR functions: fresh values, append
+    instructions to the current block, open new blocks, seal with
+    terminators.  Used by the front end, the synthetic workload generators
+    and the test suites. *)
+
+type t
+
+val create : name:string -> ?from_module:string -> nparams:int -> unit -> t
+val params : t -> Ir.value list
+val fresh : t -> Ir.value
+
+val instr : t -> Ir.instr -> unit
+(** Append to the current block; raises if the current block is sealed. *)
+
+val assign : t -> Ir.operand -> Ir.value
+(** Convenience: fresh value assigned from an operand. *)
+
+val binop : t -> Ir.binop -> Ir.operand -> Ir.operand -> Ir.value
+val icmp : t -> Machine.Cond.t -> Ir.operand -> Ir.operand -> Ir.value
+val load : t -> Ir.operand -> int -> Ir.value
+val store : t -> Ir.operand -> Ir.operand -> int -> unit
+val call : t -> string -> Ir.operand list -> Ir.value
+val call_void : t -> string -> Ir.operand list -> unit
+val retain : t -> Ir.operand -> unit
+val release : t -> Ir.operand -> unit
+val alloc_object : t -> string -> int -> Ir.value
+val alloc_array : t -> Ir.operand -> Ir.value
+
+val fresh_label : t -> string -> string
+(** [fresh_label b hint] returns a unique label containing [hint]. *)
+
+val start_block : t -> string -> unit
+(** Seal nothing; begins a new block with the given label.  The previous
+    block must already be terminated. *)
+
+val terminate : t -> Ir.terminator -> unit
+val add_phi : t -> Ir.value -> (string * Ir.operand) list -> unit
+(** Add a phi to the current (just-started) block. *)
+
+val current_label : t -> string
+val finish : t -> Ir.func
+(** Raises if any block lacks a terminator. *)

@@ -1,0 +1,104 @@
+type stats = {
+  blocks_removed : int;
+  instrs_removed : int;
+}
+
+let is_pure = function
+  | Ir.Assign _ | Ir.Binop _ | Ir.Icmp _ | Ir.Load _ | Ir.Alloc_object _
+  | Ir.Alloc_array _ ->
+    true
+  | Ir.Store _ | Ir.Call _ | Ir.Call_indirect _ | Ir.Retain _
+  | Ir.Release _ ->
+    false
+
+let reachable_labels (f : Ir.func) =
+  let seen = Hashtbl.create 16 in
+  let by_label = Hashtbl.create 16 in
+  List.iter (fun (b : Ir.block) -> Hashtbl.replace by_label b.label b) f.blocks;
+  let rec visit l =
+    if not (Hashtbl.mem seen l) then begin
+      Hashtbl.replace seen l ();
+      match Hashtbl.find_opt by_label l with
+      | Some b -> List.iter visit (Ir.successors b.term)
+      | None -> ()
+    end
+  in
+  (match f.blocks with b :: _ -> visit b.label | [] -> ());
+  seen
+
+let run_func (f : Ir.func) =
+  let reach = reachable_labels f in
+  let blocks =
+    List.filter (fun (b : Ir.block) -> Hashtbl.mem reach b.label) f.blocks
+  in
+  let blocks_removed = List.length f.blocks - List.length blocks in
+  (* Prune phi edges coming from removed blocks. *)
+  let blocks =
+    List.map
+      (fun (b : Ir.block) ->
+        let phis =
+          List.map
+            (fun (p : Ir.phi) ->
+              { p with Ir.incoming = List.filter (fun (l, _) -> Hashtbl.mem reach l) p.incoming })
+            b.phis
+        in
+        { b with phis })
+      blocks
+  in
+  (* Iteratively remove pure instructions whose destination is unused. *)
+  let instrs_removed = ref 0 in
+  let rec sweep blocks =
+    let used = Hashtbl.create 64 in
+    let mark = function
+      | Ir.V v -> Hashtbl.replace used v ()
+      | Ir.Imm _ | Ir.Global _ | Ir.Fn _ -> ()
+    in
+    List.iter
+      (fun (b : Ir.block) ->
+        List.iter
+          (fun (p : Ir.phi) -> List.iter (fun (_, o) -> mark o) p.incoming)
+          b.phis;
+        List.iter (fun i -> List.iter mark (Ir.operands_of_instr i)) b.instrs;
+        match b.term with
+        | Ir.Ret o -> mark o
+        | Ir.Cond_br (o, _, _) -> mark o
+        | Ir.Br _ | Ir.Unreachable -> ())
+      blocks;
+    let changed = ref false in
+    let blocks =
+      List.map
+        (fun (b : Ir.block) ->
+          let instrs =
+            List.filter
+              (fun i ->
+                match Ir.def_of_instr i with
+                | Some d when is_pure i && not (Hashtbl.mem used d) ->
+                  incr instrs_removed;
+                  changed := true;
+                  false
+                | Some _ | None -> true)
+              b.instrs
+          in
+          { b with instrs })
+        blocks
+    in
+    if !changed then sweep blocks else blocks
+  in
+  let blocks = sweep blocks in
+  ({ f with blocks }, { blocks_removed; instrs_removed = !instrs_removed })
+
+let run (m : Ir.modul) =
+  let total = ref { blocks_removed = 0; instrs_removed = 0 } in
+  let funcs =
+    List.map
+      (fun f ->
+        let f', s = run_func f in
+        total :=
+          {
+            blocks_removed = !total.blocks_removed + s.blocks_removed;
+            instrs_removed = !total.instrs_removed + s.instrs_removed;
+          };
+        f')
+      m.funcs
+  in
+  ({ m with funcs }, !total)

@@ -1,0 +1,11 @@
+(** Dead-code elimination at the IR level: drop blocks unreachable from the
+    entry (pruning phi edges accordingly) and remove pure instructions whose
+    results are never used.  Part of the "opt" stage in both pipelines. *)
+
+type stats = {
+  blocks_removed : int;
+  instrs_removed : int;
+}
+
+val run_func : Ir.func -> Ir.func * stats
+val run : Ir.modul -> Ir.modul * stats

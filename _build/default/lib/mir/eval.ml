@@ -1,0 +1,262 @@
+type result = {
+  exit_value : int;
+  output : int list;
+  instrs_executed : int;
+}
+
+type error =
+  | Unknown_function of string
+  | Unknown_global of string
+  | Null_access
+  | Trap of string
+  | Step_limit_exceeded
+  | Stuck of string
+
+let error_to_string = function
+  | Unknown_function f -> "unknown function: " ^ f
+  | Unknown_global g -> "unknown global: " ^ g
+  | Null_access -> "null access"
+  | Trap s -> "trap: " ^ s
+  | Step_limit_exceeded -> "step limit exceeded"
+  | Stuck s -> "stuck: " ^ s
+
+exception Err of error
+
+type state = {
+  modul : Ir.modul;
+  mem : (int, int) Hashtbl.t;       (* word-indexed *)
+  global_addr : (string, int) Hashtbl.t;
+  mutable heap_ptr : int;
+  mutable output_rev : int list;
+  mutable steps : int;
+  max_steps : int;
+}
+
+let heap_base = 0x2000_0000
+let global_base = 0x1000_0000
+
+let load st addr =
+  if addr = 0 then raise (Err Null_access);
+  Option.value ~default:0 (Hashtbl.find_opt st.mem (addr asr 3))
+
+let store st addr v =
+  if addr = 0 then raise (Err Null_access);
+  Hashtbl.replace st.mem (addr asr 3) v
+
+let alloc st bytes =
+  let size = (max bytes 8 + 7) / 8 * 8 in
+  let p = st.heap_ptr in
+  st.heap_ptr <- st.heap_ptr + size + 16;
+  p
+
+let addr_of_symbol st s =
+  match Hashtbl.find_opt st.global_addr s with
+  | Some a -> a
+  | None -> raise (Err (Unknown_global s))
+
+let init_globals st =
+  let cursor = ref global_base in
+  List.iter
+    (fun (g : Ir.global) ->
+      Hashtbl.replace st.global_addr g.g_name !cursor;
+      cursor := !cursor + (8 * List.length g.g_init) + 64)
+    st.modul.globals;
+  (* Functions get pseudo-addresses for Fn operands and indirect calls. *)
+  List.iteri
+    (fun i (f : Ir.func) ->
+      Hashtbl.replace st.global_addr f.name (0x4000_0000 + (i * 16)))
+    st.modul.funcs;
+  (* Externs (e.g. the error flag) get zero-initialized storage. *)
+  List.iteri
+    (fun i e ->
+      if not (Hashtbl.mem st.global_addr e) then
+        Hashtbl.replace st.global_addr e (0x3000_0000 + (i * 64)))
+    st.modul.externs;
+  List.iter
+    (fun (g : Ir.global) ->
+      let base = Hashtbl.find st.global_addr g.g_name in
+      List.iteri
+        (fun i init ->
+          let v =
+            match init with
+            | Ir.Gword w -> w
+            | Ir.Gsym s -> addr_of_symbol st s
+          in
+          store st (base + (8 * i)) v)
+        g.g_init)
+    st.modul.globals
+
+let func_by_addr st a =
+  let found = ref None in
+  List.iteri
+    (fun i (f : Ir.func) -> if 0x4000_0000 + (i * 16) = a then found := Some f)
+    st.modul.funcs;
+  !found
+
+(* Runtime builtins; [Some v] = handled with result v. *)
+let builtin st name args =
+  match (name, args) with
+  | ("swift_retain" | "objc_retain"), [ p ] ->
+    if p <> 0 then store st p (load st p + 1);
+    Some p
+  | ("swift_release" | "objc_release"), [ p ] ->
+    if p <> 0 then store st p (load st p - 1);
+    Some 0
+  | "swift_beginAccess", _ | "swift_endAccess", _ -> Some 0
+  | "print_i64", [ v ] ->
+    st.output_rev <- v :: st.output_rev;
+    Some 0
+  | "swift_bounds_fail", _ -> raise (Err (Trap "array index out of bounds"))
+  | "swift_allocArray", [ len ] ->
+    if len < 0 then raise (Err (Trap "negative array length"));
+    let p = alloc st ((len * 8) + 16) in
+    store st p 1;
+    store st (p + 8) len;
+    Some p
+  | "memcpy8", [ dst; src; words ] ->
+    for i = 0 to words - 1 do
+      store st (dst + (8 * i)) (load st (src + (8 * i)))
+    done;
+    Some dst
+  | _ -> None
+
+let rec call st name args =
+  match Ir.find_func st.modul name with
+  | Some f -> exec_func st f args
+  | None -> (
+    match builtin st name args with
+    | Some v -> v
+    | None -> raise (Err (Unknown_function name)))
+
+and exec_func st (f : Ir.func) args =
+  if List.length args <> List.length f.params then
+    raise
+      (Err
+         (Stuck
+            (Printf.sprintf "arity mismatch calling %s: %d args for %d params"
+               f.name (List.length args) (List.length f.params))));
+  let env : (Ir.value, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter2 (fun p a -> Hashtbl.replace env p a) f.params args;
+  let value o =
+    match o with
+    | Ir.V v -> (
+      match Hashtbl.find_opt env v with
+      | Some x -> x
+      | None -> raise (Err (Stuck (Printf.sprintf "undefined value %%%d in %s" v f.name))))
+    | Ir.Imm n -> n
+    | Ir.Global g -> addr_of_symbol st g
+    | Ir.Fn g -> addr_of_symbol st g
+  in
+  let by_label = Hashtbl.create 16 in
+  List.iter (fun (b : Ir.block) -> Hashtbl.replace by_label b.label b) f.blocks;
+  let binop op a b =
+    match (op : Ir.binop) with
+    | Ir.Add -> a + b
+    | Ir.Sub -> a - b
+    | Ir.Mul -> a * b
+    | Ir.Div -> if b = 0 then 0 else a / b
+    | Ir.And -> a land b
+    | Ir.Or -> a lor b
+    | Ir.Xor -> a lxor b
+    | Ir.Shl -> a lsl (b land 63)
+    | Ir.Lshr -> a lsr (b land 63)
+    | Ir.Ashr -> a asr (b land 63)
+  in
+  let step () =
+    st.steps <- st.steps + 1;
+    if st.steps > st.max_steps then raise (Err Step_limit_exceeded)
+  in
+  let rec run_block prev_label (b : Ir.block) =
+    (* Phis evaluate simultaneously from the incoming edge. *)
+    if b.phis <> [] then begin
+      let values =
+        List.map
+          (fun (p : Ir.phi) ->
+            match prev_label with
+            | None -> raise (Err (Stuck "phi in entry block"))
+            | Some l -> (
+              match List.assoc_opt l p.incoming with
+              | Some o -> (p.phi_dst, value o)
+              | None ->
+                raise
+                  (Err (Stuck (Printf.sprintf "phi %%%d missing edge %s" p.phi_dst l)))))
+          b.phis
+      in
+      List.iter (fun (d, v) -> Hashtbl.replace env d v) values
+    end;
+    List.iter
+      (fun i ->
+        step ();
+        match i with
+        | Ir.Assign (d, o) -> Hashtbl.replace env d (value o)
+        | Ir.Binop (d, op, a, b') ->
+          Hashtbl.replace env d (binop op (value a) (value b'))
+        | Ir.Icmp (d, c, a, b') ->
+          let r = compare (value a) (value b') in
+          Hashtbl.replace env d (if Machine.Cond.holds c r then 1 else 0)
+        | Ir.Load (d, base, off) -> Hashtbl.replace env d (load st (value base + off))
+        | Ir.Store (v, base, off) -> store st (value base + off) (value v)
+        | Ir.Call (dopt, fn, args') ->
+          let r = call st fn (List.map value args') in
+          (match dopt with Some d -> Hashtbl.replace env d r | None -> ())
+        | Ir.Call_indirect (dopt, fn, args') -> (
+          let fa = value fn in
+          match func_by_addr st fa with
+          | Some f' ->
+            let r = exec_func st f' (List.map value args') in
+            (match dopt with Some d -> Hashtbl.replace env d r | None -> ())
+          | None -> raise (Err (Stuck "indirect call to non-function address")))
+        | Ir.Retain o ->
+          let p = value o in
+          if p <> 0 then store st p (load st p + 1)
+        | Ir.Release o ->
+          let p = value o in
+          if p <> 0 then store st p (load st p - 1)
+        | Ir.Alloc_object (d, meta, size) ->
+          let p = alloc st (max size 16) in
+          store st p 1;
+          store st (p + 8) (addr_of_symbol st meta);
+          Hashtbl.replace env d p
+        | Ir.Alloc_array (d, n) ->
+          let len = value n in
+          if len < 0 then raise (Err (Trap "negative array length"));
+          let p = alloc st ((len * 8) + 16) in
+          store st p 1;
+          store st (p + 8) len;
+          Hashtbl.replace env d p)
+      b.instrs;
+    step ();
+    match b.term with
+    | Ir.Ret o -> value o
+    | Ir.Br l -> goto b.label l
+    | Ir.Cond_br (o, a, b') -> if value o <> 0 then goto b.label a else goto b.label b'
+    | Ir.Unreachable -> raise (Err (Trap "unreachable executed"))
+  and goto from l =
+    match Hashtbl.find_opt by_label l with
+    | Some b -> run_block (Some from) b
+    | None -> raise (Err (Stuck ("branch to unknown label " ^ l)))
+  in
+  match f.blocks with
+  | [] -> raise (Err (Stuck ("empty function " ^ f.name)))
+  | entry :: _ -> run_block None entry
+
+let run ?(max_steps = 50_000_000) ?(args = []) ~entry (m : Ir.modul) =
+  let st =
+    {
+      modul = m;
+      mem = Hashtbl.create 4096;
+      global_addr = Hashtbl.create 64;
+      heap_ptr = heap_base;
+      output_rev = [];
+      steps = 0;
+      max_steps;
+    }
+  in
+  try
+    init_globals st;
+    match Ir.find_func m entry with
+    | None -> Error (Unknown_function entry)
+    | Some f ->
+      let v = exec_func st f args in
+      Ok { exit_value = v; output = List.rev st.output_rev; instrs_executed = st.steps }
+  with Err e -> Error e

@@ -1,0 +1,31 @@
+(** Reference interpreter for MIR modules.
+
+    Used as the semantic oracle for the code generator: a program's
+    observable behaviour (printed values and exit value) under this
+    evaluator must match the machine-code interpreter's behaviour after
+    lowering.  Heap object layout mirrors the machine runtime: objects are
+    [refcount; metadata; fields...], arrays are [refcount; length;
+    elements...], so field offsets agree across both interpreters. *)
+
+type result = {
+  exit_value : int;
+  output : int list;      (** values printed via [print_i64] *)
+  instrs_executed : int;
+}
+
+type error =
+  | Unknown_function of string
+  | Unknown_global of string
+  | Null_access
+  | Trap of string
+  | Step_limit_exceeded
+  | Stuck of string
+
+val error_to_string : error -> string
+
+val run :
+  ?max_steps:int ->
+  ?args:int list ->
+  entry:string ->
+  Ir.modul ->
+  (result, error) Stdlib.result

@@ -1,0 +1,215 @@
+type stats = {
+  groups : int;
+  funcs_merged : int;
+  instrs_saved : int;
+  merged_created : int;
+}
+
+(* Normalized key with immediates replaced by holes; returns the key and the
+   immediates in traversal order.  Phis and terminator operands keep their
+   immediates verbatim (holes there would need more plumbing than the
+   experiment warrants). *)
+let key_with_holes (f : Ir.func) =
+  let vmap = Hashtbl.create 64 and vnext = ref 0 in
+  let lmap = Hashtbl.create 16 and lnext = ref 0 in
+  let v x =
+    match Hashtbl.find_opt vmap x with
+    | Some i -> i
+    | None ->
+      let i = !vnext in
+      incr vnext;
+      Hashtbl.replace vmap x i;
+      i
+  in
+  let l x =
+    match Hashtbl.find_opt lmap x with
+    | Some i -> i
+    | None ->
+      let i = !lnext in
+      incr lnext;
+      Hashtbl.replace lmap x i;
+      i
+  in
+  List.iter (fun p -> ignore (v p)) f.Ir.params;
+  List.iter (fun (b : Ir.block) -> ignore (l b.label)) f.Ir.blocks;
+  let holes = ref [] in
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let op_hole = function
+    | Ir.V x -> "v" ^ string_of_int (v x)
+    | Ir.Imm n ->
+      holes := n :: !holes;
+      "?"
+    | Ir.Global g -> "@" ^ g
+    | Ir.Fn g -> "&" ^ g
+  in
+  let op_exact = function
+    | Ir.V x -> "v" ^ string_of_int (v x)
+    | Ir.Imm n -> "#" ^ string_of_int n
+    | Ir.Global g -> "@" ^ g
+    | Ir.Fn g -> "&" ^ g
+  in
+  add "params:%d;" (List.length f.Ir.params);
+  List.iter
+    (fun (b : Ir.block) ->
+      add "L%d:" (l b.label);
+      List.iter
+        (fun (p : Ir.phi) ->
+          add "phi v%d=" (v p.phi_dst);
+          List.iter (fun (lbl, o) -> add "[L%d %s]" (l lbl) (op_exact o)) p.incoming)
+        b.phis;
+      List.iter
+        (fun i ->
+          (match Ir.def_of_instr i with
+          | Some d -> add "v%d=" (v d)
+          | None -> ());
+          (match i with
+          | Ir.Assign (_, o) -> add "asn %s" (op_hole o)
+          | Ir.Binop (_, o2, a, b2) ->
+            let tag =
+              match o2 with
+              | Ir.Add -> "add" | Ir.Sub -> "sub" | Ir.Mul -> "mul"
+              | Ir.Div -> "div" | Ir.And -> "and" | Ir.Or -> "or"
+              | Ir.Xor -> "xor" | Ir.Shl -> "shl" | Ir.Lshr -> "lshr"
+              | Ir.Ashr -> "ashr"
+            in
+            add "bin.%s %s %s" tag (op_hole a) (op_hole b2)
+          | Ir.Icmp (_, c, a, b2) ->
+            add "icmp %s %s %s" (Machine.Cond.to_string c) (op_hole a) (op_hole b2)
+          | Ir.Load (_, base, off) -> add "ld %s %d" (op_exact base) off
+          | Ir.Store (x, base, off) ->
+            add "st %s %s %d" (op_hole x) (op_exact base) off
+          | Ir.Call (_, fn, args) ->
+            add "call %s" fn;
+            List.iter (fun a -> add " %s" (op_hole a)) args
+          | Ir.Call_indirect (_, fn, args) ->
+            add "calli %s" (op_exact fn);
+            List.iter (fun a -> add " %s" (op_hole a)) args
+          | Ir.Retain o -> add "retain %s" (op_exact o)
+          | Ir.Release o -> add "release %s" (op_exact o)
+          | Ir.Alloc_object (_, meta, size) -> add "alloco %s %d" meta size
+          | Ir.Alloc_array (_, n) -> add "alloca %s" (op_exact n));
+          add ";")
+        b.instrs;
+      (match b.term with
+      | Ir.Ret o -> add "ret %s" (op_exact o)
+      | Ir.Br lbl -> add "br L%d" (l lbl)
+      | Ir.Cond_br (o, a, b2) -> add "cbr %s L%d L%d" (op_exact o) (l a) (l b2)
+      | Ir.Unreachable -> add "unreachable");
+      add "|")
+    f.Ir.blocks;
+  (Buffer.contents buf, List.rev !holes)
+
+(* Rebuild a function body with its hole-immediates replaced by fresh
+   parameters, in the same traversal order as [key_with_holes]. *)
+let parameterize (f : Ir.func) ~merged_name =
+  let next = ref f.Ir.next_value in
+  let new_params = ref [] in
+  let sub = function
+    | Ir.Imm _ ->
+      let p = !next in
+      incr next;
+      new_params := p :: !new_params;
+      Ir.V p
+    | o -> o
+  in
+  let instr i =
+    match i with
+    | Ir.Assign (d, o) -> Ir.Assign (d, sub o)
+    | Ir.Binop (d, op, a, b) -> Ir.Binop (d, op, sub a, sub b)
+    | Ir.Icmp (d, c, a, b) -> Ir.Icmp (d, c, sub a, sub b)
+    | Ir.Load (_, _, _) -> i
+    | Ir.Store (x, base, off) -> Ir.Store (sub x, base, off)
+    | Ir.Call (d, fn, args) -> Ir.Call (d, fn, List.map sub args)
+    | Ir.Call_indirect (d, fn, args) -> Ir.Call_indirect (d, fn, List.map sub args)
+    | Ir.Retain _ | Ir.Release _ | Ir.Alloc_object _ | Ir.Alloc_array _ -> i
+  in
+  let blocks =
+    List.map
+      (fun (b : Ir.block) -> { b with Ir.instrs = List.map instr b.instrs })
+      f.Ir.blocks
+  in
+  {
+    f with
+    Ir.name = merged_name;
+    params = f.Ir.params @ List.rev !new_params;
+    blocks;
+    next_value = !next;
+  }
+
+let make_thunk (f : Ir.func) target extra_imms =
+  let ret = f.Ir.next_value in
+  let args =
+    List.map (fun p -> Ir.V p) f.Ir.params
+    @ List.map (fun n -> Ir.Imm n) extra_imms
+  in
+  {
+    f with
+    Ir.blocks =
+      [
+        {
+          Ir.label = "entry";
+          phis = [];
+          instrs = [ Ir.Call (Some ret, target, args) ];
+          term = Ir.Ret (Ir.V ret);
+        };
+      ];
+    next_value = ret + 1;
+  }
+
+let run ?(max_holes = 6) ?(min_instrs = 4) ?(keep = fun _ -> false)
+    (m : Ir.modul) =
+  let groups : (string, (Ir.func * int list) list) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  List.iter
+    (fun (f : Ir.func) ->
+      if Ir.instr_count f >= min_instrs && not (keep f) then begin
+        let key, holes = key_with_holes f in
+        if List.length holes <= max_holes then
+          let prev = Option.value ~default:[] (Hashtbl.find_opt groups key) in
+          Hashtbl.replace groups key ((f, holes) :: prev)
+      end)
+    m.funcs;
+  let replacements : (string, Ir.func) Hashtbl.t = Hashtbl.create 64 in
+  let created = ref [] in
+  let ngroups = ref 0 and merged = ref 0 and saved = ref 0 in
+  Hashtbl.iter
+    (fun _ members ->
+      match members with
+      | [] | [ _ ] -> ()
+      | members ->
+        (* All members share a hole-normalized shape with identical arity
+           and hole count.  If all hole vectors are equal, MergeFunctions
+           territory; still fine to merge here. *)
+        let members = List.rev members in
+        let base, _ = List.hd members in
+        incr ngroups;
+        let merged_name = Printf.sprintf "fmsa_merged_%s" base.Ir.name in
+        let merged_func = parameterize base ~merged_name in
+        created := merged_func :: !created;
+        List.iter
+          (fun ((f : Ir.func), holes) ->
+            let thunk = make_thunk f merged_name holes in
+            Hashtbl.replace replacements f.name thunk;
+            incr merged;
+            saved := !saved + Ir.instr_count f - Ir.instr_count thunk)
+          members;
+        saved := !saved - Ir.instr_count merged_func)
+    groups;
+  let funcs =
+    List.map
+      (fun (f : Ir.func) ->
+        match Hashtbl.find_opt replacements f.name with
+        | Some thunk -> thunk
+        | None -> f)
+      m.funcs
+    @ List.rev !created
+  in
+  ( { m with funcs },
+    {
+      groups = !ngroups;
+      funcs_merged = !merged;
+      instrs_saved = !saved;
+      merged_created = List.length !created;
+    } )

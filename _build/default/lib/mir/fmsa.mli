@@ -1,0 +1,28 @@
+(** The FMSA baseline (Function Merging by Sequence Alignment, Table I).
+
+    The published FMSA aligns arbitrary function pairs; our substitute
+    captures its essence at a fraction of the complexity (documented in
+    DESIGN.md): functions whose bodies are alpha-equivalent {e up to
+    immediate operands} are merged into one function that takes the
+    differing immediates as extra parameters; the originals become thunks
+    passing their literals.  This catches the "same code, different
+    constants" near-clones that exact MergeFunction misses, and like the
+    paper's measurement it recovers a little more than MergeFunction but
+    far less than machine outlining. *)
+
+type stats = {
+  groups : int;
+  funcs_merged : int;
+  instrs_saved : int;
+  merged_created : int;
+}
+
+val run :
+  ?max_holes:int ->
+  ?min_instrs:int ->
+  ?keep:(Ir.func -> bool) ->
+  Ir.modul ->
+  Ir.modul * stats
+(** [max_holes] bounds the number of differing immediates per group
+    (default 6); [min_instrs] skips functions too small to be worth a thunk
+    (default 4); [keep] exempts functions from being thunked. *)

@@ -1,0 +1,259 @@
+type value = int
+
+type operand =
+  | V of value
+  | Imm of int
+  | Global of string
+  | Fn of string
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Lshr
+  | Ashr
+
+type instr =
+  | Assign of value * operand
+  | Binop of value * binop * operand * operand
+  | Icmp of value * Machine.Cond.t * operand * operand
+  | Load of value * operand * int
+  | Store of operand * operand * int
+  | Call of value option * string * operand list
+  | Call_indirect of value option * operand * operand list
+  | Retain of operand
+  | Release of operand
+  | Alloc_object of value * string * int
+  | Alloc_array of value * operand
+
+type terminator =
+  | Ret of operand
+  | Br of string
+  | Cond_br of operand * string * string
+  | Unreachable
+
+type phi = {
+  phi_dst : value;
+  incoming : (string * operand) list;
+}
+
+type block = {
+  label : string;
+  phis : phi list;
+  instrs : instr list;
+  term : terminator;
+}
+
+type func = {
+  name : string;
+  params : value list;
+  blocks : block list;
+  next_value : value;
+  from_module : string;
+}
+
+type ginit =
+  | Gword of int
+  | Gsym of string
+
+type global = {
+  g_name : string;
+  g_init : ginit list;
+  g_module : string;
+}
+
+type flag_value =
+  | Packed of int
+  | Attrs of (string * int) list
+
+type modul = {
+  m_name : string;
+  funcs : func list;
+  globals : global list;
+  externs : string list;
+  flags : (string * flag_value) list;
+}
+
+let def_of_instr = function
+  | Assign (d, _)
+  | Binop (d, _, _, _)
+  | Icmp (d, _, _, _)
+  | Load (d, _, _)
+  | Alloc_object (d, _, _)
+  | Alloc_array (d, _) ->
+    Some d
+  | Call (d, _, _) | Call_indirect (d, _, _) -> d
+  | Store (_, _, _) | Retain _ | Release _ -> None
+
+let operands_of_instr = function
+  | Assign (_, o) -> [ o ]
+  | Binop (_, _, a, b) | Icmp (_, _, a, b) -> [ a; b ]
+  | Load (_, base, _) -> [ base ]
+  | Store (v, base, _) -> [ v; base ]
+  | Call (_, _, args) -> args
+  | Call_indirect (_, f, args) -> f :: args
+  | Retain o | Release o -> [ o ]
+  | Alloc_object (_, _, _) -> []
+  | Alloc_array (_, n) -> [ n ]
+
+let successors = function
+  | Ret _ | Unreachable -> []
+  | Br l -> [ l ]
+  | Cond_br (_, a, b) -> [ a; b ]
+
+let instr_count f =
+  List.fold_left
+    (fun acc b -> acc + List.length b.instrs + List.length b.phis + 1)
+    0 f.blocks
+
+let module_instr_count m =
+  List.fold_left (fun acc f -> acc + instr_count f) 0 m.funcs
+
+let find_func m name = List.find_opt (fun f -> String.equal f.name name) m.funcs
+let fresh f = (f.next_value, { f with next_value = f.next_value + 1 })
+
+let validate ?(require_ssa = true) (m : modul) =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let fnames = Hashtbl.create 64 in
+  let rec check_funcs = function
+    | [] -> Ok ()
+    | (f : func) :: rest ->
+      if Hashtbl.mem fnames f.name then err "duplicate function %s" f.name
+      else begin
+        Hashtbl.add fnames f.name ();
+        let labels = Hashtbl.create 16 in
+        List.iter (fun b -> Hashtbl.replace labels b.label ()) f.blocks;
+        let defined = Hashtbl.create 64 in
+        List.iter (fun p -> Hashtbl.replace defined p ()) f.params;
+        let dup = ref None in
+        let define v =
+          if Hashtbl.mem defined v && require_ssa then dup := Some v
+          else Hashtbl.replace defined v ()
+        in
+        List.iter
+          (fun b ->
+            List.iter (fun p -> define p.phi_dst) b.phis;
+            List.iter
+              (fun i -> match def_of_instr i with Some d -> define d | None -> ())
+              b.instrs)
+          f.blocks;
+        match !dup with
+        | Some v -> err "function %s: value %%%d defined twice" f.name v
+        | None ->
+          let bad_use = ref None in
+          let check_op o =
+            match o with
+            | V v when not (Hashtbl.mem defined v) -> bad_use := Some v
+            | V _ | Imm _ | Global _ | Fn _ -> ()
+          in
+          let bad_label = ref None in
+          List.iter
+            (fun b ->
+              List.iter
+                (fun p -> List.iter (fun (_, o) -> check_op o) p.incoming)
+                b.phis;
+              List.iter (fun i -> List.iter check_op (operands_of_instr i)) b.instrs;
+              (match b.term with
+              | Ret o -> check_op o
+              | Cond_br (o, _, _) -> check_op o
+              | Br _ | Unreachable -> ());
+              List.iter
+                (fun l -> if not (Hashtbl.mem labels l) then bad_label := Some l)
+                (successors b.term))
+            f.blocks;
+          (match (!bad_use, !bad_label) with
+          | Some v, _ -> err "function %s: use of undefined value %%%d" f.name v
+          | None, Some l -> err "function %s: branch to unknown label %s" f.name l
+          | None, None -> check_funcs rest)
+      end
+  in
+  check_funcs m.funcs
+
+(* Printing ---------------------------------------------------------------- *)
+
+let binop_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Lshr -> "lshr"
+  | Ashr -> "ashr"
+
+let pp_operand ppf = function
+  | V v -> Format.fprintf ppf "%%%d" v
+  | Imm n -> Format.fprintf ppf "%d" n
+  | Global g -> Format.fprintf ppf "@%s" g
+  | Fn f -> Format.fprintf ppf "&%s" f
+
+let pp_args ppf args =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    pp_operand ppf args
+
+let pp_instr ppf = function
+  | Assign (d, o) -> Format.fprintf ppf "%%%d = %a" d pp_operand o
+  | Binop (d, op, a, b) ->
+    Format.fprintf ppf "%%%d = %s %a, %a" d (binop_name op) pp_operand a
+      pp_operand b
+  | Icmp (d, c, a, b) ->
+    Format.fprintf ppf "%%%d = icmp %a %a, %a" d Machine.Cond.pp c pp_operand a
+      pp_operand b
+  | Load (d, base, off) ->
+    Format.fprintf ppf "%%%d = load [%a + %d]" d pp_operand base off
+  | Store (v, base, off) ->
+    Format.fprintf ppf "store %a, [%a + %d]" pp_operand v pp_operand base off
+  | Call (Some d, f, args) ->
+    Format.fprintf ppf "%%%d = call %s(%a)" d f pp_args args
+  | Call (None, f, args) -> Format.fprintf ppf "call %s(%a)" f pp_args args
+  | Call_indirect (Some d, f, args) ->
+    Format.fprintf ppf "%%%d = call_ind %a(%a)" d pp_operand f pp_args args
+  | Call_indirect (None, f, args) ->
+    Format.fprintf ppf "call_ind %a(%a)" pp_operand f pp_args args
+  | Retain o -> Format.fprintf ppf "retain %a" pp_operand o
+  | Release o -> Format.fprintf ppf "release %a" pp_operand o
+  | Alloc_object (d, meta, size) ->
+    Format.fprintf ppf "%%%d = alloc_object @%s, %d" d meta size
+  | Alloc_array (d, n) -> Format.fprintf ppf "%%%d = alloc_array %a" d pp_operand n
+
+let pp_term ppf = function
+  | Ret o -> Format.fprintf ppf "ret %a" pp_operand o
+  | Br l -> Format.fprintf ppf "br %s" l
+  | Cond_br (o, a, b) -> Format.fprintf ppf "br %a, %s, %s" pp_operand o a b
+  | Unreachable -> Format.pp_print_string ppf "unreachable"
+
+let pp_func ppf f =
+  Format.fprintf ppf "func %s(%a) {  ; module=%s@."
+    f.name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf v -> Format.fprintf ppf "%%%d" v))
+    f.params f.from_module;
+  List.iter
+    (fun b ->
+      Format.fprintf ppf "%s:@." b.label;
+      List.iter
+        (fun p ->
+          Format.fprintf ppf "  %%%d = phi %a@." p.phi_dst
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+               (fun ppf (l, o) -> Format.fprintf ppf "[%s: %a]" l pp_operand o))
+            p.incoming)
+        b.phis;
+      List.iter (fun i -> Format.fprintf ppf "  %a@." pp_instr i) b.instrs;
+      Format.fprintf ppf "  %a@." pp_term b.term)
+    f.blocks;
+  Format.fprintf ppf "}@."
+
+let pp_modul ppf m =
+  Format.fprintf ppf "module %s@." m.m_name;
+  List.iter (fun g -> Format.fprintf ppf "global @%s (%d words)@." g.g_name (List.length g.g_init)) m.globals;
+  List.iter (pp_func ppf) m.funcs

@@ -1,0 +1,111 @@
+type flag_semantics =
+  | Legacy
+  | Attributes
+
+type data_order =
+  | Interleaved
+  | Module_preserving
+
+type error =
+  | Flag_conflict of { flag : string; detail : string }
+  | Duplicate_symbol of string
+
+let error_to_string = function
+  | Flag_conflict { flag; detail } ->
+    Printf.sprintf "module flag conflict on %s: %s" flag detail
+  | Duplicate_symbol s -> "duplicate symbol: " ^ s
+
+let pack_objc_gc ~gc_mode ~compiler_id ~version =
+  (gc_mode land 0xff) lor ((compiler_id land 0xff) lsl 8)
+  lor ((version land 0xffff) lsl 16)
+
+let gc_mode_of_packed w = w land 0xff
+
+let attrs_of_flag = function
+  | Ir.Packed w -> [ ("gc_mode", gc_mode_of_packed w) ]
+  | Ir.Attrs a ->
+    (* Only semantically relevant attributes participate in comparison. *)
+    List.filter (fun (k, _) -> k = "gc_mode") a
+
+let merge_flag semantics name a b =
+  match semantics with
+  | Legacy ->
+    if a = b then Ok a
+    else
+      Error
+        (Flag_conflict
+           {
+             flag = name;
+             detail =
+               "legacy single-value comparison: values differ bit-for-bit \
+                (compiler identity/version bits included)";
+           })
+  | Attributes ->
+    let ka = attrs_of_flag a and kb = attrs_of_flag b in
+    if ka = kb then Ok (Ir.Attrs ka)
+    else
+      Error
+        (Flag_conflict
+           { flag = name; detail = "semantic attributes differ between modules" })
+
+let merge_flags semantics modules =
+  let out : (string * Ir.flag_value) list ref = ref [] in
+  let err = ref None in
+  List.iter
+    (fun (m : Ir.modul) ->
+      List.iter
+        (fun (name, v) ->
+          if !err = None then
+            match List.assoc_opt name !out with
+            | None -> out := !out @ [ (name, v) ]
+            | Some prev -> (
+              match merge_flag semantics name prev v with
+              | Ok merged ->
+                out :=
+                  List.map (fun (n, x) -> if n = name then (n, merged) else (n, x)) !out
+              | Error e -> err := Some e))
+        m.flags)
+    modules;
+  match !err with Some e -> Error e | None -> Ok !out
+
+(* A deterministic scatter: llvm-link pulls globals in an order unrelated to
+   their home module; we model that with a hash shuffle. *)
+let interleave globals =
+  let keyed =
+    List.map (fun (g : Ir.global) -> (Hashtbl.hash g.g_name, g)) globals
+  in
+  List.map snd (List.sort (fun (a, _) (b, _) -> Int.compare a b) keyed)
+
+let link ?(flag_semantics = Legacy) ?(data_order = Module_preserving) ~name
+    modules =
+  match merge_flags flag_semantics modules with
+  | Error e -> Error e
+  | Ok flags -> (
+    let funcs = List.concat_map (fun (m : Ir.modul) -> m.funcs) modules in
+    let globals = List.concat_map (fun (m : Ir.modul) -> m.globals) modules in
+    let seen = Hashtbl.create 1024 in
+    let dup = ref None in
+    List.iter
+      (fun (f : Ir.func) ->
+        if Hashtbl.mem seen f.name then dup := Some f.name
+        else Hashtbl.add seen f.name ())
+      funcs;
+    List.iter
+      (fun (g : Ir.global) ->
+        if Hashtbl.mem seen g.g_name then dup := Some g.g_name
+        else Hashtbl.add seen g.g_name ())
+      globals;
+    match !dup with
+    | Some s -> Error (Duplicate_symbol s)
+    | None ->
+      let globals =
+        match data_order with
+        | Module_preserving -> globals
+        | Interleaved -> interleave globals
+      in
+      let externs =
+        List.concat_map (fun (m : Ir.modul) -> m.externs) modules
+        |> List.sort_uniq String.compare
+        |> List.filter (fun e -> not (Hashtbl.mem seen e))
+      in
+      Ok { Ir.m_name = name; funcs; globals; externs; flags })

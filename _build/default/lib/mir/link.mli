@@ -1,0 +1,39 @@
+(** The [llvm-link] stand-in: merge many modules into one (§V-A), with the
+    two behaviours the paper had to engineer around:
+
+    - {b Module-flag conflicts} (§VI-2).  The "objc_gc" flag historically
+      packed the GC mode together with compiler identity/version bits into
+      a single word; linking a Swift-produced module with a Clang-produced
+      one then fails spuriously.  [`Attributes] semantics (the paper's
+      upstreamed fix) compares only the semantically relevant attribute.
+
+    - {b Data ordering} (§VI-3).  [`Interleaved] scatters globals from
+      different modules (as the original llvm-link did, destroying the
+      programmer's module-level data affinity and causing the 10%
+      production regression); [`Module_preserving] keeps each module's
+      globals contiguous (the paper's data-layout fix). *)
+
+type flag_semantics =
+  | Legacy
+  | Attributes
+
+type data_order =
+  | Interleaved
+  | Module_preserving
+
+type error =
+  | Flag_conflict of { flag : string; detail : string }
+  | Duplicate_symbol of string
+
+val error_to_string : error -> string
+
+(** Pack/unpack the legacy "objc_gc" word: gc mode in bits 0–7, compiler id
+    in bits 8–15, version in bits 16–31. *)
+val pack_objc_gc : gc_mode:int -> compiler_id:int -> version:int -> int
+
+val link :
+  ?flag_semantics:flag_semantics ->
+  ?data_order:data_order ->
+  name:string ->
+  Ir.modul list ->
+  (Ir.modul, error) result

@@ -1,0 +1,20 @@
+(** The MergeFunction baseline (Table I): collapse functions with
+    structurally identical bodies (alpha-equivalent values and labels) into
+    one, turning the duplicates into tail-call thunks.  On the UberRider app
+    this saved less than 0.9% — the point of the row is that IR-level
+    identity is far too coarse compared to machine-level repeats. *)
+
+type stats = {
+  groups : int;           (** duplicate groups found *)
+  funcs_merged : int;     (** functions replaced by thunks *)
+  instrs_saved : int;     (** IR instructions eliminated (net of thunks) *)
+}
+
+val normalize_key : Ir.func -> string
+(** Alpha-normalized rendering of a function body; equal keys = mergeable. *)
+
+val run :
+  ?min_instrs:int -> ?keep:(Ir.func -> bool) -> Ir.modul -> Ir.modul * stats
+(** [min_instrs] (default 8) skips functions too small for a thunk to pay
+    off; [keep f] exempts a function from being turned into a thunk (it may
+    still be the canonical representative); defaults to exempting none. *)

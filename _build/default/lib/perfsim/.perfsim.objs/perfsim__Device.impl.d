@@ -1,0 +1,1 @@
+lib/perfsim/device.ml: List

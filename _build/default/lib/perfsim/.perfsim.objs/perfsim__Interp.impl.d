@@ -1,0 +1,1 @@
+lib/perfsim/interp.ml: Array Block Cond Dataobj Device Hashtbl Icache Insn Linker List Machine Mfunc Option Printf Program Reg Tlb

@@ -1,0 +1,1 @@
+lib/perfsim/interp.mli: Device Machine Stdlib

@@ -1,0 +1,1 @@
+lib/perfsim/tlb.mli:

@@ -1,0 +1,17 @@
+(** Set-associative instruction cache with LRU replacement.  Outlining
+    shrinks the instruction footprint, and this model is how that shows up
+    as the performance *gain* the paper measures (§VII-B: "less icache and
+    iTLB pressure"). *)
+
+type t
+
+val create : size_bytes:int -> line_bytes:int -> assoc:int -> t
+(** [size_bytes] must be divisible by [line_bytes * assoc]. *)
+
+val access : t -> int -> bool
+(** [access t addr] touches the line containing [addr]; returns [true] on a
+    hit. *)
+
+val hits : t -> int
+val misses : t -> int
+val reset : t -> unit

@@ -1,0 +1,76 @@
+(** Machine-code interpreter with a cycle cost model.
+
+    Programs execute over the linker's address layout, so control transfers
+    (including branches to outlined functions and their returns) behave
+    exactly as on hardware: [BL] writes the return address into LR, [RET]
+    jumps to it, tail branches leave LR untouched.  This is what lets the
+    test suite prove that outlining preserves semantics, and what drives
+    the performance experiments (Figure 13, Tables III/IV).
+
+    The runtime symbols of our Swift-like language are built in:
+    [swift_retain], [swift_release], [swift_allocObject], [swift_allocArray],
+    [objc_retain], [objc_release], [swift_beginAccess], [swift_endAccess],
+    [print_i64], [swift_bounds_fail], [memcpy8]. *)
+
+type config = {
+  device : Device.t;
+  os : Device.os;
+  max_steps : int;
+  model_perf : bool;        (** feed caches/TLBs and accumulate cycles *)
+  unknown_extern : [ `Error | `Noop ];
+      (** [`Noop]: calls to unmodelled externs return 0 (useful for
+          structural tests on synthetic programs) *)
+  trace_ring : int;
+      (** when positive, keep a ring of the most recent program counters
+          and dump a symbolized trace to stderr if execution fails *)
+}
+
+val default_config : config
+
+type result = {
+  exit_value : int;          (** x0 at the final return *)
+  output : int list;         (** values passed to [print_i64], in order *)
+  steps : int;               (** instructions executed *)
+  outlined_steps : int;      (** of which inside outlined functions — the
+                                 paper reports ~3%% on UberRider *)
+  cycles : int;
+  icache_misses : int;
+  icache_accesses : int;
+  itlb_misses : int;
+  dtlb_misses : int;
+  data_pages_touched : int;
+  data_fault_cycles : int;
+  branches : int;
+  calls : int;
+}
+
+type error =
+  | Unknown_symbol of string
+  | Null_access
+  | Unaligned_access of int
+  | Bad_jump of int
+  | Step_limit_exceeded
+  | Trap of string           (** e.g. array bounds failure *)
+  | No_entry of string
+
+val error_to_string : error -> string
+
+val run :
+  ?config:config ->
+  ?args:int list ->
+  entry:string ->
+  Machine.Program.t ->
+  (result, error) Stdlib.result
+(** Link the program, place [args] in x0..x7, and execute [entry] to
+    completion. *)
+
+val run_with_backtrace :
+  ?config:config ->
+  ?args:int list ->
+  entry:string ->
+  Machine.Program.t ->
+  (result, error * string list) Stdlib.result
+(** Like {!run}, but failures carry the simulated call stack (innermost
+    first).  This reproduces the debuggability story of §VI-4: a crash
+    inside outlined code reports [OUTLINED_FUNCTION_…] as the leaf frame,
+    with the responsible feature function one level below. *)

@@ -1,0 +1,59 @@
+type t = {
+  entries : int;
+  page_bytes : int;
+  pages : int array;
+  ages : int array;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~entries ~page_bytes =
+  if entries <= 0 then invalid_arg "Tlb.create: entries must be positive";
+  {
+    entries;
+    page_bytes;
+    pages = Array.make entries (-1);
+    ages = Array.make entries 0;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let access t addr =
+  let page = addr / t.page_bytes in
+  t.clock <- t.clock + 1;
+  let hit = ref false in
+  (try
+     for i = 0 to t.entries - 1 do
+       if t.pages.(i) = page then begin
+         t.ages.(i) <- t.clock;
+         hit := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if !hit then begin
+    t.hits <- t.hits + 1;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    let victim = ref 0 in
+    for i = 1 to t.entries - 1 do
+      if t.ages.(i) < t.ages.(!victim) then victim := i
+    done;
+    t.pages.(!victim) <- page;
+    t.ages.(!victim) <- t.clock;
+    false
+  end
+
+let hits t = t.hits
+let misses t = t.misses
+
+let reset t =
+  Array.fill t.pages 0 t.entries (-1);
+  Array.fill t.ages 0 t.entries 0;
+  t.clock <- 0;
+  t.hits <- 0;
+  t.misses <- 0

@@ -1,0 +1,12 @@
+(** Fully-associative translation lookaside buffer with LRU replacement.
+    Used both as an iTLB (instruction fetch) and a dTLB (data access). *)
+
+type t
+
+val create : entries:int -> page_bytes:int -> t
+val access : t -> int -> bool
+(** Touch the page containing the address; [true] on hit. *)
+
+val hits : t -> int
+val misses : t -> int
+val reset : t -> unit

@@ -1,0 +1,165 @@
+type mode =
+  | Per_module
+  | Whole_program
+
+type config = {
+  mode : mode;
+  outline_rounds : int;
+  flag_semantics : Link.flag_semantics;
+  data_order : Link.data_order;
+  run_dce : bool;
+  run_sil_outline : bool;
+  run_merge_functions : bool;
+  run_fmsa : bool;
+  no_outline_modules : string list;
+  outlined_layout : [ `Append | `Caller_affinity ];
+  run_canonicalize : bool;
+}
+
+let default_config =
+  {
+    mode = Whole_program;
+    outline_rounds = 5;
+    flag_semantics = Link.Attributes;
+    data_order = Link.Module_preserving;
+    run_dce = true;
+    run_sil_outline = false;
+    run_merge_functions = false;
+    run_fmsa = false;
+    no_outline_modules = [ "system" ];
+    outlined_layout = `Append;
+    run_canonicalize = false;
+  }
+
+let default_ios_config = { default_config with mode = Per_module }
+
+type result = {
+  program : Machine.Program.t;
+  layout : Linker.layout;
+  binary_size : int;
+  code_size : int;
+  timings : (string * float) list;
+  outline_stats : Outcore.Outliner.round_stats list;
+}
+
+let timed timings name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  timings := (name, Unix.gettimeofday () -. t0) :: !timings;
+  r
+
+(* The "opt" stage: IR-level passes in a fixed order. *)
+let opt_module config (m : Ir.modul) =
+  let m = if config.run_dce then fst (Dce.run m) else m in
+  let m =
+    if config.run_sil_outline then fst (Swiftlet.Sil_outline.run ~min_occurrences:8 m)
+    else m
+  in
+  let keep (f : Ir.func) = String.equal f.Ir.name "main" in
+  let m =
+    if config.run_merge_functions then fst (Merge_functions.run ~keep m) else m
+  in
+  let m = if config.run_fmsa then fst (Fmsa.run ~keep m) else m in
+  m
+
+let outline_options ~scope =
+  { Outcore.Outliner.default_options with scope_name = scope }
+
+(* System-framework modules ship outside the app binary on a real device;
+   marking them no_outline keeps the outliner away, as §VII-B's execution
+   profile assumes. *)
+let mark_no_outline config (p : Machine.Program.t) =
+  if config.no_outline_modules = [] then p
+  else
+    Machine.Program.replace_funcs p
+      (List.map
+         (fun (f : Machine.Mfunc.t) ->
+           if List.mem f.Machine.Mfunc.from_module config.no_outline_modules then
+             { f with Machine.Mfunc.no_outline = true }
+           else f)
+         p.Machine.Program.funcs)
+
+let build ?(config = default_config) modules =
+  let timings = ref [] in
+  let outline_stats = ref [] in
+  try
+    let program =
+      match config.mode with
+      | Whole_program ->
+        (* llvm-link -> opt -> llc(+outliner over everything). *)
+        let merged =
+          timed timings "llvm-link" (fun () ->
+              match
+                Link.link ~flag_semantics:config.flag_semantics
+                  ~data_order:config.data_order ~name:"whole" modules
+              with
+              | Ok m -> m
+              | Error e -> failwith (Link.error_to_string e))
+        in
+        let optimized = timed timings "opt" (fun () -> opt_module config merged) in
+        let machine =
+          timed timings "llc" (fun () ->
+              mark_no_outline config (Codegen.compile_modul optimized))
+        in
+        if config.outline_rounds > 0 then
+          timed timings "machine-outliner" (fun () ->
+              let machine =
+                if config.run_canonicalize then fst (Outcore.Canonicalize.run machine)
+                else machine
+              in
+              let p, stats =
+                Outcore.Repeat.run
+                  ~options:(outline_options ~scope:"")
+                  ~rounds:config.outline_rounds machine
+              in
+              outline_stats := stats;
+              match config.outlined_layout with
+              | `Caller_affinity -> Outcore.Layout.optimize p
+              | `Append -> p)
+        else machine
+      | Per_module ->
+        (* Independent per-module compilation, then the system linker. *)
+        let units =
+          timed timings "compile-modules" (fun () ->
+              List.map
+                (fun (m : Ir.modul) ->
+                  let optimized = opt_module config m in
+                  let machine = mark_no_outline config (Codegen.compile_modul optimized) in
+                  if config.outline_rounds > 0 then begin
+                    let p, stats =
+                      Outcore.Repeat.run
+                        ~options:(outline_options ~scope:m.Ir.m_name)
+                        ~rounds:config.outline_rounds machine
+                    in
+                    outline_stats := !outline_stats @ stats;
+                    p
+                  end
+                  else machine)
+                modules)
+        in
+        timed timings "system-linker-merge" (fun () ->
+            let merged = Machine.Program.concat units in
+            match config.outlined_layout with
+            | `Caller_affinity when config.outline_rounds > 0 ->
+              Outcore.Layout.optimize merged
+            | `Caller_affinity | `Append -> merged)
+    in
+    (match Machine.Program.validate program with
+    | Ok () -> ()
+    | Error e -> failwith ("pipeline produced invalid program: " ^ e));
+    let layout = timed timings "system-linker" (fun () -> Linker.link program) in
+    Ok
+      {
+        program;
+        layout;
+        binary_size = Linker.binary_size layout;
+        code_size = layout.Linker.text_size;
+        timings = List.rev !timings;
+        outline_stats = !outline_stats;
+      }
+  with Failure e -> Error e
+
+let build_sources ?config sources =
+  match Swiftlet.Compile.compile_program sources with
+  | Error e -> Error e
+  | Ok modules -> build ?config modules

@@ -1,0 +1,1 @@
+lib/stats/percentile.ml: Array Float List

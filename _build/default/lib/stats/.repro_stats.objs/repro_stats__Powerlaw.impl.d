@@ -1,0 +1,1 @@
+lib/stats/powerlaw.ml: Float List Regression

@@ -1,0 +1,22 @@
+let percentile p samples =
+  if samples = [] then invalid_arg "Percentile.percentile: empty sample list";
+  if p < 0. || p > 100. then invalid_arg "Percentile.percentile: out of range";
+  let arr = Array.of_list samples in
+  Array.sort Float.compare arr;
+  let n = Array.length arr in
+  if n = 1 then arr.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
+  end
+
+let p50 samples = percentile 50. samples
+
+let geomean samples =
+  if samples = [] then invalid_arg "Percentile.geomean: empty sample list";
+  List.iter (fun s -> if s <= 0. then invalid_arg "Percentile.geomean: non-positive") samples;
+  let sum_logs = List.fold_left (fun a s -> a +. Float.log s) 0. samples in
+  Float.exp (sum_logs /. float_of_int (List.length samples))

@@ -1,0 +1,9 @@
+(** Percentiles, for the P50 span ratios of Figure 13. *)
+
+val percentile : float -> float list -> float
+(** [percentile 50. samples]; linear interpolation between ranks.  Raises
+    [Invalid_argument] on an empty list or a percentile outside [0, 100]. *)
+
+val p50 : float list -> float
+val geomean : float list -> float
+(** Geometric mean; inputs must be positive. *)

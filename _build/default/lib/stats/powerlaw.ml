@@ -1,0 +1,13 @@
+type fit = {
+  a : float;
+  b : float;
+  r2 : float;
+}
+
+let fit points =
+  let usable = List.filter (fun (x, y) -> x > 0. && y > 0.) points in
+  let logs = List.map (fun (x, y) -> (Float.log x, Float.log y)) usable in
+  let lin = Regression.linear logs in
+  { a = Float.exp lin.Regression.intercept; b = lin.Regression.slope; r2 = lin.Regression.r2 }
+
+let predict f x = f.a *. (x ** f.b)

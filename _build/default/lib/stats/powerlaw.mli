@@ -1,0 +1,14 @@
+(** Power-law fitting in log-log space, for Figure 5's claim that pattern
+    repetition frequency obeys y = a * x^b with 99.4% confidence. *)
+
+type fit = {
+  a : float;          (** scale *)
+  b : float;          (** exponent (negative for decaying frequency) *)
+  r2 : float;         (** of the log-log linear fit *)
+}
+
+val fit : (float * float) list -> fit
+(** Points must have strictly positive coordinates; others are dropped.
+    Raises [Invalid_argument] when fewer than two usable points remain. *)
+
+val predict : fit -> float -> float

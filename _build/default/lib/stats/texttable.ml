@@ -1,0 +1,19 @@
+let render ~header rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> width.(i) <- max width.(i) (String.length cell)) row)
+    all;
+  let pad i cell = cell ^ String.make (width.(i) - String.length cell) ' ' in
+  let line row = String.concat "  " (List.mapi pad row) in
+  let sep =
+    String.concat "  "
+      (List.mapi (fun i _ -> String.make width.(i) '-') header)
+  in
+  String.concat "\n" ((line header :: sep :: List.map line rows) @ [ "" ])
+
+let render_title t =
+  let bar = String.make (String.length t + 4) '=' in
+  Printf.sprintf "\n%s\n| %s |\n%s\n" bar t bar

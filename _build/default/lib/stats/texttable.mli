@@ -1,0 +1,7 @@
+(** Aligned plain-text tables for the benchmark harness output. *)
+
+val render : header:string list -> string list list -> string
+(** Columns are padded to the widest cell; the header is underlined. *)
+
+val render_title : string -> string
+(** A boxed section title. *)

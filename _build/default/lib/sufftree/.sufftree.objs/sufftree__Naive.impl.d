@@ -1,0 +1,1 @@
+lib/sufftree/naive.ml: Array Int List Map Stdlib Suffix_tree

@@ -1,0 +1,1 @@
+lib/sufftree/naive.mli: Suffix_tree

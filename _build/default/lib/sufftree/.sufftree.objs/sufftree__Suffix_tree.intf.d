@@ -1,0 +1,1 @@
+lib/sufftree/suffix_tree.mli:

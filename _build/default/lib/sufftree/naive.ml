@@ -1,0 +1,65 @@
+module Key = struct
+  type t = int list
+
+  let compare = Stdlib.compare
+end
+
+module M = Map.Make (Key)
+
+let sub_list s pos len =
+  let rec go i acc = if i < pos then acc else go (i - 1) (s.(i) :: acc) in
+  go (pos + len - 1) []
+
+(* Map each substring of length >= min_length to its occurrences, tagging
+   each occurrence with the symbol that follows it (or the sequence index as
+   a unique "end" marker) so right-maximality can be decided. *)
+let gather ?(min_length = 2) seqs =
+  let tbl = ref M.empty in
+  List.iteri
+    (fun si s ->
+      let n = Array.length s in
+      for pos = 0 to n - 1 do
+        for len = min_length to n - pos do
+          let key = sub_list s pos len in
+          let follower =
+            if pos + len < n then `Sym s.(pos + len) else `End si
+          in
+          let entry = ({ Suffix_tree.seq = si; pos }, follower) in
+          tbl :=
+            M.update key
+              (function None -> Some [ entry ] | Some l -> Some (entry :: l))
+              !tbl
+        done
+      done)
+    seqs;
+  !tbl
+
+let is_right_maximal entries =
+  match entries with
+  | [] | [ _ ] -> false
+  | (_, f) :: rest -> List.exists (fun (_, f') -> f' <> f) rest
+
+let repeats ?min_length seqs =
+  let tbl = gather ?min_length seqs in
+  M.fold
+    (fun key entries acc ->
+      if List.length entries >= 2 && is_right_maximal entries then
+        let occs =
+          List.sort
+            (fun (a : Suffix_tree.occurrence) b ->
+              match Int.compare a.seq b.seq with 0 -> Int.compare a.pos b.pos | c -> c)
+            (List.map fst entries)
+        in
+        (key, occs) :: acc
+      else acc)
+    tbl []
+  |> List.sort Stdlib.compare
+
+let all_repeated ?min_length seqs =
+  let tbl = gather ?min_length seqs in
+  M.fold
+    (fun key entries acc ->
+      let n = List.length entries in
+      if n >= 2 then (key, n) :: acc else acc)
+    tbl []
+  |> List.sort Stdlib.compare

@@ -1,0 +1,12 @@
+(** Quadratic reference implementation of repeated-substring discovery,
+    used to cross-check {!Suffix_tree} in property tests and to compare
+    against in the micro-benchmarks. *)
+
+val repeats :
+  ?min_length:int -> int array list -> (int list * Suffix_tree.occurrence list) list
+(** All right-maximal repeated substrings, as (symbols, occurrences), with
+    occurrences sorted; the result list is sorted for stable comparison. *)
+
+val all_repeated : ?min_length:int -> int array list -> (int list * int) list
+(** Every repeated substring (right-maximal or not) with its occurrence
+    count, sorted. *)

@@ -1,0 +1,38 @@
+(** Generalized suffix tree over integer sequences (Ukkonen's algorithm,
+    linear time).  This mirrors the data structure LLVM's MachineOutliner
+    uses to discover repeated machine-instruction sequences (§II-C).
+
+    Sequences are arrays of non-negative symbols; the builder inserts a
+    distinct negative sentinel after each sequence, so no reported repeat
+    ever spans two sequences. *)
+
+type t
+
+type occurrence = {
+  seq : int;  (** index of the input sequence *)
+  pos : int;  (** start offset within that sequence *)
+}
+
+type repeat = {
+  length : int;
+  occs : occurrence list;  (** at least two, in increasing text order *)
+}
+
+val build : int array list -> t
+(** Symbols must be [>= 0]; raises [Invalid_argument] otherwise. *)
+
+val repeats : ?min_length:int -> t -> repeat list
+(** All right-maximal repeated substrings of length [>= min_length]
+    (default 2) with every occurrence.  A substring is right-maximal when
+    two of its occurrences are followed by different symbols; every
+    repeated substring is a prefix of some right-maximal one. *)
+
+val contains : t -> int array -> bool
+(** Substring membership across all indexed sequences. *)
+
+val count_leaves : t -> int
+(** Total number of suffixes indexed (for testing). *)
+
+val substring_at : t -> occurrence -> int -> int array
+(** [substring_at t occ len] extracts the symbols of an occurrence (for
+    testing and debugging). *)

@@ -1,0 +1,1 @@
+lib/swiftlet/ast.ml: Format List String

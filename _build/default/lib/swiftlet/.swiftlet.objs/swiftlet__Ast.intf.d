@@ -1,0 +1,1 @@
+lib/swiftlet/ast.mli: Format

@@ -1,0 +1,1 @@
+lib/swiftlet/clone_detect.ml: Array Ast Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/swiftlet/clone_detect.mli: Ast

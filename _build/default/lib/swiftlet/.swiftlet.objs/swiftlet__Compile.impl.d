@@ -1,0 +1,1 @@
+lib/swiftlet/compile.ml: Ast List Lower Parser Printf Sigs String Typecheck

@@ -1,0 +1,1 @@
+lib/swiftlet/compile.mli: Ir Sigs

@@ -1,0 +1,1 @@
+lib/swiftlet/lexer.ml: List Printf String

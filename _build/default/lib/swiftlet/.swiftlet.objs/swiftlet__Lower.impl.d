@@ -1,0 +1,1 @@
+lib/swiftlet/lower.ml: Ast Builder Format Hashtbl Ir List Machine Option Printf Sigs String

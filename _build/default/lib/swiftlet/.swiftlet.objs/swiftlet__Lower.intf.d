@@ -1,0 +1,1 @@
+lib/swiftlet/lower.mli: Ast Ir Sigs

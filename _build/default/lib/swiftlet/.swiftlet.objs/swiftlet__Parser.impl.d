@@ -1,0 +1,1 @@
+lib/swiftlet/parser.ml: Ast Format Lexer List Printf

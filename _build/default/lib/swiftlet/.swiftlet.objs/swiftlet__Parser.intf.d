@@ -1,0 +1,1 @@
+lib/swiftlet/parser.mli: Ast

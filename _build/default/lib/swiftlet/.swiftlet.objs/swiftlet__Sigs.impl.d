@@ -1,0 +1,1 @@
+lib/swiftlet/sigs.ml: Ast Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/swiftlet/sigs.mli: Ast Hashtbl

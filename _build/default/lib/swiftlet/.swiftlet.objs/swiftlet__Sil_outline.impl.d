@@ -1,0 +1,1 @@
+lib/swiftlet/sil_outline.ml: Builder Hashtbl Ir List Option Printf

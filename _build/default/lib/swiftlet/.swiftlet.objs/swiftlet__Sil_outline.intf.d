@@ -1,0 +1,1 @@
+lib/swiftlet/sil_outline.mli: Ir

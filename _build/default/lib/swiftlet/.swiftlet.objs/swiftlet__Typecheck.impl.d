@@ -1,0 +1,1 @@
+lib/swiftlet/typecheck.ml: Ast Format List Option Sigs

@@ -1,0 +1,1 @@
+lib/swiftlet/typecheck.mli: Ast Sigs

@@ -1,0 +1,110 @@
+type ty =
+  | T_int
+  | T_bool
+  | T_array
+  | T_class of string
+  | T_func of ty list * ty
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | BAnd
+  | BOr
+  | BXor
+  | Shl
+  | Shr
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | LAnd
+  | LOr
+
+type expr =
+  | Int_lit of int
+  | Bool_lit of bool
+  | Var of string
+  | Binop of binop * expr * expr
+  | Neg of expr
+  | Not of expr
+  | Call of string * expr list
+  | Call_expr of expr * expr list
+  | Method_call of expr * string * expr list
+  | Field of expr * string
+  | Index of expr * expr
+  | Array_make of expr
+  | Array_len of expr
+  | Try of expr
+  | Try_opt of expr
+  | Closure of (string * ty) list * stmt list
+
+and stmt =
+  | Let of string * ty option * expr
+  | Assign of lvalue * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of string * expr * expr * stmt list
+  | Return of expr option
+  | Throw
+  | Print of expr
+  | Expr_stmt of expr
+
+and lvalue =
+  | L_var of string
+  | L_field of expr * string
+  | L_index of expr * expr
+
+type func_decl = {
+  fd_name : string;
+  fd_params : (string * ty) list;
+  fd_ret : ty option;
+  fd_throws : bool;
+  fd_body : stmt list;
+}
+
+type class_decl = {
+  cd_name : string;
+  cd_fields : (string * ty) list;
+  cd_init : func_decl option;
+  cd_methods : func_decl list;
+}
+
+type decl =
+  | D_func of func_decl
+  | D_class of class_decl
+
+type module_ast = {
+  ma_name : string;
+  ma_decls : decl list;
+}
+
+let rec ty_equal a b =
+  match a, b with
+  | T_int, T_int | T_bool, T_bool | T_array, T_array -> true
+  | T_class x, T_class y -> String.equal x y
+  | T_func (ps1, r1), T_func (ps2, r2) ->
+    List.length ps1 = List.length ps2
+    && List.for_all2 ty_equal ps1 ps2
+    && ty_equal r1 r2
+  | (T_int | T_bool | T_array | T_class _ | T_func _), _ -> false
+
+let is_ref_type = function
+  | T_array | T_class _ | T_func _ -> true
+  | T_int | T_bool -> false
+
+let rec pp_ty ppf = function
+  | T_int -> Format.pp_print_string ppf "Int"
+  | T_bool -> Format.pp_print_string ppf "Bool"
+  | T_array -> Format.pp_print_string ppf "[Int]"
+  | T_class c -> Format.pp_print_string ppf c
+  | T_func (ps, r) ->
+    Format.fprintf ppf "(%a) -> %a"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         pp_ty)
+      ps pp_ty r

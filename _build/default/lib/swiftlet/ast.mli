@@ -1,0 +1,93 @@
+(** Abstract syntax of Swiftlet, the small Swift-like language used to
+    reproduce the paper's source-level bloat mechanisms: reference-counted
+    classes, throwing initializers ([try]), closures passed to
+    specializable functions, and array-heavy decoding code. *)
+
+type ty =
+  | T_int
+  | T_bool
+  | T_array            (** [Int], reference-counted *)
+  | T_class of string  (** reference-counted instance *)
+  | T_func of ty list * ty
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | BAnd
+  | BOr
+  | BXor
+  | Shl
+  | Shr
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | LAnd
+  | LOr
+
+type expr =
+  | Int_lit of int
+  | Bool_lit of bool
+  | Var of string
+  | Binop of binop * expr * expr
+  | Neg of expr
+  | Not of expr
+  | Call of string * expr list          (** function call or constructor *)
+  | Call_expr of expr * expr list       (** calling a function-typed value *)
+  | Method_call of expr * string * expr list
+  | Field of expr * string
+  | Index of expr * expr                (** array indexing, bounds checked *)
+  | Array_make of expr                  (** [array(n)]: n zeroed elements *)
+  | Array_len of expr                   (** [len(a)] *)
+  | Try of expr                         (** propagate error (throwing context) *)
+  | Try_opt of expr                     (** [try?]: 0 on error, clears the flag *)
+  | Closure of (string * ty) list * stmt list  (** captures resolved in lowering *)
+
+and stmt =
+  | Let of string * ty option * expr
+  | Assign of lvalue * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of string * expr * expr * stmt list   (** for i in lo ..< hi *)
+  | Return of expr option
+  | Throw
+  | Print of expr
+  | Expr_stmt of expr
+
+and lvalue =
+  | L_var of string
+  | L_field of expr * string
+  | L_index of expr * expr
+
+type func_decl = {
+  fd_name : string;
+  fd_params : (string * ty) list;
+  fd_ret : ty option;
+  fd_throws : bool;
+  fd_body : stmt list;
+}
+
+type class_decl = {
+  cd_name : string;
+  cd_fields : (string * ty) list;
+  cd_init : func_decl option;      (** params/body; [self] is implicit *)
+  cd_methods : func_decl list;
+}
+
+type decl =
+  | D_func of func_decl
+  | D_class of class_decl
+
+type module_ast = {
+  ma_name : string;
+  ma_decls : decl list;
+}
+
+val ty_equal : ty -> ty -> bool
+val is_ref_type : ty -> bool
+val pp_ty : Format.formatter -> ty -> unit

@@ -1,0 +1,213 @@
+type report = {
+  functions : int;
+  clone_groups : int;
+  cloned_functions : int;
+  clone_fraction : float;
+  window_total : int;
+  window_repeated : int;
+  window_fraction : float;
+}
+
+let binop_token = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Mod -> "%"
+  | Ast.BAnd -> "&"
+  | Ast.BOr -> "|"
+  | Ast.BXor -> "^"
+  | Ast.Shl -> "<<"
+  | Ast.Shr -> ">>"
+  | Ast.Eq -> "=="
+  | Ast.Ne -> "!="
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.LAnd -> "&&"
+  | Ast.LOr -> "||"
+
+(* Serialize a function to a token stream.  With [abstract], identifiers
+   and literals become placeholders (type-2 normalization); otherwise they
+   are kept verbatim (type-1, CPD's default). *)
+let tokens_of_func ~abstract (fd : Ast.func_decl) =
+  let buf = ref [] in
+  let tok s = buf := s :: !buf in
+  let ident s = tok (if abstract then "ID" else s) in
+  let rec expr = function
+    | Ast.Int_lit n -> tok (if abstract then "LIT" else string_of_int n)
+    | Ast.Bool_lit b -> tok (if abstract then "LIT" else string_of_bool b)
+    | Ast.Var v -> ident v
+    | Ast.Binop (op, a, b) ->
+      tok "(";
+      expr a;
+      tok (binop_token op);
+      expr b;
+      tok ")"
+    | Ast.Neg a ->
+      tok "neg";
+      expr a
+    | Ast.Not a ->
+      tok "not";
+      expr a
+    | Ast.Call (f, args) ->
+      tok "call";
+      ident f;
+      List.iter expr args;
+      tok "endcall"
+    | Ast.Call_expr (f, args) ->
+      tok "calle";
+      expr f;
+      List.iter expr args;
+      tok "endcall"
+    | Ast.Method_call (r, mname, args) ->
+      tok "mcall";
+      expr r;
+      ident mname;
+      List.iter expr args;
+      tok "endcall"
+    | Ast.Field (r, fname) ->
+      tok "field";
+      expr r;
+      ident fname
+    | Ast.Index (a, i) ->
+      tok "index";
+      expr a;
+      expr i
+    | Ast.Array_make n ->
+      tok "array";
+      expr n
+    | Ast.Array_len a ->
+      tok "len";
+      expr a
+    | Ast.Try a ->
+      tok "try";
+      expr a
+    | Ast.Try_opt a ->
+      tok "tryq";
+      expr a
+    | Ast.Closure (ps, body) ->
+      tok "closure";
+      tok (string_of_int (List.length ps));
+      stmts body;
+      tok "endclosure"
+  and stmt = function
+    | Ast.Let (lname, _, e) ->
+      tok "let";
+      ident lname;
+      expr e
+    | Ast.Assign (lv, e) ->
+      tok "assign";
+      (match lv with
+      | Ast.L_var v -> ident v
+      | Ast.L_field (r, fname) ->
+        tok "field";
+        expr r;
+        ident fname
+      | Ast.L_index (a, i) ->
+        tok "index";
+        expr a;
+        expr i);
+      expr e
+    | Ast.If (c, a, b) ->
+      tok "if";
+      expr c;
+      tok "{";
+      stmts a;
+      tok "}else{";
+      stmts b;
+      tok "}"
+    | Ast.While (c, b) ->
+      tok "while";
+      expr c;
+      tok "{";
+      stmts b;
+      tok "}"
+    | Ast.For (v, lo, hi, b) ->
+      tok "for";
+      ident v;
+      expr lo;
+      expr hi;
+      tok "{";
+      stmts b;
+      tok "}"
+    | Ast.Return None -> tok "return"
+    | Ast.Return (Some e) ->
+      tok "return";
+      expr e
+    | Ast.Throw -> tok "throw"
+    | Ast.Print e ->
+      tok "print";
+      expr e
+    | Ast.Expr_stmt e ->
+      tok "expr";
+      expr e
+  and stmts l = List.iter stmt l in
+  tok (string_of_int (List.length fd.fd_params));
+  stmts fd.fd_body;
+  List.rev !buf
+
+let all_funcs (ms : Ast.module_ast list) =
+  List.concat_map
+    (fun (m : Ast.module_ast) ->
+      List.concat_map
+        (fun d ->
+          match d with
+          | Ast.D_func fd -> [ fd ]
+          | Ast.D_class cd ->
+            (match cd.cd_init with Some i -> [ i ] | None -> []) @ cd.cd_methods)
+        m.ma_decls)
+    ms
+
+let analyze ?(window = 24) ?(min_tokens = 50) ?(abstract = false) ms =
+  let funcs = all_funcs ms in
+  let streams =
+    List.filter
+      (fun s -> List.length s >= min_tokens)
+      (List.map (tokens_of_func ~abstract) funcs)
+  in
+  (* Whole-function clone groups. *)
+  let groups = Hashtbl.create 256 in
+  List.iter
+    (fun s ->
+      let key = String.concat " " s in
+      Hashtbl.replace groups key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt groups key)))
+    streams;
+  let clone_groups = ref 0 and cloned = ref 0 in
+  Hashtbl.iter
+    (fun _ n ->
+      if n >= 2 then begin
+        incr clone_groups;
+        cloned := !cloned + n
+      end)
+    groups;
+  (* Window-level partial clones. *)
+  let windows = Hashtbl.create 4096 in
+  let total = ref 0 in
+  List.iter
+    (fun s ->
+      let arr = Array.of_list s in
+      let n = Array.length arr in
+      for i = 0 to n - window do
+        incr total;
+        let key = Hashtbl.hash (Array.sub arr i window) in
+        Hashtbl.replace windows key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt windows key))
+      done)
+    streams;
+  let repeated = ref 0 in
+  Hashtbl.iter (fun _ n -> if n >= 2 then repeated := !repeated + n) windows;
+  let nfuncs = List.length streams in
+  {
+    functions = nfuncs;
+    clone_groups = !clone_groups;
+    cloned_functions = !cloned;
+    clone_fraction =
+      (if nfuncs = 0 then 0. else float_of_int !cloned /. float_of_int nfuncs);
+    window_total = !total;
+    window_repeated = !repeated;
+    window_fraction =
+      (if !total = 0 then 0. else float_of_int !repeated /. float_of_int !total);
+  }

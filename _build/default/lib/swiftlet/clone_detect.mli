@@ -1,0 +1,25 @@
+(** Source-level (AST) clone detection, the PMD/SourcererCC stand-in of
+    Table I.  Functions are serialized to normalized token streams
+    (identifiers and literals abstracted, type-2 clones); exact-duplicate
+    streams form clone groups and fixed-size token windows measure partial
+    clone coverage.  The paper found < 1% replication at this level — far
+    below what the machine level exposes. *)
+
+type report = {
+  functions : int;
+  clone_groups : int;           (** groups of >= 2 identical functions *)
+  cloned_functions : int;       (** members of such groups *)
+  clone_fraction : float;       (** cloned_functions / functions *)
+  window_total : int;           (** k-token windows over all functions *)
+  window_repeated : int;        (** windows occurring more than once *)
+  window_fraction : float;
+}
+
+val analyze :
+  ?window:int -> ?min_tokens:int -> ?abstract:bool -> Ast.module_ast list -> report
+(** [window] defaults to 24 tokens.  Functions shorter than [min_tokens]
+    (default 50, as in PMD/CPD's minimum tile) are ignored — otherwise
+    every synthesized accessor counts as a clone of every other.
+    [abstract] (default false, CPD's default) replaces identifiers and
+    literals with placeholders, finding type-2 clones instead of exact
+    (type-1) ones. *)

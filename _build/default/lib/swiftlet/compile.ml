@@ -1,0 +1,56 @@
+let compile_module ?externals ~name src =
+  match Parser.parse_module ~name src with
+  | Error e -> Error (Printf.sprintf "%s: parse error: %s" name e)
+  | Ok ast -> (
+    match Typecheck.check_module ?externals ast with
+    | Error e -> Error (Printf.sprintf "%s: type error: %s" name e)
+    | Ok env -> Ok (Lower.lower_module env ast))
+
+let signatures_of ~name src =
+  match Parser.parse_module ~name src with
+  | Error e -> Error (Printf.sprintf "%s: parse error: %s" name e)
+  | Ok ast -> (
+    match Sigs.build ast with
+    | Error e -> Error (Printf.sprintf "%s: %s" name e)
+    | Ok env ->
+      (* Only free functions are exported; constructors and methods remain
+         module-local. *)
+      let exported =
+        List.filter_map
+          (fun d ->
+            match d with
+            | Ast.D_func fd -> (
+              match Sigs.lookup_func env fd.Ast.fd_name with
+              | Some fs -> Some (fd.Ast.fd_name, fs)
+              | None -> None)
+            | Ast.D_class _ -> None)
+          ast.Ast.ma_decls
+      in
+      Ok exported)
+
+let compile_program sources =
+  (* First pass: gather exported signatures of every module. *)
+  let rec gather acc = function
+    | [] -> Ok (List.rev acc)
+    | (name, src) :: rest -> (
+      match signatures_of ~name src with
+      | Error e -> Error e
+      | Ok sigs -> gather ((name, sigs) :: acc) rest)
+  in
+  match gather [] sources with
+  | Error e -> Error e
+  | Ok per_module ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | (name, src) :: rest -> (
+        (* Imports: every other module's exports. *)
+        let externals =
+          List.concat_map
+            (fun (m, sigs) -> if String.equal m name then [] else sigs)
+            per_module
+        in
+        match compile_module ~externals ~name src with
+        | Error e -> Error e
+        | Ok m -> go (m :: acc) rest)
+    in
+    go [] sources

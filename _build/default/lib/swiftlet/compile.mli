@@ -1,0 +1,15 @@
+(** Front-end driver: source text to a MIR module. *)
+
+val compile_module :
+  ?externals:(string * Sigs.fsig) list ->
+  name:string ->
+  string ->
+  (Ir.modul, string) result
+(** Parse, type-check and lower one module. *)
+
+val compile_program :
+  (string * string) list ->
+  (Ir.modul list, string) result
+(** Compile a list of (module name, source) pairs.  Free functions of every
+    module are visible to all modules (mutual imports); classes stay
+    module-local. *)

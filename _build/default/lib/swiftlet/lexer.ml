@@ -1,0 +1,130 @@
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | COLON
+  | SEMI
+  | DOT
+  | ASSIGN
+  | ARROW
+  | RANGE
+  | OP of string
+  | QUESTION
+  | EOF
+
+type t = { tok : token; line : int }
+
+exception Lex_error of int * string
+
+let keywords =
+  [
+    "class"; "var"; "let"; "func"; "init"; "throws"; "throw"; "try"; "return";
+    "if"; "else"; "while"; "for"; "in"; "print"; "true"; "false"; "array";
+    "len";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 in
+  let push tok = out := { tok; line = !line } :: !out in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      push (INT (int_of_string (String.sub src start (!i - start))))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      if List.mem word keywords then push (KW word) else push (IDENT word)
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      let three = if !i + 2 < n then String.sub src !i 3 else "" in
+      if three = "..<" then begin
+        push RANGE;
+        i := !i + 3
+      end
+      else if two = "->" then begin
+        push ARROW;
+        i := !i + 2
+      end
+      else if two = "==" || two = "!=" || two = "<=" || two = ">=" || two = "&&"
+              || two = "||" || two = "<<" || two = ">>" then begin
+        push (OP two);
+        i := !i + 2
+      end
+      else begin
+        (match c with
+        | '{' -> push LBRACE
+        | '}' -> push RBRACE
+        | '(' -> push LPAREN
+        | ')' -> push RPAREN
+        | '[' -> push LBRACKET
+        | ']' -> push RBRACKET
+        | ',' -> push COMMA
+        | ':' -> push COLON
+        | ';' -> push SEMI
+        | '.' -> push DOT
+        | '=' -> push ASSIGN
+        | '?' -> push QUESTION
+        | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^' | '<' | '>' | '!' ->
+          push (OP (String.make 1 c))
+        | c -> raise (Lex_error (!line, Printf.sprintf "unexpected character %C" c)));
+        incr i
+      end
+    end
+  done;
+  push EOF;
+  List.rev !out
+
+let token_to_string = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | KW s -> s
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | COLON -> ":"
+  | SEMI -> ";"
+  | DOT -> "."
+  | ASSIGN -> "="
+  | ARROW -> "->"
+  | RANGE -> "..<"
+  | OP s -> s
+  | QUESTION -> "?"
+  | EOF -> "<eof>"

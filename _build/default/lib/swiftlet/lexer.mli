@@ -1,0 +1,33 @@
+(** Hand-written lexer for Swiftlet.  [//] comments run to end of line. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string         (** class, var, let, func, init, throws, throw, try,
+                             return, if, else, while, for, in, print, true,
+                             false, array, len *)
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | COLON
+  | SEMI
+  | DOT
+  | ASSIGN               (** [=] *)
+  | ARROW                (** [->] *)
+  | RANGE                (** [..<] *)
+  | OP of string         (** binary/unary operator spellings *)
+  | QUESTION
+  | EOF
+
+type t = { tok : token; line : int }
+
+exception Lex_error of int * string
+
+val tokenize : string -> t list
+(** Raises [Lex_error (line, message)] on invalid input. *)
+
+val token_to_string : token -> string

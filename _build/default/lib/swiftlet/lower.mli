@@ -1,0 +1,27 @@
+(** Lowering from Swiftlet AST to MIR (the SILGen + IRGen stages of
+    Figure 3, combined).  This pass plants — by faithful construction, not
+    by templating — the bloat mechanisms §IV of the paper dissects:
+
+    - automatic reference counting: retains on reference copies and field
+      stores, releases of owned locals at function exit (Listings 1–2);
+    - heap allocation through [swift_allocObject] with metadata and size
+      arguments (Listing 3);
+    - throwing initializers: every [try] gets a normal and an error block;
+      error blocks join in a cleanup block with one phi ("Init" flag) per
+      reference-typed property, whose out-of-SSA expansion is the O(N^2)
+      copy burst of Listing 11 / Figure 9;
+    - closure lifting plus per-call-site specialization of functions that
+      take closure arguments (the Listing 9 duplication);
+    - bounds-checked array indexing, each check a fresh compare-and-branch.
+
+    The error convention mirrors Swift's error register with a global flag:
+    a throwing function stores 1 to [swift_error] on the error path and 0
+    on success; [try] re-checks and propagates, [try?] clears and yields 0. *)
+
+val error_global : string
+(** ["swift_error"], an extern resolved by the linker. *)
+
+val lower_module : Sigs.t -> Ast.module_ast -> Ir.modul
+(** The input must have passed {!Typecheck.check_module} with the same
+    environment; lowering raises [Invalid_argument] on malformed input it
+    cannot make sense of. *)

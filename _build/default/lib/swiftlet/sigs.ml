@@ -1,0 +1,95 @@
+type fsig = {
+  fs_params : Ast.ty list;
+  fs_ret : Ast.ty;
+  fs_void : bool;
+  fs_throws : bool;
+}
+
+type class_info = {
+  ci_name : string;
+  ci_fields : (string * Ast.ty) list;
+  ci_init : Ast.func_decl option;
+  ci_methods : Ast.func_decl list;
+}
+
+type t = {
+  classes : (string, class_info) Hashtbl.t;
+  funcs : (string, fsig) Hashtbl.t;
+}
+
+let mangle_method cls m = cls ^ "_" ^ m
+let mangle_init cls = cls ^ "_init"
+
+let field_offset ci f =
+  let rec go i = function
+    | [] -> None
+    | (name, _) :: rest -> if String.equal name f then Some (16 + (8 * i)) else go (i + 1) rest
+  in
+  go 0 ci.ci_fields
+
+let object_size ci = 16 + (8 * List.length ci.ci_fields)
+
+let field_type ci f =
+  List.find_opt (fun (name, _) -> String.equal name f) ci.ci_fields
+  |> Option.map snd
+
+let fsig_of_decl (fd : Ast.func_decl) =
+  {
+    fs_params = List.map snd fd.fd_params;
+    fs_ret = (match fd.fd_ret with Some t -> t | None -> Ast.T_int);
+    fs_void = fd.fd_ret = None;
+    fs_throws = fd.fd_throws;
+  }
+
+let build ?(externals = []) (m : Ast.module_ast) =
+  let classes = Hashtbl.create 16 and funcs = Hashtbl.create 64 in
+  let err = ref None in
+  let set_err s = if !err = None then err := Some s in
+  List.iter (fun (name, fs) -> Hashtbl.replace funcs name fs) externals;
+  List.iter
+    (fun decl ->
+      match decl with
+      | Ast.D_func fd ->
+        if Hashtbl.mem funcs fd.fd_name then
+          set_err ("duplicate function " ^ fd.fd_name)
+        else Hashtbl.replace funcs fd.fd_name (fsig_of_decl fd)
+      | Ast.D_class cd ->
+        if Hashtbl.mem classes cd.cd_name then
+          set_err ("duplicate class " ^ cd.cd_name)
+        else begin
+          let ci =
+            {
+              ci_name = cd.cd_name;
+              ci_fields = cd.cd_fields;
+              ci_init = cd.cd_init;
+              ci_methods = cd.cd_methods;
+            }
+          in
+          Hashtbl.replace classes cd.cd_name ci;
+          (* The constructor is callable as the class name. *)
+          (match cd.cd_init with
+          | Some init ->
+            Hashtbl.replace funcs cd.cd_name
+              {
+                fs_params = List.map snd init.fd_params;
+                fs_ret = Ast.T_class cd.cd_name;
+                fs_void = false;
+                fs_throws = init.fd_throws;
+              }
+          | None ->
+            Hashtbl.replace funcs cd.cd_name
+              { fs_params = []; fs_ret = Ast.T_class cd.cd_name; fs_void = false; fs_throws = false });
+          (* Methods are callable under their mangled names with self first. *)
+          List.iter
+            (fun (md : Ast.func_decl) ->
+              let fs = fsig_of_decl md in
+              Hashtbl.replace funcs
+                (mangle_method cd.cd_name md.fd_name)
+                { fs with fs_params = Ast.T_class cd.cd_name :: fs.fs_params })
+            cd.cd_methods
+        end)
+    m.ma_decls;
+  match !err with Some e -> Error e | None -> Ok { classes; funcs }
+
+let lookup_func t name = Hashtbl.find_opt t.funcs name
+let lookup_class t name = Hashtbl.find_opt t.classes name

@@ -1,0 +1,44 @@
+(** Symbol environment shared by the type checker and the lowering pass:
+    function signatures (including constructors and mangled methods) and
+    class layouts. *)
+
+type fsig = {
+  fs_params : Ast.ty list;
+  fs_ret : Ast.ty;        (** [T_int] with [fs_void = true] for Void *)
+  fs_void : bool;
+  fs_throws : bool;
+}
+
+type class_info = {
+  ci_name : string;
+  ci_fields : (string * Ast.ty) list;
+  ci_init : Ast.func_decl option;
+  ci_methods : Ast.func_decl list;
+}
+
+type t = {
+  classes : (string, class_info) Hashtbl.t;
+  funcs : (string, fsig) Hashtbl.t;  (** free functions and mangled methods *)
+}
+
+val mangle_method : string -> string -> string
+(** [mangle_method "Order" "total"] is ["Order_total"]. *)
+
+val mangle_init : string -> string
+
+val field_offset : class_info -> string -> int option
+(** Byte offset of a field: header is [refcount; metadata], fields follow
+    at 16 + 8*index. *)
+
+val object_size : class_info -> int
+val field_type : class_info -> string -> Ast.ty option
+
+val build :
+  ?externals:(string * fsig) list ->
+  Ast.module_ast ->
+  (t, string) result
+(** Collect declarations; duplicate names are errors.  [externals] declares
+    functions defined in other modules. *)
+
+val lookup_func : t -> string -> fsig option
+val lookup_class : t -> string -> class_info option

@@ -1,0 +1,127 @@
+type stats = {
+  sites_rewritten : int;
+  helpers_created : int;
+}
+
+type shape =
+  | Retain_store of int   (* offset *)
+  | Load_release of int
+
+(* Count uses of each value in a function. *)
+let use_counts (f : Ir.func) =
+  let counts = Hashtbl.create 64 in
+  let use = function
+    | Ir.V v -> Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+    | Ir.Imm _ | Ir.Global _ | Ir.Fn _ -> ()
+  in
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter (fun (p : Ir.phi) -> List.iter (fun (_, o) -> use o) p.incoming) b.phis;
+      List.iter (fun i -> List.iter use (Ir.operands_of_instr i)) b.instrs;
+      match b.term with
+      | Ir.Ret o | Ir.Cond_br (o, _, _) -> use o
+      | Ir.Br _ | Ir.Unreachable -> ())
+    f.blocks;
+  counts
+
+let find_sites (f : Ir.func) =
+  let counts = use_counts f in
+  let sites = ref [] in
+  List.iter
+    (fun (b : Ir.block) ->
+      let rec scan idx = function
+        | Ir.Retain (Ir.V v) :: Ir.Store (Ir.V v', base, off) :: rest
+          when v = v' && (match base with Ir.V _ -> true | _ -> false) ->
+          sites := (f.name, b.label, idx, Retain_store off) :: !sites;
+          scan (idx + 2) rest
+        | Ir.Load (d, base, off) :: Ir.Release (Ir.V d') :: rest
+          when d = d'
+               && Option.value ~default:0 (Hashtbl.find_opt counts d) = 1
+               && (match base with Ir.V _ -> true | _ -> false) ->
+          sites := (f.name, b.label, idx, Load_release off) :: !sites;
+          scan (idx + 2) rest
+        | _ :: rest -> scan (idx + 1) rest
+        | [] -> ()
+      in
+      scan 0 b.instrs)
+    f.blocks;
+  !sites
+
+let helper_name = function
+  | Retain_store off -> Printf.sprintf "sil_outlined_retain_store_%d" off
+  | Load_release off -> Printf.sprintf "sil_outlined_load_release_%d" off
+
+let make_helper shape : Ir.func =
+  match shape with
+  | Retain_store off ->
+    let b = Builder.create ~name:(helper_name shape) ~nparams:2 () in
+    (match Builder.params b with
+    | [ v; base ] ->
+      Builder.retain b (Ir.V v);
+      Builder.store b (Ir.V v) (Ir.V base) off;
+      Builder.terminate b (Ir.Ret (Ir.Imm 0))
+    | _ -> assert false);
+    Builder.finish b
+  | Load_release off ->
+    let b = Builder.create ~name:(helper_name shape) ~nparams:1 () in
+    (match Builder.params b with
+    | [ base ] ->
+      let d = Builder.load b (Ir.V base) off in
+      Builder.release b (Ir.V d);
+      Builder.terminate b (Ir.Ret (Ir.Imm 0))
+    | _ -> assert false);
+    Builder.finish b
+
+let rewrite_func eligible (f : Ir.func) rewritten =
+  let counts = use_counts f in
+  let blocks =
+    List.map
+      (fun (b : Ir.block) ->
+        let rec go = function
+          | Ir.Retain (Ir.V v) :: Ir.Store (Ir.V v', base, off) :: rest
+            when v = v'
+                 && List.mem (Retain_store off) eligible
+                 && (match base with Ir.V _ -> true | _ -> false) ->
+            incr rewritten;
+            Ir.Call (None, helper_name (Retain_store off), [ Ir.V v; base ])
+            :: go rest
+          | Ir.Load (d, base, off) :: Ir.Release (Ir.V d') :: rest
+            when d = d'
+                 && List.mem (Load_release off) eligible
+                 && Option.value ~default:0 (Hashtbl.find_opt counts d) = 1
+                 && (match base with Ir.V _ -> true | _ -> false) ->
+            incr rewritten;
+            Ir.Call (None, helper_name (Load_release off), [ base ]) :: go rest
+          | x :: rest -> x :: go rest
+          | [] -> []
+        in
+        { b with Ir.instrs = go b.instrs })
+      f.blocks
+  in
+  { f with blocks }
+
+let run ?(min_occurrences = 3) ?(include_retain_store = false) (m : Ir.modul) =
+  let sites = List.concat_map find_sites m.funcs in
+  let by_shape = Hashtbl.create 16 in
+  List.iter
+    (fun (_, _, _, s) ->
+      Hashtbl.replace by_shape s
+        (1 + Option.value ~default:0 (Hashtbl.find_opt by_shape s)))
+    sites;
+  let eligible =
+    Hashtbl.fold
+      (fun s n acc ->
+        let allowed =
+          match s with Retain_store _ -> include_retain_store | Load_release _ -> true
+        in
+        if allowed && n >= min_occurrences then s :: acc else acc)
+      by_shape []
+  in
+  if eligible = [] then (m, { sites_rewritten = 0; helpers_created = 0 })
+  else begin
+    let rewritten = ref 0 in
+    let funcs = List.map (fun f -> rewrite_func eligible f rewritten) m.funcs in
+    let helpers = List.map make_helper eligible in
+    ( { m with funcs = funcs @ helpers },
+      { sites_rewritten = !rewritten; helpers_created = List.length helpers } )
+  end

@@ -1,0 +1,27 @@
+(** The SIL-level "Outlining" pass of Table I (Swift's SILOptimizer
+    outlines well-known copy/assignment/reference-counting shapes into
+    shared helpers).  Operating on our IR, it rewrites the two dominant
+    shapes:
+
+    - retain-and-store: [retain v; store v, \[base + off\]] becomes a call
+      to a per-offset helper;
+    - load-and-release: [d = load \[base + off\]; release d] (with [d]
+      otherwise unused) likewise.
+
+    As in the paper (0.41% on UberRider), the payoff is small: each
+    rewrite trades two IR instructions for a call, and only the shapes the
+    pass was taught are found — the motivation for going to machine-level
+    outlining. *)
+
+type stats = {
+  sites_rewritten : int;
+  helpers_created : int;
+}
+
+val run :
+  ?min_occurrences:int -> ?include_retain_store:bool -> Ir.modul -> Ir.modul * stats
+(** Helpers are only created for shapes occurring at least
+    [min_occurrences] times (default 3).  The retain-and-store shape breaks
+    even at the machine level (three instructions either way), so it is
+    disabled by default ([include_retain_store = false]); load-and-release
+    saves an instruction per site. *)

@@ -1,0 +1,285 @@
+exception Type_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+type ctx = {
+  env : Sigs.t;
+  locals : (string * Ast.ty) list;
+  throws : bool;             (* inside a throwing function *)
+  ret : Ast.ty option;       (* None = Void *)
+  in_func : string;
+}
+
+let lookup_local ctx name = List.assoc_opt name ctx.locals
+
+let rec infer ctx (e : Ast.expr) : Ast.ty =
+  match e with
+  | Ast.Int_lit _ -> Ast.T_int
+  | Ast.Bool_lit _ -> Ast.T_bool
+  | Ast.Var name -> (
+    match lookup_local ctx name with
+    | Some t -> t
+    | None -> (
+      (* A bare function name denotes a function value. *)
+      match Sigs.lookup_func ctx.env name with
+      | Some fs when not fs.fs_throws ->
+        Ast.T_func (fs.fs_params, fs.fs_ret)
+      | Some _ -> fail "throwing function %s cannot be used as a value" name
+      | None -> fail "unknown variable %s in %s" name ctx.in_func))
+  | Ast.Binop (op, a, b) -> (
+    let ta = infer ctx a and tb = infer ctx b in
+    match op with
+    | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.BAnd | Ast.BOr
+    | Ast.BXor | Ast.Shl | Ast.Shr ->
+      if ta = Ast.T_int && tb = Ast.T_int then Ast.T_int
+      else fail "arithmetic on non-Int in %s" ctx.in_func
+    | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+      if ta = Ast.T_int && tb = Ast.T_int then Ast.T_bool
+      else fail "comparison on non-Int in %s" ctx.in_func
+    | Ast.Eq | Ast.Ne ->
+      (* Scalar equality, or a null check: comparing a reference against an
+         Int (idiomatically 0, the result of a failed [try?]). *)
+      if
+        (Ast.ty_equal ta tb && not (Ast.is_ref_type ta))
+        || (Ast.is_ref_type ta && tb = Ast.T_int)
+        || (Ast.is_ref_type tb && ta = Ast.T_int)
+      then Ast.T_bool
+      else fail "equality needs matching scalar types in %s" ctx.in_func
+    | Ast.LAnd | Ast.LOr ->
+      if ta = Ast.T_bool && tb = Ast.T_bool then Ast.T_bool
+      else fail "logical operator on non-Bool in %s" ctx.in_func)
+  | Ast.Neg a ->
+    if infer ctx a = Ast.T_int then Ast.T_int
+    else fail "negation of non-Int in %s" ctx.in_func
+  | Ast.Not a ->
+    if infer ctx a = Ast.T_bool then Ast.T_bool
+    else fail "! on non-Bool in %s" ctx.in_func
+  | Ast.Call (name, args) -> snd (check_call ctx name args)
+  | Ast.Call_expr (f, args) -> (
+    match infer ctx f with
+    | Ast.T_func (ps, r) ->
+      check_args ctx ("closure in " ^ ctx.in_func) ps args;
+      r
+    | t -> fail "calling non-function value of type %a" Ast.pp_ty t)
+  | Ast.Method_call (recv, m, args) -> (
+    match infer ctx recv with
+    | Ast.T_class c -> (
+      let mangled = Sigs.mangle_method c m in
+      match Sigs.lookup_func ctx.env mangled with
+      | Some fs ->
+        if fs.fs_throws then
+          fail "throwing methods are not supported (%s.%s)" c m;
+        (match fs.fs_params with
+        | _self :: ps -> check_args ctx mangled ps args
+        | [] -> fail "method %s lost its self parameter" mangled);
+        fs.fs_ret
+      | None -> fail "class %s has no method %s" c m)
+    | t -> fail "method call on non-class value of type %a" Ast.pp_ty t)
+  | Ast.Field (recv, f) -> (
+    match infer ctx recv with
+    | Ast.T_class c -> (
+      let ci =
+        match Sigs.lookup_class ctx.env c with
+        | Some ci -> ci
+        | None -> fail "unknown class %s" c
+      in
+      match Sigs.field_type ci f with
+      | Some t -> t
+      | None -> fail "class %s has no field %s" c f)
+    | t -> fail "field access on non-class value of type %a" Ast.pp_ty t)
+  | Ast.Index (a, i) ->
+    if infer ctx a <> Ast.T_array then fail "indexing a non-array in %s" ctx.in_func;
+    if infer ctx i <> Ast.T_int then fail "non-Int array index in %s" ctx.in_func;
+    Ast.T_int
+  | Ast.Array_make n ->
+    if infer ctx n <> Ast.T_int then fail "array(n) needs an Int count";
+    Ast.T_array
+  | Ast.Array_len a ->
+    if infer ctx a <> Ast.T_array then fail "len() of a non-array";
+    Ast.T_int
+  | Ast.Try inner ->
+    if not ctx.throws then
+      fail "try outside a throwing function in %s (use try?)" ctx.in_func;
+    check_throwing ctx inner
+  | Ast.Try_opt inner -> check_throwing ctx inner
+  | Ast.Closure (params, body) ->
+    let inner_ctx =
+      { ctx with locals = params @ ctx.locals; throws = false; ret = None }
+    in
+    let ret = infer_closure_return inner_ctx body in
+    let ctx_body = { inner_ctx with ret = Some ret } in
+    check_stmts ctx_body body;
+    Ast.T_func (List.map snd params, ret)
+
+(* The expression under try/try? must be a call to a throwing function. *)
+and check_throwing ctx inner =
+  match inner with
+  | Ast.Call (name, args) -> (
+    match Sigs.lookup_func ctx.env name with
+    | Some fs when fs.fs_throws ->
+      check_args ctx name fs.fs_params args;
+      fs.fs_ret
+    | Some _ -> fail "try on a non-throwing call to %s" name
+    | None -> fail "unknown function %s" name)
+  | _ -> fail "try must wrap a call in %s" ctx.in_func
+
+and check_call ctx name args =
+  match Sigs.lookup_func ctx.env name with
+  | Some fs ->
+    if fs.fs_throws then
+      fail "call to throwing function %s must use try or try?" name;
+    check_args ctx name fs.fs_params args;
+    ((), fs.fs_ret)
+  | None -> (
+    (* Calling a local function-typed variable by name. *)
+    match lookup_local ctx name with
+    | Some (Ast.T_func (ps, r)) ->
+      check_args ctx name ps args;
+      ((), r)
+    | Some t -> fail "calling non-function %s of type %a" name Ast.pp_ty t
+    | None -> fail "unknown function %s in %s" name ctx.in_func)
+
+and check_args ctx name ps args =
+  if List.length ps <> List.length args then
+    fail "%s expects %d arguments, got %d" name (List.length ps) (List.length args);
+  List.iter2
+    (fun p a ->
+      let t = infer ctx a in
+      if not (Ast.ty_equal p t) then
+        fail "argument type mismatch calling %s: expected %a, got %a" name
+          Ast.pp_ty p Ast.pp_ty t)
+    ps args
+
+and infer_closure_return ctx body =
+  (* First Return with a value decides; otherwise Int.  Let bindings must
+     be threaded so the returned expression can mention them. *)
+  let found = ref None in
+  let rec scan ctx stmts =
+    List.fold_left
+      (fun ctx s ->
+        match s with
+        | Ast.Return (Some e) ->
+          if !found = None then found := Some (infer ctx e);
+          ctx
+        | Ast.Return None -> ctx
+        | Ast.Let (name, _, e) ->
+          { ctx with locals = (name, infer ctx e) :: ctx.locals }
+        | Ast.If (_, a, b) ->
+          ignore (scan ctx a);
+          ignore (scan ctx b);
+          ctx
+        | Ast.While (_, b) ->
+          ignore (scan ctx b);
+          ctx
+        | Ast.For (v, _, _, b) ->
+          ignore (scan { ctx with locals = (v, Ast.T_int) :: ctx.locals } b);
+          ctx
+        | Ast.Assign _ | Ast.Throw | Ast.Print _ | Ast.Expr_stmt _ -> ctx)
+      ctx stmts
+  in
+  ignore (scan ctx body);
+  Option.value ~default:Ast.T_int !found
+
+and check_stmts ctx stmts = ignore (List.fold_left check_stmt ctx stmts)
+
+and check_stmt ctx (s : Ast.stmt) : ctx =
+  match s with
+  | Ast.Let (name, ann, e) ->
+    let t = infer ctx e in
+    (match ann with
+    | Some a when not (Ast.ty_equal a t) ->
+      fail "let %s: annotation %a but initializer has type %a" name Ast.pp_ty a
+        Ast.pp_ty t
+    | Some _ | None -> ());
+    { ctx with locals = (name, t) :: ctx.locals }
+  | Ast.Assign (lv, e) ->
+    let te = infer ctx e in
+    let tl =
+      match lv with
+      | Ast.L_var v -> (
+        match lookup_local ctx v with
+        | Some t -> t
+        | None -> fail "assignment to unknown variable %s" v)
+      | Ast.L_field (recv, f) -> infer ctx (Ast.Field (recv, f))
+      | Ast.L_index (a, i) -> infer ctx (Ast.Index (a, i))
+    in
+    if not (Ast.ty_equal tl te) then
+      fail "assignment type mismatch in %s: %a := %a" ctx.in_func Ast.pp_ty tl
+        Ast.pp_ty te;
+    ctx
+  | Ast.If (c, a, b) ->
+    if infer ctx c <> Ast.T_bool then fail "if condition must be Bool in %s" ctx.in_func;
+    check_stmts ctx a;
+    check_stmts ctx b;
+    ctx
+  | Ast.While (c, b) ->
+    if infer ctx c <> Ast.T_bool then fail "while condition must be Bool in %s" ctx.in_func;
+    check_stmts ctx b;
+    ctx
+  | Ast.For (v, lo, hi, b) ->
+    if infer ctx lo <> Ast.T_int || infer ctx hi <> Ast.T_int then
+      fail "for bounds must be Int in %s" ctx.in_func;
+    check_stmts { ctx with locals = (v, Ast.T_int) :: ctx.locals } b;
+    ctx
+  | Ast.Return None ->
+    if ctx.ret <> None then fail "missing return value in %s" ctx.in_func;
+    ctx
+  | Ast.Return (Some e) -> (
+    match ctx.ret with
+    | None -> fail "return with value in Void function %s" ctx.in_func
+    | Some t ->
+      let te = infer ctx e in
+      if not (Ast.ty_equal t te) then
+        fail "return type mismatch in %s: expected %a, got %a" ctx.in_func
+          Ast.pp_ty t Ast.pp_ty te;
+      ctx)
+  | Ast.Throw ->
+    if not ctx.throws then fail "throw outside a throwing function in %s" ctx.in_func;
+    ctx
+  | Ast.Print e -> (
+    match infer ctx e with
+    | Ast.T_int | Ast.T_bool -> ctx
+    | t -> fail "print of non-scalar type %a" Ast.pp_ty t)
+  | Ast.Expr_stmt e ->
+    ignore (infer ctx e);
+    ctx
+
+let check_func env in_class (fd : Ast.func_decl) =
+  let locals =
+    match in_class with
+    | Some c -> ("self", Ast.T_class c) :: fd.fd_params
+    | None -> fd.fd_params
+  in
+  let ctx =
+    {
+      env;
+      locals;
+      throws = fd.fd_throws;
+      ret = fd.fd_ret;
+      in_func =
+        (match in_class with
+        | Some c -> c ^ "." ^ fd.fd_name
+        | None -> fd.fd_name);
+    }
+  in
+  check_stmts ctx fd.fd_body
+
+let check_module ?externals (m : Ast.module_ast) =
+  match Sigs.build ?externals m with
+  | Error e -> Error e
+  | Ok env -> (
+    try
+      List.iter
+        (fun decl ->
+          match decl with
+          | Ast.D_func fd -> check_func env None fd
+          | Ast.D_class cd ->
+            (match cd.cd_init with
+            | Some init ->
+              (* The initializer assigns fields and returns nothing. *)
+              check_func env (Some cd.cd_name) { init with fd_ret = None }
+            | None -> ());
+            List.iter (fun md -> check_func env (Some cd.cd_name) md) cd.cd_methods)
+        m.ma_decls;
+      Ok env
+    with Type_error e -> Error e)

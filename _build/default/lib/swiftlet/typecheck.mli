@@ -1,0 +1,12 @@
+(** Type checker for Swiftlet.
+
+    Checks name resolution, argument arity and types, field/method access,
+    array and closure usage, and the error-handling discipline: calls to
+    throwing functions must be marked [try] (inside throwing functions) or
+    [try?] (anywhere); [throw] may appear only in throwing functions. *)
+
+val check_module :
+  ?externals:(string * Sigs.fsig) list ->
+  Ast.module_ast ->
+  (Sigs.t, string) result
+(** On success returns the symbol environment for the lowering pass. *)

@@ -1,0 +1,1 @@
+lib/workload/appgen.ml: Array Buffer Ir Link List Printf Random String Swiftlet

@@ -1,0 +1,1 @@
+lib/workload/appgen.mli: Ir Stdlib

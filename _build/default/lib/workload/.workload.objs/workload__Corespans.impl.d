@@ -1,0 +1,1 @@
+lib/workload/corespans.ml: List Perfsim Repro_stats

@@ -1,0 +1,1 @@
+lib/workload/corespans.mli: Machine Perfsim Stdlib

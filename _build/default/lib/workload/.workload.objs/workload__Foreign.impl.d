@@ -1,0 +1,1 @@
+lib/workload/foreign.ml: Block Cond Dataobj Insn List Machine Mfunc Printf Program Random Reg

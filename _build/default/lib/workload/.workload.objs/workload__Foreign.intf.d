@@ -1,0 +1,1 @@
+lib/workload/foreign.mli: Machine

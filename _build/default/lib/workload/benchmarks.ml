@@ -1,0 +1,1384 @@
+type t = {
+  bench_name : string;
+  source : string;
+  expected_exit : int;
+}
+
+(* Shared PRNG snippet (LCG), spliced into benchmarks that need input data. *)
+let lcg_helper =
+  {|
+func lcg_next(seed: Int) -> Int {
+  return (seed * 1103515245 + 12345) % 2147483648
+}
+|}
+
+let bfs =
+  {|
+// Breadth-first search over a 6x6 grid; distance corner to corner.
+func idx(r: Int, c: Int) -> Int { return r * 6 + c }
+func main() -> Int {
+  let n = 36
+  let dist = array(n)
+  for i in 0 ..< n { dist[i] = 0 - 1 }
+  let queue = array(n)
+  var head = 0
+  var tail = 0
+  dist[0] = 0
+  queue[tail] = 0
+  tail = tail + 1
+  while head < tail {
+    let v = queue[head]
+    head = head + 1
+    let r = v / 6
+    let c = v % 6
+    // four neighbours
+    for d in 0 ..< 4 {
+      var nr = r
+      var nc = c
+      if d == 0 { nr = r - 1 }
+      if d == 1 { nr = r + 1 }
+      if d == 2 { nc = c - 1 }
+      if d == 3 { nc = c + 1 }
+      if nr >= 0 && nr < 6 && nc >= 0 && nc < 6 {
+        let w = idx(nr, nc)
+        if dist[w] < 0 {
+          dist[w] = dist[v] + 1
+          queue[tail] = w
+          tail = tail + 1
+        }
+      }
+    }
+  }
+  return dist[35]
+}
+|}
+
+let boyer_moore_horspool =
+  {|
+// Boyer-Moore-Horspool substring counting over integer alphabets.
+func main() -> Int {
+  let n = 50
+  let text = array(n)
+  for i in 0 ..< n { text[i] = i % 5 }
+  let m = 3
+  let pat = array(m)
+  pat[0] = 1 pat[1] = 2 pat[2] = 3
+  // bad-character shift table over alphabet 0..9
+  let shift = array(10)
+  for a in 0 ..< 10 { shift[a] = m }
+  for j in 0 ..< m - 1 { shift[pat[j]] = m - 1 - j }
+  var count = 0
+  var i = 0
+  while i <= n - m {
+    var j = m - 1
+    while j >= 0 && text[i + j] == pat[j] { j = j - 1 }
+    if j < 0 {
+      count = count + 1
+      i = i + 1
+    } else {
+      i = i + shift[text[i + m - 1]]
+    }
+  }
+  return count
+}
+|}
+
+let bucket_sort =
+  lcg_helper
+  ^ {|
+func main() -> Int {
+  let n = 100
+  let a = array(n)
+  var seed = 42
+  var total = 0
+  for i in 0 ..< n {
+    seed = lcg_next(seed)
+    a[i] = seed % 1000
+    total = total + a[i]
+  }
+  // ten buckets of 0..99, 100..199, ...
+  let counts = array(10)
+  let buckets = array(10 * n)
+  for i in 0 ..< n {
+    let b = a[i] / 100
+    buckets[b * n + counts[b]] = a[i]
+    counts[b] = counts[b] + 1
+  }
+  // insertion sort within each bucket, then concatenate
+  var out = 0
+  for b in 0 ..< 10 {
+    for i in 1 ..< counts[b] {
+      let v = buckets[b * n + i]
+      var j = i - 1
+      var moving = true
+      while j >= 0 && moving {
+        if buckets[b * n + j] > v {
+          buckets[b * n + j + 1] = buckets[b * n + j]
+          j = j - 1
+        } else { moving = false }
+      }
+      buckets[b * n + j + 1] = v
+    }
+    for i in 0 ..< counts[b] {
+      a[out] = buckets[b * n + i]
+      out = out + 1
+    }
+  }
+  // verify: ascending and sum preserved
+  var check = 0
+  for i in 0 ..< n { check = check + a[i] }
+  if check != total { return 0 }
+  for i in 1 ..< n {
+    if a[i - 1] > a[i] { return 0 }
+  }
+  return 1
+}
+|}
+
+let closest_pair =
+  {|
+// Quadratic closest pair (squared distance); a planted pair at distance 1.
+func main() -> Int {
+  let n = 22
+  let xs = array(n)
+  let ys = array(n)
+  for i in 0 ..< 20 {
+    xs[i] = i * 100
+    ys[i] = (i % 3) * 7
+  }
+  xs[20] = 1000 ys[20] = 500
+  xs[21] = 1001 ys[21] = 500
+  var best = 1000000000
+  for i in 0 ..< n {
+    for j in i + 1 ..< n {
+      let dx = xs[i] - xs[j]
+      let dy = ys[i] - ys[j]
+      let d = dx * dx + dy * dy
+      if d < best { best = d }
+    }
+  }
+  return best
+}
+|}
+
+let combinatorics =
+  {|
+// Pascal's triangle; C(20, 10).
+func main() -> Int {
+  let n = 21
+  let c = array(n * n)
+  for i in 0 ..< n {
+    c[i * n + 0] = 1
+    for j in 1 ..< i + 1 {
+      if j == i {
+        c[i * n + j] = 1
+      } else {
+        c[i * n + j] = c[(i - 1) * n + j - 1] + c[(i - 1) * n + j]
+      }
+    }
+  }
+  return c[20 * n + 10]
+}
+|}
+
+let counting_sort =
+  lcg_helper
+  ^ {|
+func main() -> Int {
+  let n = 200
+  let a = array(n)
+  var seed = 7
+  for i in 0 ..< n {
+    seed = lcg_next(seed)
+    a[i] = seed % 10
+  }
+  let counts = array(10)
+  for i in 0 ..< n { counts[a[i]] = counts[a[i]] + 1 }
+  let sorted = array(n)
+  var out = 0
+  for v in 0 ..< 10 {
+    for k in 0 ..< counts[v] {
+      sorted[out] = v
+      out = out + 1
+    }
+  }
+  // verify
+  if out != n { return 0 }
+  for i in 1 ..< n {
+    if sorted[i - 1] > sorted[i] { return 0 }
+  }
+  let counts2 = array(10)
+  for i in 0 ..< n { counts2[sorted[i]] = counts2[sorted[i]] + 1 }
+  for v in 0 ..< 10 {
+    if counts[v] != counts2[v] { return 0 }
+  }
+  return 1
+}
+|}
+
+let count_occurrences =
+  {|
+// Occurrences of a key in a sorted array via binary searches.
+func lower_bound(a: [Int], key: Int) -> Int {
+  var lo = 0
+  var hi = len(a)
+  while lo < hi {
+    let mid = (lo + hi) / 2
+    if a[mid] < key { lo = mid + 1 } else { hi = mid }
+  }
+  return lo
+}
+func upper_bound(a: [Int], key: Int) -> Int {
+  var lo = 0
+  var hi = len(a)
+  while lo < hi {
+    let mid = (lo + hi) / 2
+    if a[mid] <= key { lo = mid + 1 } else { hi = mid }
+  }
+  return lo
+}
+func main() -> Int {
+  let n = 100
+  let a = array(n)
+  for i in 0 ..< n { a[i] = i / 10 }
+  return upper_bound(a, 5) - lower_bound(a, 5)
+}
+|}
+
+let dfs =
+  {|
+// Iterative depth-first search; size of the component containing node 0.
+func main() -> Int {
+  // 12 nodes, adjacency matrix; component {0..6} is a path + extra edges,
+  // component {7..11} is a cycle.
+  let n = 12
+  let adj = array(n * n)
+  for i in 0 ..< 6 {
+    adj[i * n + i + 1] = 1
+    adj[(i + 1) * n + i] = 1
+  }
+  adj[0 * n + 3] = 1 adj[3 * n + 0] = 1
+  for i in 7 ..< 11 {
+    adj[i * n + i + 1] = 1
+    adj[(i + 1) * n + i] = 1
+  }
+  adj[11 * n + 7] = 1 adj[7 * n + 11] = 1
+  let seen = array(n)
+  let stack = array(n * n)
+  var sp = 0
+  stack[sp] = 0
+  sp = sp + 1
+  seen[0] = 1
+  var count = 0
+  while sp > 0 {
+    sp = sp - 1
+    let v = stack[sp]
+    count = count + 1
+    for w in 0 ..< n {
+      if adj[v * n + w] == 1 && seen[w] == 0 {
+        seen[w] = 1
+        stack[sp] = w
+        sp = sp + 1
+      }
+    }
+  }
+  return count
+}
+|}
+
+let dijkstra =
+  {|
+// Dijkstra on the classic 6-node example; shortest distance 0 -> 5 is 11.
+func main() -> Int {
+  let n = 6
+  let inf = 1000000000
+  let w = array(n * n)
+  for i in 0 ..< n * n { w[i] = inf }
+  // undirected edges
+  w[0 * n + 1] = 7  w[1 * n + 0] = 7
+  w[0 * n + 2] = 9  w[2 * n + 0] = 9
+  w[0 * n + 5] = 14 w[5 * n + 0] = 14
+  w[1 * n + 2] = 10 w[2 * n + 1] = 10
+  w[1 * n + 3] = 15 w[3 * n + 1] = 15
+  w[2 * n + 3] = 11 w[3 * n + 2] = 11
+  w[2 * n + 5] = 2  w[5 * n + 2] = 2
+  w[3 * n + 4] = 6  w[4 * n + 3] = 6
+  w[4 * n + 5] = 9  w[5 * n + 4] = 9
+  let dist = array(n)
+  let done_ = array(n)
+  for i in 0 ..< n { dist[i] = inf }
+  dist[0] = 0
+  for round in 0 ..< n {
+    // pick the unfinished node with the smallest distance
+    var best = 0 - 1
+    var bestd = inf + 1
+    for v in 0 ..< n {
+      if done_[v] == 0 && dist[v] < bestd {
+        best = v
+        bestd = dist[v]
+      }
+    }
+    if best >= 0 {
+      done_[best] = 1
+      for v in 0 ..< n {
+        if w[best * n + v] < inf {
+          let nd = dist[best] + w[best * n + v]
+          if nd < dist[v] { dist[v] = nd }
+        }
+      }
+    }
+  }
+  return dist[5]
+}
+|}
+
+let encode_decode_tree =
+  {|
+// Binary search tree, preorder-encoded with null markers and rebuilt.
+// Array-based nodes: key / left / right, index 0 unused (null).
+func bst_insert(key_: [Int], left: [Int], right: [Int], nnodes: [Int], k: Int) -> Int {
+  let fresh = nnodes[0] + 1
+  nnodes[0] = fresh
+  key_[fresh] = k
+  if fresh == 1 { return 0 }
+  var cur = 1
+  var placed = false
+  while !placed {
+    if k < key_[cur] {
+      if left[cur] == 0 { left[cur] = fresh placed = true } else { cur = left[cur] }
+    } else {
+      if right[cur] == 0 { right[cur] = fresh placed = true } else { cur = right[cur] }
+    }
+  }
+  return 0
+}
+func encode(key_: [Int], left: [Int], right: [Int], node: Int, out: [Int], pos: [Int]) -> Int {
+  if node == 0 {
+    out[pos[0]] = 0 - 1
+    pos[0] = pos[0] + 1
+    return 0
+  }
+  out[pos[0]] = key_[node]
+  pos[0] = pos[0] + 1
+  let a = encode(key_, left, right, left[node], out, pos)
+  let b = encode(key_, left, right, right[node], out, pos)
+  return a + b
+}
+// Decode a preorder stream back into arrays, then re-encode.
+func decode(stream: [Int], pos: [Int], key_: [Int], left: [Int], right: [Int], nnodes: [Int]) -> Int {
+  let v = stream[pos[0]]
+  pos[0] = pos[0] + 1
+  if v == 0 - 1 { return 0 }
+  let me = nnodes[0] + 1
+  nnodes[0] = me
+  key_[me] = v
+  left[me] = decode(stream, pos, key_, left, right, nnodes)
+  right[me] = decode(stream, pos, key_, left, right, nnodes)
+  return me
+}
+func main() -> Int {
+  let cap = 64
+  let key_ = array(cap)
+  let left = array(cap)
+  let right = array(cap)
+  let nnodes = array(1)
+  let keys = array(9)
+  keys[0] = 50 keys[1] = 30 keys[2] = 70 keys[3] = 20
+  keys[4] = 40 keys[5] = 60 keys[6] = 80 keys[7] = 35 keys[8] = 65
+  for i in 0 ..< 9 {
+    let ignored = bst_insert(key_, left, right, nnodes, keys[i])
+  }
+  let enc = array(2 * cap)
+  let pos = array(1)
+  let ignored2 = encode(key_, left, right, 1, enc, pos)
+  let encoded_len = pos[0]
+  // decode into a second tree
+  let k2 = array(cap)
+  let l2 = array(cap)
+  let r2 = array(cap)
+  let nn2 = array(1)
+  let dpos = array(1)
+  let root2 = decode(enc, dpos, k2, l2, r2, nn2)
+  // re-encode and compare
+  let enc2 = array(2 * cap)
+  let pos2 = array(1)
+  let ignored3 = encode(k2, l2, r2, root2, enc2, pos2)
+  if pos2[0] != encoded_len { return 0 }
+  for i in 0 ..< encoded_len {
+    if enc[i] != enc2[i] { return 0 }
+  }
+  return 1
+}
+|}
+
+let gcd =
+  {|
+// Sum of gcd(i, 36) for i in 1..36 (equals 168).
+func gcd(a: Int, b: Int) -> Int {
+  var x = a
+  var y = b
+  while y != 0 {
+    let t = x % y
+    x = y
+    y = t
+  }
+  return x
+}
+func main() -> Int {
+  var total = 0
+  for i in 1 ..< 37 {
+    total = total + gcd(i, 36)
+  }
+  return total
+}
+|}
+
+let hash_table =
+  {|
+// Open-addressing hash table with linear probing.
+func ht_insert(keys: [Int], used: [Int], k: Int) -> Int {
+  let cap = len(keys)
+  var slot = (k * 2654435761) % cap
+  if slot < 0 { slot = slot + cap }
+  while used[slot] == 1 && keys[slot] != k {
+    slot = (slot + 1) % cap
+  }
+  used[slot] = 1
+  keys[slot] = k
+  return slot
+}
+func ht_contains(keys: [Int], used: [Int], k: Int) -> Bool {
+  let cap = len(keys)
+  var slot = (k * 2654435761) % cap
+  if slot < 0 { slot = slot + cap }
+  var probes = 0
+  while used[slot] == 1 && probes < cap {
+    if keys[slot] == k { return true }
+    slot = (slot + 1) % cap
+    probes = probes + 1
+  }
+  return false
+}
+func main() -> Int {
+  let cap = 257
+  let keys = array(cap)
+  let used = array(cap)
+  for i in 0 ..< 50 {
+    let ignored = ht_insert(keys, used, i * 3)
+  }
+  var found = 0
+  for i in 0 ..< 100 {
+    if ht_contains(keys, used, i) { found = found + 1 }
+  }
+  return found
+}
+|}
+
+let huffman =
+  {|
+// Huffman coding cost by repeated min-merge (classic 5,9,12,13,16,45 -> 224).
+func main() -> Int {
+  let cap = 16
+  let weight = array(cap)
+  let alive = array(cap)
+  weight[0] = 5  weight[1] = 9  weight[2] = 12
+  weight[3] = 13 weight[4] = 16 weight[5] = 45
+  var count = 6
+  for i in 0 ..< count { alive[i] = 1 }
+  var total = 0
+  var remaining = count
+  while remaining > 1 {
+    // find two smallest
+    var m1 = 0 - 1
+    var m2 = 0 - 1
+    for i in 0 ..< count {
+      if alive[i] == 1 {
+        if m1 < 0 || weight[i] < weight[m1] {
+          m2 = m1
+          m1 = i
+        } else {
+          if m2 < 0 || weight[i] < weight[m2] { m2 = i }
+        }
+      }
+    }
+    let merged = weight[m1] + weight[m2]
+    total = total + merged
+    alive[m1] = 0
+    alive[m2] = 0
+    weight[count] = merged
+    alive[count] = 1
+    count = count + 1
+    remaining = remaining - 1
+  }
+  return total
+}
+|}
+
+let json =
+  {|
+// JSON-style decoding: a class with a throwing initializer reads 5 fields
+// per record; bad fields abort the record (the paper's Listing 10 idiom).
+func fetch(tokens: [Int], i: Int) throws -> Int {
+  let v = tokens[i]
+  if v < 0 { throw }
+  return v
+}
+class Msg {
+  var f0: Int
+  var f1: Int
+  var f2: Int
+  var f3: Int
+  var f4: Int
+  init(tokens: [Int], base: Int) throws {
+    self.f0 = try fetch(tokens, base)
+    self.f1 = try fetch(tokens, base + 1)
+    self.f2 = try fetch(tokens, base + 2)
+    self.f3 = try fetch(tokens, base + 3)
+    self.f4 = try fetch(tokens, base + 4)
+  }
+  func total() -> Int {
+    return self.f0 + self.f1 + self.f2 + self.f3 + self.f4
+  }
+}
+func main() -> Int {
+  let tokens = array(50)
+  for r in 0 ..< 10 {
+    for j in 0 ..< 5 {
+      tokens[r * 5 + j] = r + j
+    }
+  }
+  tokens[3 * 5 + 2] = 0 - 1
+  tokens[7 * 5 + 2] = 0 - 1
+  var sum = 0
+  var failures = 0
+  for r in 0 ..< 10 {
+    let m = try? Msg(tokens, r * 5)
+    if m == 0 {
+      failures = failures + 1
+    } else {
+      sum = sum + (m).total()
+    }
+  }
+  return sum + 1000 * failures
+}
+|}
+
+let kmp =
+  {|
+// Knuth-Morris-Pratt with failure function; overlapping matches counted.
+func main() -> Int {
+  let n = 16
+  let text = array(n)
+  for i in 0 ..< n { text[i] = i % 2 }
+  let m = 4
+  let pat = array(m)
+  pat[0] = 0 pat[1] = 1 pat[2] = 0 pat[3] = 1
+  let fail = array(m)
+  var k = 0
+  for q in 1 ..< m {
+    var kk = k
+    var settled = false
+    while kk > 0 && !settled {
+      if pat[kk] != pat[q] { kk = fail[kk - 1] } else { settled = true }
+    }
+    if pat[kk] == pat[q] { kk = kk + 1 }
+    fail[q] = kk
+    k = kk
+  }
+  var count = 0
+  var q = 0
+  for i in 0 ..< n {
+    var settled = false
+    while q > 0 && !settled {
+      if pat[q] != text[i] { q = fail[q - 1] } else { settled = true }
+    }
+    if pat[q] == text[i] { q = q + 1 }
+    if q == m {
+      count = count + 1
+      q = fail[q - 1]
+    }
+  }
+  return count
+}
+|}
+
+let lcs =
+  {|
+// Longest common subsequence length by dynamic programming.
+func main() -> Int {
+  let n = 10
+  let a = array(n)
+  let b = array(n)
+  for i in 0 ..< n { a[i] = i + 1 }
+  b[0] = 2 b[1] = 4 b[2] = 6 b[3] = 8 b[4] = 10
+  b[5] = 1 b[6] = 3 b[7] = 5 b[8] = 7 b[9] = 9
+  let dp = array((n + 1) * (n + 1))
+  for i in 1 ..< n + 1 {
+    for j in 1 ..< n + 1 {
+      if a[i - 1] == b[j - 1] {
+        dp[i * (n + 1) + j] = dp[(i - 1) * (n + 1) + j - 1] + 1
+      } else {
+        let up = dp[(i - 1) * (n + 1) + j]
+        let lf = dp[i * (n + 1) + j - 1]
+        if up > lf { dp[i * (n + 1) + j] = up } else { dp[i * (n + 1) + j] = lf }
+      }
+    }
+  }
+  return dp[n * (n + 1) + n]
+}
+|}
+
+let lru_cache =
+  {|
+// LRU cache over arrays: keys with recency timestamps, capacity 3.
+class Lru {
+  var keys: [Int]
+  var stamp: [Int]
+  var clock: Int
+  var size: Int
+  init(capacity: Int) {
+    self.keys = array(capacity)
+    self.stamp = array(capacity)
+    self.clock = 0
+    self.size = 0
+  }
+  func find(k: Int) -> Int {
+    for i in 0 ..< self.size {
+      if self.keys[i] == k { return i }
+    }
+    return 0 - 1
+  }
+  func get(k: Int) -> Bool {
+    let i = self.find(k)
+    if i < 0 { return false }
+    self.clock = self.clock + 1
+    self.stamp[i] = self.clock
+    return true
+  }
+  func put(k: Int) {
+    let i = self.find(k)
+    self.clock = self.clock + 1
+    if i >= 0 {
+      self.stamp[i] = self.clock
+      return
+    }
+    if self.size < len(self.keys) {
+      self.keys[self.size] = k
+      self.stamp[self.size] = self.clock
+      self.size = self.size + 1
+      return
+    }
+    // evict least recently used
+    var victim = 0
+    for j in 1 ..< self.size {
+      if self.stamp[j] < self.stamp[victim] { victim = j }
+    }
+    self.keys[victim] = k
+    self.stamp[victim] = self.clock
+  }
+}
+func main() -> Int {
+  let c = Lru(3)
+  var hits = 0
+  c.put(1)
+  c.put(2)
+  c.put(3)
+  if c.get(1) { hits = hits + 1 }   // hit
+  c.put(4)                          // evicts 2
+  if c.get(2) { hits = hits + 1 }   // miss
+  if c.get(3) { hits = hits + 1 }   // hit
+  if c.get(4) { hits = hits + 1 }   // hit
+  if c.get(1) { hits = hits + 1 }   // hit
+  return hits
+}
+|}
+
+let octree =
+  {|
+// Octree over a 64-cube; range query counts planted points and is checked
+// against a brute-force scan.
+func main() -> Int {
+  // Points on a 4x4x4 lattice spaced 10 apart.
+  let npts = 64
+  let px = array(npts)
+  let py = array(npts)
+  let pz = array(npts)
+  for i in 0 ..< npts {
+    px[i] = (i % 4) * 10
+    py[i] = ((i / 4) % 4) * 10
+    pz[i] = ((i / 16) % 4) * 10
+  }
+  // Simple octree: recursively subdivide by mid-planes until single point.
+  // Implemented iteratively per point with array node storage.
+  let cap = 4096
+  let child = array(cap * 8)   // child[node*8 + oct]
+  let leafpt = array(cap)      // point index + 1, 0 = internal/empty
+  let nn = array(1)
+  nn[0] = 1                    // node 1 = root (0 = null)
+  for p in 0 ..< npts {
+    var node = 1
+    var x0 = 0
+    var y0 = 0
+    var z0 = 0
+    var half = 32
+    var placed = false
+    while !placed {
+      if leafpt[node] == 0 && child[node * 8] == 0 && child[node * 8 + 1] == 0
+         && child[node * 8 + 2] == 0 && child[node * 8 + 3] == 0
+         && child[node * 8 + 4] == 0 && child[node * 8 + 5] == 0
+         && child[node * 8 + 6] == 0 && child[node * 8 + 7] == 0 {
+        leafpt[node] = p + 1
+        placed = true
+      } else {
+        // If this node is a leaf, push its point down first.
+        if leafpt[node] != 0 {
+          let q = leafpt[node] - 1
+          leafpt[node] = 0
+          var oq = 0
+          if px[q] >= x0 + half { oq = oq + 1 }
+          if py[q] >= y0 + half { oq = oq + 2 }
+          if pz[q] >= z0 + half { oq = oq + 4 }
+          nn[0] = nn[0] + 1
+          child[node * 8 + oq] = nn[0]
+          leafpt[nn[0]] = q + 1
+        }
+        var o = 0
+        var nx = x0
+        var ny = y0
+        var nz = z0
+        if px[p] >= x0 + half { o = o + 1 nx = x0 + half }
+        if py[p] >= y0 + half { o = o + 2 ny = y0 + half }
+        if pz[p] >= z0 + half { o = o + 4 nz = z0 + half }
+        if child[node * 8 + o] == 0 {
+          nn[0] = nn[0] + 1
+          child[node * 8 + o] = nn[0]
+        }
+        node = child[node * 8 + o]
+        x0 = nx
+        y0 = ny
+        z0 = nz
+        half = half / 2
+      }
+    }
+  }
+  // Range query: count points with all coordinates <= 15 (lattice 0,10).
+  var count = 0
+  for p in 0 ..< npts {
+    if px[p] <= 15 && py[p] <= 15 && pz[p] <= 15 { count = count + 1 }
+  }
+  // Verify against a tree walk: count leaves within the box via stack.
+  let stack = array(cap)
+  let sx = array(cap)
+  let sy = array(cap)
+  let sz = array(cap)
+  let sh = array(cap)
+  var sp = 0
+  stack[sp] = 1 sx[sp] = 0 sy[sp] = 0 sz[sp] = 0 sh[sp] = 32
+  sp = sp + 1
+  var walked = 0
+  while sp > 0 {
+    sp = sp - 1
+    let node = stack[sp]
+    let x0 = sx[sp]
+    let y0 = sy[sp]
+    let z0 = sz[sp]
+    let half = sh[sp]
+    if x0 <= 15 && y0 <= 15 && z0 <= 15 {
+      if leafpt[node] != 0 {
+        let q = leafpt[node] - 1
+        if px[q] <= 15 && py[q] <= 15 && pz[q] <= 15 { walked = walked + 1 }
+      }
+      for o in 0 ..< 8 {
+        if child[node * 8 + o] != 0 {
+          var nx = x0
+          var ny = y0
+          var nz = z0
+          if o % 2 == 1 { nx = x0 + half }
+          if (o / 2) % 2 == 1 { ny = y0 + half }
+          if (o / 4) % 2 == 1 { nz = z0 + half }
+          stack[sp] = child[node * 8 + o]
+          sx[sp] = nx sy[sp] = ny sz[sp] = nz sh[sp] = half / 2
+          sp = sp + 1
+        }
+      }
+    }
+  }
+  if walked != count { return 0 - walked }
+  return count
+}
+|}
+
+let quick_sort =
+  lcg_helper
+  ^ {|
+func quicksort(a: [Int], lo: Int, hi: Int) -> Int {
+  if lo >= hi { return 0 }
+  let pivot = a[(lo + hi) / 2]
+  var i = lo
+  var j = hi
+  while i <= j {
+    while a[i] < pivot { i = i + 1 }
+    while a[j] > pivot { j = j - 1 }
+    if i <= j {
+      let t = a[i]
+      a[i] = a[j]
+      a[j] = t
+      i = i + 1
+      j = j - 1
+    }
+  }
+  let x = quicksort(a, lo, j)
+  let y = quicksort(a, i, hi)
+  return x + y
+}
+func main() -> Int {
+  let n = 300
+  let a = array(n)
+  var seed = 99
+  var total = 0
+  for i in 0 ..< n {
+    seed = lcg_next(seed)
+    a[i] = seed % 10000
+    total = total + a[i]
+  }
+  let ignored = quicksort(a, 0, n - 1)
+  var check = 0
+  for i in 0 ..< n { check = check + a[i] }
+  if check != total { return 0 }
+  for i in 1 ..< n {
+    if a[i - 1] > a[i] { return 0 }
+  }
+  return 1
+}
+|}
+
+let red_black_tree =
+  {|
+// Red-black tree insertion with rotations and recoloring; array-based
+// nodes (0 = nil, colour 0 = black, 1 = red).
+func rotate_left(key_: [Int], left: [Int], right: [Int], parent: [Int], rootbox: [Int], x: Int) {
+  let y = right[x]
+  right[x] = left[y]
+  if left[y] != 0 { parent[left[y]] = x }
+  parent[y] = parent[x]
+  if parent[x] == 0 {
+    rootbox[0] = y
+  } else {
+    if x == left[parent[x]] { left[parent[x]] = y } else { right[parent[x]] = y }
+  }
+  left[y] = x
+  parent[x] = y
+}
+func rotate_right(key_: [Int], left: [Int], right: [Int], parent: [Int], rootbox: [Int], x: Int) {
+  let y = left[x]
+  left[x] = right[y]
+  if right[y] != 0 { parent[right[y]] = x }
+  parent[y] = parent[x]
+  if parent[x] == 0 {
+    rootbox[0] = y
+  } else {
+    if x == right[parent[x]] { right[parent[x]] = y } else { left[parent[x]] = y }
+  }
+  right[y] = x
+  parent[x] = y
+}
+func rb_insert(key_: [Int], left: [Int], right: [Int], parent: [Int], colour: [Int],
+               rootbox: [Int], nn: [Int], k: Int) {
+  nn[0] = nn[0] + 1
+  let z = nn[0]
+  key_[z] = k
+  colour[z] = 1
+  var y = 0
+  var x = rootbox[0]
+  while x != 0 {
+    y = x
+    if k < key_[x] { x = left[x] } else { x = right[x] }
+  }
+  parent[z] = y
+  if y == 0 {
+    rootbox[0] = z
+  } else {
+    if k < key_[y] { left[y] = z } else { right[y] = z }
+  }
+  // fix-up
+  var cur = z
+  while cur != rootbox[0] && colour[parent[cur]] == 1 {
+    let p = parent[cur]
+    let g = parent[p]
+    if p == left[g] {
+      let u = right[g]
+      if colour[u] == 1 && u != 0 {
+        colour[p] = 0
+        colour[u] = 0
+        colour[g] = 1
+        cur = g
+      } else {
+        if cur == right[p] {
+          cur = p
+          rotate_left(key_, left, right, parent, rootbox, cur)
+        }
+        colour[parent[cur]] = 0
+        colour[parent[parent[cur]]] = 1
+        rotate_right(key_, left, right, parent, rootbox, parent[parent[cur]])
+      }
+    } else {
+      let u = left[g]
+      if colour[u] == 1 && u != 0 {
+        colour[p] = 0
+        colour[u] = 0
+        colour[g] = 1
+        cur = g
+      } else {
+        if cur == left[p] {
+          cur = p
+          rotate_right(key_, left, right, parent, rootbox, cur)
+        }
+        colour[parent[cur]] = 0
+        colour[parent[parent[cur]]] = 1
+        rotate_left(key_, left, right, parent, rootbox, parent[parent[cur]])
+      }
+    }
+  }
+  colour[rootbox[0]] = 0
+}
+// Validate: inorder sorted, no red-red edge, equal black heights.
+func black_height(left: [Int], right: [Int], colour: [Int], node: Int) -> Int {
+  if node == 0 { return 1 }
+  let lh = black_height(left, right, colour, left[node])
+  let rh = black_height(left, right, colour, right[node])
+  if lh == 0 || rh == 0 { return 0 }
+  if lh != rh { return 0 }
+  if colour[node] == 0 { return lh + 1 }
+  return lh
+}
+func red_red(left: [Int], right: [Int], colour: [Int], node: Int) -> Int {
+  if node == 0 { return 0 }
+  var bad = 0
+  if colour[node] == 1 {
+    if left[node] != 0 && colour[left[node]] == 1 { bad = 1 }
+    if right[node] != 0 && colour[right[node]] == 1 { bad = 1 }
+  }
+  return bad + red_red(left, right, colour, left[node])
+             + red_red(left, right, colour, right[node])
+}
+func inorder_ok(key_: [Int], left: [Int], right: [Int], node: Int, state: [Int]) -> Int {
+  if node == 0 { return 1 }
+  if inorder_ok(key_, left, right, left[node], state) == 0 { return 0 }
+  if state[0] >= key_[node] { return 0 }
+  state[0] = key_[node]
+  state[1] = state[1] + 1
+  return inorder_ok(key_, left, right, right[node], state)
+}
+func main() -> Int {
+  let cap = 128
+  let key_ = array(cap)
+  let left = array(cap)
+  let right = array(cap)
+  let parent = array(cap)
+  let colour = array(cap)
+  let rootbox = array(1)
+  let nn = array(1)
+  // insert a mixed sequence of 50 keys
+  for i in 0 ..< 50 {
+    rb_insert(key_, left, right, parent, colour, rootbox, nn, (i * 37) % 101)
+  }
+  if red_red(left, right, colour, rootbox[0]) != 0 { return 0 }
+  if black_height(left, right, colour, rootbox[0]) == 0 { return 0 }
+  let state = array(2)
+  state[0] = 0 - 1
+  if inorder_ok(key_, left, right, rootbox[0], state) == 0 { return 0 }
+  if state[1] != 50 { return 0 }
+  return 1
+}
+|}
+
+let run_length_encoding =
+  {|
+// Run-length encode then decode; round trip must match.
+func main() -> Int {
+  let n = 120
+  let a = array(n)
+  for i in 0 ..< n { a[i] = (i / 7) % 4 }
+  let runs_v = array(n)
+  let runs_c = array(n)
+  var nr = 0
+  var i = 0
+  while i < n {
+    let v = a[i]
+    var j = i
+    while j < n && a[j] == v { j = j + 1 }
+    runs_v[nr] = v
+    runs_c[nr] = j - i
+    nr = nr + 1
+    i = j
+  }
+  // decode
+  let b = array(n)
+  var out = 0
+  for r in 0 ..< nr {
+    for k in 0 ..< runs_c[r] {
+      b[out] = runs_v[r]
+      out = out + 1
+    }
+  }
+  if out != n { return 0 }
+  for k in 0 ..< n {
+    if a[k] != b[k] { return 0 }
+  }
+  return nr
+}
+|}
+
+let simulated_annealing =
+  lcg_helper
+  ^ {|
+// Deterministic "annealing" minimizing (x - 37)^2 over 0..100.
+func cost(x: Int) -> Int {
+  return (x - 37) * (x - 37)
+}
+func main() -> Int {
+  var x = 90
+  var best = x
+  var seed = 12345
+  var temp = 6400
+  while temp > 0 {
+    seed = lcg_next(seed)
+    var cand = x + seed % 21 - 10
+    if cand < 0 { cand = 0 }
+    if cand > 100 { cand = 100 }
+    let dc = cost(cand) - cost(x)
+    // accept improvements always; accept worsening moves while hot
+    seed = lcg_next(seed)
+    let dice = seed % 10000
+    if dc < 0 || dice < temp {
+      x = cand
+    }
+    if cost(x) < cost(best) { best = x }
+    temp = temp - 13
+  }
+  return best
+}
+|}
+
+let splay_tree =
+  {|
+// Splay tree: bottom-up splay via rotations; accessing a key brings it to
+// the root.
+func rot(key_: [Int], left: [Int], right: [Int], parent: [Int], rootbox: [Int], x: Int) {
+  let p = parent[x]
+  let g = parent[p]
+  if x == left[p] {
+    left[p] = right[x]
+    if right[x] != 0 { parent[right[x]] = p }
+    right[x] = p
+  } else {
+    right[p] = left[x]
+    if left[x] != 0 { parent[left[x]] = p }
+    left[x] = p
+  }
+  parent[p] = x
+  parent[x] = g
+  if g == 0 {
+    rootbox[0] = x
+  } else {
+    if left[g] == p { left[g] = x } else { right[g] = x }
+  }
+}
+func splay(key_: [Int], left: [Int], right: [Int], parent: [Int], rootbox: [Int], x: Int) {
+  while parent[x] != 0 {
+    let p = parent[x]
+    let g = parent[p]
+    if g != 0 {
+      // zig-zig or zig-zag
+      let zigzig = (x == left[p]) == (p == left[g])
+      if zigzig {
+        rot(key_, left, right, parent, rootbox, p)
+        rot(key_, left, right, parent, rootbox, x)
+      } else {
+        rot(key_, left, right, parent, rootbox, x)
+        rot(key_, left, right, parent, rootbox, x)
+      }
+    } else {
+      rot(key_, left, right, parent, rootbox, x)
+    }
+  }
+}
+func insert(key_: [Int], left: [Int], right: [Int], parent: [Int], rootbox: [Int], nn: [Int], k: Int) {
+  nn[0] = nn[0] + 1
+  let z = nn[0]
+  key_[z] = k
+  if rootbox[0] == 0 {
+    rootbox[0] = z
+    return
+  }
+  var cur = rootbox[0]
+  var placed = false
+  while !placed {
+    if k < key_[cur] {
+      if left[cur] == 0 { left[cur] = z parent[z] = cur placed = true } else { cur = left[cur] }
+    } else {
+      if right[cur] == 0 { right[cur] = z parent[z] = cur placed = true } else { cur = right[cur] }
+    }
+  }
+  splay(key_, left, right, parent, rootbox, z)
+}
+func find(key_: [Int], left: [Int], right: [Int], parent: [Int], rootbox: [Int], k: Int) -> Int {
+  var cur = rootbox[0]
+  while cur != 0 {
+    if k == key_[cur] {
+      splay(key_, left, right, parent, rootbox, cur)
+      return cur
+    }
+    if k < key_[cur] { cur = left[cur] } else { cur = right[cur] }
+  }
+  return 0
+}
+func main() -> Int {
+  let cap = 64
+  let key_ = array(cap)
+  let left = array(cap)
+  let right = array(cap)
+  let parent = array(cap)
+  let rootbox = array(1)
+  let nn = array(1)
+  for i in 1 ..< 21 {
+    insert(key_, left, right, parent, rootbox, nn, i)
+  }
+  let found = find(key_, left, right, parent, rootbox, 5)
+  if found == 0 { return 0 }
+  // after access, 5 must be the root
+  return key_[rootbox[0]]
+}
+|}
+
+let strassen =
+  {|
+// Strassen multiplication on 8x8 matrices, validated against the naive
+// product.  Matrices are row-major in flat arrays.
+func madd(a: [Int], b: [Int], out: [Int], n: Int) {
+  for i in 0 ..< n * n { out[i] = a[i] + b[i] }
+}
+func msub(a: [Int], b: [Int], out: [Int], n: Int) {
+  for i in 0 ..< n * n { out[i] = a[i] - b[i] }
+}
+func naive(a: [Int], b: [Int], out: [Int], n: Int) {
+  for i in 0 ..< n {
+    for j in 0 ..< n {
+      var acc = 0
+      for k in 0 ..< n { acc = acc + a[i * n + k] * b[k * n + j] }
+      out[i * n + j] = acc
+    }
+  }
+}
+func quadrant(src: [Int], dst: [Int], n: Int, qi: Int, qj: Int) {
+  let h = n / 2
+  for i in 0 ..< h {
+    for j in 0 ..< h {
+      dst[i * h + j] = src[(qi * h + i) * n + qj * h + j]
+    }
+  }
+}
+func place(src: [Int], dst: [Int], n: Int, qi: Int, qj: Int) {
+  let h = n / 2
+  for i in 0 ..< h {
+    for j in 0 ..< h {
+      dst[(qi * h + i) * n + qj * h + j] = src[i * h + j]
+    }
+  }
+}
+func strassen(a: [Int], b: [Int], out: [Int], n: Int) {
+  if n <= 2 {
+    naive(a, b, out, n)
+    return
+  }
+  let h = n / 2
+  let a11 = array(h * h) let a12 = array(h * h)
+  let a21 = array(h * h) let a22 = array(h * h)
+  let b11 = array(h * h) let b12 = array(h * h)
+  let b21 = array(h * h) let b22 = array(h * h)
+  quadrant(a, a11, n, 0, 0) quadrant(a, a12, n, 0, 1)
+  quadrant(a, a21, n, 1, 0) quadrant(a, a22, n, 1, 1)
+  quadrant(b, b11, n, 0, 0) quadrant(b, b12, n, 0, 1)
+  quadrant(b, b21, n, 1, 0) quadrant(b, b22, n, 1, 1)
+  let t1 = array(h * h)
+  let t2 = array(h * h)
+  let m1 = array(h * h) let m2 = array(h * h) let m3 = array(h * h)
+  let m4 = array(h * h) let m5 = array(h * h) let m6 = array(h * h)
+  let m7 = array(h * h)
+  madd(a11, a22, t1, h) madd(b11, b22, t2, h) strassen(t1, t2, m1, h)
+  madd(a21, a22, t1, h) strassen(t1, b11, m2, h)
+  msub(b12, b22, t2, h) strassen(a11, t2, m3, h)
+  msub(b21, b11, t2, h) strassen(a22, t2, m4, h)
+  madd(a11, a12, t1, h) strassen(t1, b22, m5, h)
+  msub(a21, a11, t1, h) madd(b11, b12, t2, h) strassen(t1, t2, m6, h)
+  msub(a12, a22, t1, h) madd(b21, b22, t2, h) strassen(t1, t2, m7, h)
+  let c11 = array(h * h) let c12 = array(h * h)
+  let c21 = array(h * h) let c22 = array(h * h)
+  // c11 = m1 + m4 - m5 + m7
+  madd(m1, m4, c11, h) msub(c11, m5, c11, h) madd(c11, m7, c11, h)
+  madd(m3, m5, c12, h)
+  madd(m2, m4, c21, h)
+  // c22 = m1 - m2 + m3 + m6
+  msub(m1, m2, c22, h) madd(c22, m3, c22, h) madd(c22, m6, c22, h)
+  place(c11, out, n, 0, 0) place(c12, out, n, 0, 1)
+  place(c21, out, n, 1, 0) place(c22, out, n, 1, 1)
+}
+func main() -> Int {
+  let n = 8
+  let a = array(n * n)
+  let b = array(n * n)
+  for i in 0 ..< n * n {
+    a[i] = (i * 3 + 1) % 7
+    b[i] = (i * 5 + 2) % 9
+  }
+  let fast = array(n * n)
+  let slow = array(n * n)
+  strassen(a, b, fast, n)
+  naive(a, b, slow, n)
+  for i in 0 ..< n * n {
+    if fast[i] != slow[i] { return 0 }
+  }
+  return 1
+}
+|}
+
+let topological_sort =
+  {|
+// Kahn's algorithm; validate that every edge goes forward in the order.
+func main() -> Int {
+  let n = 8
+  // edges of a DAG
+  let ne = 10
+  let eu = array(ne)
+  let ev = array(ne)
+  eu[0] = 0 ev[0] = 1
+  eu[1] = 0 ev[1] = 2
+  eu[2] = 1 ev[2] = 3
+  eu[3] = 2 ev[3] = 3
+  eu[4] = 3 ev[4] = 4
+  eu[5] = 4 ev[5] = 5
+  eu[6] = 2 ev[6] = 6
+  eu[7] = 6 ev[7] = 7
+  eu[8] = 1 ev[8] = 7
+  eu[9] = 0 ev[9] = 5
+  let indeg = array(n)
+  for e in 0 ..< ne { indeg[ev[e]] = indeg[ev[e]] + 1 }
+  let queue = array(n)
+  var head = 0
+  var tail = 0
+  for v in 0 ..< n {
+    if indeg[v] == 0 {
+      queue[tail] = v
+      tail = tail + 1
+    }
+  }
+  let order = array(n)
+  var emitted = 0
+  while head < tail {
+    let v = queue[head]
+    head = head + 1
+    order[emitted] = v
+    emitted = emitted + 1
+    for e in 0 ..< ne {
+      if eu[e] == v {
+        indeg[ev[e]] = indeg[ev[e]] - 1
+        if indeg[ev[e]] == 0 {
+          queue[tail] = ev[e]
+          tail = tail + 1
+        }
+      }
+    }
+  }
+  if emitted != n { return 0 }
+  let pos = array(n)
+  for i in 0 ..< n { pos[order[i]] = i }
+  for e in 0 ..< ne {
+    if pos[eu[e]] >= pos[ev[e]] { return 0 }
+  }
+  return 1
+}
+|}
+
+let z_algorithm =
+  {|
+// Z-array of an all-ones sequence of length 8: sum of z[1..] = 28.
+func main() -> Int {
+  let n = 8
+  let s = array(n)
+  for i in 0 ..< n { s[i] = 1 }
+  let z = array(n)
+  var l = 0
+  var r = 0
+  for i in 1 ..< n {
+    if i < r {
+      let cand = r - i
+      if z[i - l] < cand { z[i] = z[i - l] } else { z[i] = cand }
+    }
+    while i + z[i] < n && s[z[i]] == s[i + z[i]] { z[i] = z[i] + 1 }
+    if i + z[i] > r {
+      l = i
+      r = i + z[i]
+    }
+  }
+  var total = 0
+  for i in 1 ..< n { total = total + z[i] }
+  return total
+}
+|}
+
+let all =
+  [
+    { bench_name = "BFS"; source = bfs; expected_exit = 10 };
+    { bench_name = "BoyerMooreHorspool"; source = boyer_moore_horspool; expected_exit = 10 };
+    { bench_name = "BucketSort"; source = bucket_sort; expected_exit = 1 };
+    { bench_name = "ClosestPair"; source = closest_pair; expected_exit = 1 };
+    { bench_name = "Combinatorics"; source = combinatorics; expected_exit = 184756 };
+    { bench_name = "CountingSort"; source = counting_sort; expected_exit = 1 };
+    { bench_name = "CountOccurrences"; source = count_occurrences; expected_exit = 10 };
+    { bench_name = "DFS"; source = dfs; expected_exit = 7 };
+    { bench_name = "Dijkstra"; source = dijkstra; expected_exit = 11 };
+    { bench_name = "EncodeAndDecodeTree"; source = encode_decode_tree; expected_exit = 1 };
+    { bench_name = "GCD"; source = gcd; expected_exit = 168 };
+    { bench_name = "HashTable"; source = hash_table; expected_exit = 34 };
+    { bench_name = "Huffman"; source = huffman; expected_exit = 224 };
+    { bench_name = "JSON"; source = json; expected_exit = 2255 };
+    { bench_name = "KnuthMorrisPratt"; source = kmp; expected_exit = 7 };
+    { bench_name = "LCS"; source = lcs; expected_exit = 5 };
+    { bench_name = "LRUCache"; source = lru_cache; expected_exit = 4 };
+    { bench_name = "OctTree"; source = octree; expected_exit = 8 };
+    { bench_name = "QuickSort"; source = quick_sort; expected_exit = 1 };
+    { bench_name = "RedBlackTree"; source = red_black_tree; expected_exit = 1 };
+    { bench_name = "RunLengthEncoding"; source = run_length_encoding; expected_exit = 18 };
+    { bench_name = "SimulatedAnnealing"; source = simulated_annealing; expected_exit = 37 };
+    { bench_name = "SplayTree"; source = splay_tree; expected_exit = 5 };
+    { bench_name = "StrassenMM"; source = strassen; expected_exit = 1 };
+    { bench_name = "TopologicalSort"; source = topological_sort; expected_exit = 1 };
+    { bench_name = "ZAlgorithm"; source = z_algorithm; expected_exit = 28 };
+  ]
+
+let pathological =
+  {
+    bench_name = "Pathological";
+    source =
+      {|
+// A hot loop whose tiny repeated body is outlined (§VII-E3): the four
+// identical statements lower to identical 3-instruction groups, which the
+// outliner replaces with calls executed two million times.
+func seed_value(x: Int) -> Int { return x + 1 }
+func main() -> Int {
+  var acc = seed_value(0)
+  for i in 0 ..< 500000 {
+    acc = (acc ^ 12345) + 7
+    acc = (acc ^ 12345) + 7
+    acc = (acc ^ 12345) + 7
+    acc = (acc ^ 12345) + 7
+  }
+  return acc & 65535
+}
+|};
+    expected_exit = 6913;
+  }
+
+let find name =
+  if name = pathological.bench_name then pathological
+  else List.find (fun b -> String.equal b.bench_name name) all

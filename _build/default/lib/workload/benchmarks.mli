@@ -1,0 +1,21 @@
+(** The 26 algorithmic Swift benchmarks of Table IV, reimplemented in
+    Swiftlet, plus the pathological hot-loop case of §VII-E3.
+
+    Each program's [main] is self-validating where possible (sorts verify
+    sortedness, round-trips compare, searches check known answers) and
+    returns a deterministic value recorded in [expected_exit]. *)
+
+type t = {
+  bench_name : string;
+  source : string;
+  expected_exit : int;
+}
+
+val all : t list
+(** The 26 benchmarks, in the paper's order. *)
+
+val pathological : t
+(** A long-running loop whose 2-instruction body is outlining bait. *)
+
+val find : string -> t
+(** Raises [Not_found]. *)

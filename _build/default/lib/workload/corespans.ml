@@ -1,0 +1,86 @@
+type cell = {
+  device : string;
+  os : string;
+  ratio : float;
+}
+
+type span_report = {
+  span : string;
+  cells : cell list;
+  base_seconds : float;
+  opt_seconds : float;
+}
+
+let cycles_of program ~device ~os ~span ~arg =
+  let config =
+    {
+      Perfsim.Interp.default_config with
+      device;
+      os;
+      model_perf = true;
+      max_steps = 500_000_000;
+    }
+  in
+  match Perfsim.Interp.run ~config ~args:[ arg ] ~entry:span program with
+  | Ok r -> Ok (float_of_int r.Perfsim.Interp.cycles)
+  | Error e -> Error (Perfsim.Interp.error_to_string e)
+
+let run_span ?(samples = 3) ?(arg = 1) ~base ~opt ~device ~os span =
+  let rec collect i accb acco =
+    if i >= samples then Ok (List.rev accb, List.rev acco)
+    else
+      (* Vary the span argument slightly, like differing user sessions. *)
+      let a = arg + (i mod 2) in
+      match cycles_of base ~device ~os ~span ~arg:a with
+      | Error e -> Error e
+      | Ok cb -> (
+        match cycles_of opt ~device ~os ~span ~arg:a with
+        | Error e -> Error e
+        | Ok co -> collect (i + 1) (cb :: accb) (co :: acco))
+  in
+  match collect 0 [] [] with
+  | Error e -> Error e
+  | Ok (bs, os_) -> Ok (Repro_stats.Percentile.p50 bs, Repro_stats.Percentile.p50 os_)
+
+let heatmap ?(samples = 3) ~base ~opt ~spans () =
+  let rec spans_loop acc = function
+    | [] -> Ok (List.rev acc)
+    | span :: rest -> (
+      let cells = ref [] and errors = ref None in
+      let base_total = ref 0. and opt_total = ref 0. in
+      List.iter
+        (fun (device : Perfsim.Device.t) ->
+          List.iter
+            (fun (os : Perfsim.Device.os) ->
+              if !errors = None then
+                match run_span ~samples ~base ~opt ~device ~os span with
+                | Error e -> errors := Some e
+                | Ok (b, o) ->
+                  base_total := !base_total +. b;
+                  opt_total := !opt_total +. o;
+                  cells :=
+                    { device = device.Perfsim.Device.name; os = os.Perfsim.Device.os_name; ratio = o /. b }
+                    :: !cells)
+            Perfsim.Device.oses)
+        Perfsim.Device.devices;
+      match !errors with
+      | Some e -> Error e
+      | None ->
+        let ncells = float_of_int (List.length !cells) in
+        spans_loop
+          ({
+             span;
+             cells = List.rev !cells;
+             base_seconds = !base_total /. ncells /. 1e6;
+             opt_seconds = !opt_total /. ncells /. 1e6;
+           }
+          :: acc)
+          rest)
+  in
+  spans_loop [] spans
+
+let geomean_ratio reports =
+  let ratios =
+    List.concat_map (fun r -> List.map (fun c -> c.ratio) r.cells) reports
+  in
+  Repro_stats.Percentile.geomean ratios

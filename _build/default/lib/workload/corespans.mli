@@ -1,0 +1,39 @@
+(** Running the nine core spans (Figure 13) on a simulated device/OS
+    matrix.  A cell's value is the ratio of optimized to baseline P50
+    cycles over several samples, exactly as the paper computes it (> 1.0 =
+    regression, < 1.0 = improvement). *)
+
+type cell = {
+  device : string;
+  os : string;
+  ratio : float;        (** optimized P50 / baseline P50 *)
+}
+
+type span_report = {
+  span : string;
+  cells : cell list;
+  base_seconds : float;     (** simulated-cycles proxy of Table III, baseline *)
+  opt_seconds : float;
+}
+
+val run_span :
+  ?samples:int ->
+  ?arg:int ->
+  base:Machine.Program.t ->
+  opt:Machine.Program.t ->
+  device:Perfsim.Device.t ->
+  os:Perfsim.Device.os ->
+  string ->
+  (float * float, string) Stdlib.result
+(** P50 cycles (base, optimized) of one span on one device/OS; samples vary
+    the span argument to model production noise. *)
+
+val heatmap :
+  ?samples:int ->
+  base:Machine.Program.t ->
+  opt:Machine.Program.t ->
+  spans:string list ->
+  unit ->
+  (span_report list, string) Stdlib.result
+
+val geomean_ratio : span_report list -> float

@@ -1,0 +1,162 @@
+open Machine
+
+let irange st lo hi = lo + Random.State.int st (hi - lo + 1)
+
+let sp_pre off = { Insn.base = Reg.SP; off; mode = Insn.Pre }
+let sp_post off = { Insn.base = Reg.SP; off; mode = Insn.Post }
+
+let prologue st =
+  (* fp/lr plus a random run of callee-saved pairs, Listing 7 style. *)
+  let npairs = irange st 0 4 in
+  let saves = ref [ Insn.Stp (Reg.fp, Reg.lr, sp_pre (-16)) ] in
+  for k = 0 to npairs - 1 do
+    saves := Insn.Stp (Reg.x (19 + (2 * k)), Reg.x (20 + (2 * k)), sp_pre (-16)) :: !saves
+  done;
+  (List.rev !saves, npairs)
+
+let epilogue npairs =
+  let restores = ref [] in
+  for k = npairs - 1 downto 0 do
+    restores := Insn.Ldp (Reg.x (19 + (2 * k)), Reg.x (20 + (2 * k)), sp_post 16) :: !restores
+  done;
+  List.rev (Insn.Ldp (Reg.fp, Reg.lr, sp_post 16) :: !restores)
+
+let arg_shuffle st =
+  (* Calling-convention moves from callee-saved homes into x0..x3. *)
+  let n = irange st 1 4 in
+  List.init n (fun i -> Insn.mov_r (Reg.x i) (Reg.x (19 + irange st 0 7)))
+
+let body_math ?(max_len = 10) st =
+  let n = irange st 2 max_len in
+  List.init n (fun _ ->
+      let d = Reg.x (9 + irange st 0 6) in
+      match irange st 0 3 with
+      | 0 -> Insn.Binop (Insn.Add, d, Reg.x (9 + irange st 0 6), Insn.Imm (irange st 1 4095))
+      | 1 -> Insn.Binop (Insn.Eor, d, Reg.x (9 + irange st 0 6), Insn.Rop (Reg.x (9 + irange st 0 6)))
+      | 2 -> Insn.mov_i d (irange st 0 65535)
+      | _ -> Insn.Binop (Insn.Lsl, d, Reg.x (9 + irange st 0 6), Insn.Imm (irange st 1 31)))
+
+(* A dispatch chain: cmp / b.eq to per-case blocks that call distinct
+   targets (clang's visitor pattern). *)
+let dispatch_blocks st ~fname ~callees ~ncases ~epilogue_insns =
+  let case_label k = Printf.sprintf "case%d" k in
+  let test_label k = Printf.sprintf "test%d" k in
+  let exit_block =
+    Block.make ~label:"fexit" epilogue_insns Block.Ret
+  in
+  let tests =
+    List.init ncases (fun k ->
+        let next = if k = ncases - 1 then "fexit" else test_label (k + 1) in
+        Block.make ~label:(test_label k)
+          [ Insn.Cmp (Reg.x 19, Insn.Imm k) ]
+          (Block.Bcond (Cond.Eq, case_label k, next)))
+  in
+  let cases =
+    List.init ncases (fun k ->
+        let callee = List.nth callees (irange st 0 (List.length callees - 1)) in
+        Block.make ~label:(case_label k)
+          (arg_shuffle st @ [ Insn.Bl callee ])
+          (Block.B "fexit"))
+  in
+  ignore fname;
+  tests @ cases @ [ exit_block ]
+
+let clang_like ?(seed = 1234) ?(functions = 1200) () =
+  let st = Random.State.make [| seed |] in
+  let callees = List.init 60 (fun i -> Printf.sprintf "clang_helper_%d" i) in
+  let helpers =
+    List.map
+      (fun name ->
+        Mfunc.make ~from_module:"clang" ~name
+          [ Block.make ~label:"entry" (body_math st) Block.Ret ])
+      callees
+  in
+  let funcs =
+    List.init functions (fun i ->
+        let name = Printf.sprintf "clang_fn_%d" i in
+        let pro, npairs = prologue st in
+        let epi = epilogue npairs in
+        match irange st 0 2 with
+        | 0 ->
+          (* Dispatch-style function. *)
+          let ncases = irange st 3 10 in
+          let entry =
+            Block.make ~label:"entry"
+              (pro @ [ Insn.mov_r (Reg.x 19) (Reg.x 0) ] @ body_math ~max_len:4 st)
+              (Block.B "test0")
+          in
+          Mfunc.make ~from_module:"clang" ~name
+            (entry :: dispatch_blocks st ~fname:name ~callees ~ncases ~epilogue_insns:epi)
+        | 1 ->
+          (* Straight-line with a few calls. *)
+          let ncalls = irange st 2 6 in
+          let body =
+            List.concat
+              (List.init ncalls (fun _ ->
+                   arg_shuffle st
+                   @ [ Insn.Bl (List.nth callees (irange st 0 59)) ]
+                   @ body_math ~max_len:4 st))
+          in
+          Mfunc.make ~from_module:"clang" ~name
+            [ Block.make ~label:"entry" (pro @ body @ epi) Block.Ret ]
+        | _ ->
+          (* Leaf accessor-ish function. *)
+          Mfunc.make ~from_module:"clang" ~name
+            [
+              Block.make ~label:"entry"
+                ([ Insn.Ldr (Reg.x 9, { Insn.base = Reg.x 0; off = 8 * irange st 0 7; mode = Insn.Offset }) ]
+                @ body_math ~max_len:4 st
+                @ [ Insn.mov_r (Reg.x 0) (Reg.x 9) ])
+                Block.Ret;
+            ])
+  in
+  Program.make ~externs:[] (helpers @ funcs)
+
+let kernel_like ?(seed = 4321) ?(functions = 1500) () =
+  let st = Random.State.make [| seed |] in
+  let callees = List.init 40 (fun i -> Printf.sprintf "k_subr_%d" i) in
+  let helpers =
+    List.map
+      (fun name ->
+        Mfunc.make ~from_module:"kernel" ~name
+          [ Block.make ~label:"entry" (body_math st) Block.Ret ])
+      callees
+  in
+  (* The stack-guard epilogue the paper singles out: reload the canary,
+     compare, and branch to the failure handler. *)
+  let guard_check =
+    [
+      Insn.Adr (Reg.x 16, "__stack_chk_guard");
+      Insn.Ldr (Reg.x 16, { Insn.base = Reg.x 16; off = 0; mode = Insn.Offset });
+      Insn.Ldr (Reg.x 17, { Insn.base = Reg.SP; off = 8; mode = Insn.Offset });
+      Insn.Cmp (Reg.x 16, Insn.Rop (Reg.x 17));
+    ]
+  in
+  let funcs =
+    List.init functions (fun i ->
+        let name = Printf.sprintf "k_fn_%d" i in
+        let pro, npairs = prologue st in
+        let epi = epilogue npairs in
+        let ncalls = irange st 0 3 in
+        let body =
+          List.concat
+            (List.init ncalls (fun _ ->
+                 arg_shuffle st
+                 @ [ Insn.Bl (List.nth callees (irange st 0 39)) ]
+                 @ body_math ~max_len:18 st))
+          @ body_math ~max_len:18 st
+        in
+        let main_block =
+          Block.make ~label:"entry" (pro @ body @ guard_check)
+            (Block.Bcond (Cond.Ne, "stack_fail", "out"))
+        in
+        let fail_block =
+          Block.make ~label:"stack_fail" [ Insn.Bl "__stack_chk_fail" ] (Block.B "out")
+        in
+        let out_block = Block.make ~label:"out" epi Block.Ret in
+        Mfunc.make ~from_module:"kernel" ~name [ main_block; fail_block; out_block ])
+  in
+  Program.make
+    ~data:[ Dataobj.make ~from_module:"kernel" ~name:"__stack_chk_guard" [ Dataobj.Word 0xdead ] ]
+    ~externs:[ "__stack_chk_fail" ]
+    (helpers @ funcs)

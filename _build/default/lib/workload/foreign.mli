@@ -1,0 +1,18 @@
+(** Machine-code-shape generators for the non-iOS programs of §VII-E2:
+    synthetic stand-ins for the clang 9 and Android-Linux-kernel bitcode
+    the paper's artifact ships.  Generated directly at the machine level
+    (these are size-only workloads, never executed), with the code shapes
+    the paper observed:
+
+    - clang-like: visitor/dispatch-heavy functions, long compare-and-branch
+      chains fanning out to many distinct callees, argument-register
+      shuffles before calls;
+    - kernel-like: register save/restore runs, and the stack-guard check
+      epilogue ([ldr guard; cmp; b.ne __stack_chk_fail]) repeated in
+      every function. *)
+
+val clang_like : ?seed:int -> ?functions:int -> unit -> Machine.Program.t
+(** Default 1200 functions. *)
+
+val kernel_like : ?seed:int -> ?functions:int -> unit -> Machine.Program.t
+(** Default 1500 functions. *)

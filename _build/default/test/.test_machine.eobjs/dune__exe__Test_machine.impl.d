@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Asm_parser Asm_printer Block Cond Dataobj Format Insn List Liveness Machine Mfunc Printf Program QCheck QCheck_alcotest Reg Regset String

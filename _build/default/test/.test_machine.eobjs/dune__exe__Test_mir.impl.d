@@ -1,0 +1,1 @@
+test/test_mir.ml: Alcotest Array Builder Codegen Dce Eval Fmsa Format Intervals Ir Link List Machine Merge_functions Option Out_of_ssa Outcore Perfsim Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_outliner.ml: Alcotest Array Asm_parser Block Buffer Format Insn List Machine Mfunc Option Outcore Perfsim Printf Program QCheck QCheck_alcotest Reg String

@@ -1,0 +1,1 @@
+test/test_perfsim.ml: Alcotest Asm_parser Block Format Insn Linker List Machine Mfunc Outcore Perfsim Printf Program QCheck QCheck_alcotest Reg String

@@ -1,0 +1,1 @@
+test/test_sufftree.ml: Alcotest Array Format Int List QCheck QCheck_alcotest String Sufftree

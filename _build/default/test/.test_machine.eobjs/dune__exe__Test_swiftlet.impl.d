@@ -1,0 +1,1 @@
+test/test_swiftlet.ml: Alcotest Codegen Eval Ir Link List Machine Outcore Perfsim String Swiftlet

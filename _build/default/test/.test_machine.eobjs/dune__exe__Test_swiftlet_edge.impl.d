@@ -1,0 +1,1 @@
+test/test_swiftlet_edge.ml: Alcotest Codegen Eval List Outcore Perfsim Printf QCheck QCheck_alcotest Swiftlet

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Codegen Eval Ir Lazy Link List Machine Outcore Perfsim Pipeline Repro_stats String Swiftlet Workload

@@ -1,0 +1,654 @@
+(* Tests for the MIR layer: validation, evaluation, out-of-SSA lowering,
+   llvm-link behaviours (metadata conflicts, data ordering), the
+   MergeFunction/FMSA baselines, DCE — and the codegen differential: every
+   MIR program must behave identically after lowering to machine code. *)
+
+let empty_module name = { Ir.m_name = name; funcs = []; globals = []; externs = []; flags = [] }
+
+(* sum(n) = 1 + ... + n, via a phi loop. *)
+let sum_func () =
+  let b = Builder.create ~name:"sum" ~nparams:1 () in
+  let n = List.hd (Builder.params b) in
+  let acc0 = Builder.assign b (Ir.Imm 0) in
+  let i0 = Builder.assign b (Ir.Imm 1) in
+  let acc_phi = Builder.fresh b in
+  let i_phi = Builder.fresh b in
+  Builder.terminate b (Ir.Br "loop");
+  Builder.start_block b "loop";
+  Builder.add_phi b acc_phi [ ("entry", Ir.V acc0); ("body", Ir.V acc_phi) ];
+  Builder.add_phi b i_phi [ ("entry", Ir.V i0); ("body", Ir.V i_phi) ];
+  (* Recompute in body; phi incoming from body refers to updated values. *)
+  let cond = Builder.icmp b Machine.Cond.Le (Ir.V i_phi) (Ir.V n) in
+  Builder.terminate b (Ir.Cond_br (Ir.V cond, "body", "done"));
+  Builder.start_block b "body";
+  let acc' = Builder.binop b Ir.Add (Ir.V acc_phi) (Ir.V i_phi) in
+  let i' = Builder.binop b Ir.Add (Ir.V i_phi) (Ir.Imm 1) in
+  Builder.terminate b (Ir.Br "loop");
+  Builder.start_block b "done";
+  Builder.terminate b (Ir.Ret (Ir.V acc_phi));
+  let f = Builder.finish b in
+  (* Patch the phi incoming from body to the updated values (the builder
+     API records operands eagerly, so rewrite them here). *)
+  let patch (blk : Ir.block) =
+    if blk.label <> "loop" then blk
+    else
+      let phis =
+        List.map
+          (fun (p : Ir.phi) ->
+            let incoming =
+              List.map
+                (fun (l, o) ->
+                  if l <> "body" then (l, o)
+                  else if p.phi_dst = acc_phi then (l, Ir.V acc')
+                  else (l, Ir.V i'))
+                p.incoming
+            in
+            { p with incoming })
+          blk.phis
+      in
+      { blk with phis }
+  in
+  { f with Ir.blocks = List.map patch f.Ir.blocks }
+
+let sum_module () = { (empty_module "m_sum") with Ir.funcs = [ sum_func () ] }
+
+let eval_exn ?args m ~entry =
+  match Eval.run ?args ~entry m with
+  | Ok r -> r
+  | Error e -> Alcotest.fail ("eval error: " ^ Eval.error_to_string e)
+
+let test_validate () =
+  let m = sum_module () in
+  (match Ir.validate m with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("expected valid: " ^ e));
+  (* Branch to a bogus label must be rejected. *)
+  let bogus =
+    {
+      (empty_module "bad") with
+      Ir.funcs =
+        [
+          {
+            Ir.name = "f";
+            params = [];
+            blocks = [ { Ir.label = "entry"; phis = []; instrs = []; term = Ir.Br "nope" } ];
+            next_value = 0;
+            from_module = "bad";
+          };
+        ];
+    }
+  in
+  match Ir.validate bogus with
+  | Ok () -> Alcotest.fail "expected validation failure"
+  | Error _ -> ()
+
+let test_eval_sum () =
+  let m = sum_module () in
+  Alcotest.(check int) "sum 10" 55 (eval_exn m ~entry:"sum" ~args:[ 10 ]).exit_value;
+  Alcotest.(check int) "sum 0" 0 (eval_exn m ~entry:"sum" ~args:[ 0 ]).exit_value
+
+let test_eval_objects () =
+  let b = Builder.create ~name:"main" ~nparams:0 () in
+  let obj = Builder.alloc_object b "Meta" 32 in
+  Builder.retain b (Ir.V obj);
+  Builder.retain b (Ir.V obj);
+  let rc = Builder.load b (Ir.V obj) 0 in
+  Builder.call_void b "print_i64" [ Ir.V rc ];
+  Builder.release b (Ir.V obj);
+  Builder.store b (Ir.Imm 99) (Ir.V obj) 16;
+  let v = Builder.load b (Ir.V obj) 16 in
+  Builder.terminate b (Ir.Ret (Ir.V v));
+  let m =
+    {
+      (empty_module "m") with
+      Ir.funcs = [ Builder.finish b ];
+      globals = [ { Ir.g_name = "Meta"; g_init = [ Ir.Gword 7 ]; g_module = "m" } ];
+    }
+  in
+  let r = eval_exn m ~entry:"main" in
+  Alcotest.(check int) "field" 99 r.exit_value;
+  Alcotest.(check (list int)) "refcount printed" [ 3 ] r.output
+
+(* Out-of-SSA: behaviour must be preserved and phis must vanish. *)
+let test_out_of_ssa () =
+  let m = sum_module () in
+  let m' = Out_of_ssa.run m in
+  List.iter
+    (fun (f : Ir.func) ->
+      List.iter
+        (fun (b : Ir.block) ->
+          Alcotest.(check int) "no phis left" 0 (List.length b.phis))
+        f.blocks)
+    m'.funcs;
+  (match Ir.validate ~require_ssa:false m' with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("out-of-ssa produced invalid module: " ^ e));
+  List.iter
+    (fun n ->
+      Alcotest.(check int)
+        (Printf.sprintf "sum %d preserved" n)
+        (eval_exn m ~entry:"sum" ~args:[ n ]).exit_value
+        (eval_exn m' ~entry:"sum" ~args:[ n ]).exit_value)
+    [ 0; 1; 7; 23 ]
+
+let test_out_of_ssa_swap () =
+  (* The classic swap problem: two phis exchanging values each iteration.
+     Computes (a, b) swapped n times; returns a. *)
+  let b = Builder.create ~name:"swap" ~nparams:1 () in
+  let n = List.hd (Builder.params b) in
+  let a0 = Builder.assign b (Ir.Imm 3) in
+  let b0 = Builder.assign b (Ir.Imm 11) in
+  let i0 = Builder.assign b (Ir.Imm 0) in
+  let pa = Builder.fresh b in
+  let pb = Builder.fresh b in
+  let pi = Builder.fresh b in
+  Builder.terminate b (Ir.Br "loop");
+  Builder.start_block b "loop";
+  Builder.add_phi b pa [ ("entry", Ir.V a0); ("body", Ir.V pb) ];
+  Builder.add_phi b pb [ ("entry", Ir.V b0); ("body", Ir.V pa) ];
+  Builder.add_phi b pi [ ("entry", Ir.V i0); ("body", Ir.V pi) ];
+  let c = Builder.icmp b Machine.Cond.Lt (Ir.V pi) (Ir.V n) in
+  Builder.terminate b (Ir.Cond_br (Ir.V c, "body", "out"));
+  Builder.start_block b "body";
+  let i' = Builder.binop b Ir.Add (Ir.V pi) (Ir.Imm 1) in
+  Builder.terminate b (Ir.Br "loop");
+  Builder.start_block b "out";
+  Builder.terminate b (Ir.Ret (Ir.V pa));
+  let f = Builder.finish b in
+  let patch (blk : Ir.block) =
+    if blk.label <> "loop" then blk
+    else
+      {
+        blk with
+        phis =
+          List.map
+            (fun (p : Ir.phi) ->
+              {
+                p with
+                incoming =
+                  List.map
+                    (fun (l, o) ->
+                      if l = "body" && p.phi_dst = pi then (l, Ir.V i') else (l, o))
+                    p.incoming;
+              })
+            blk.phis;
+      }
+  in
+  let m = { (empty_module "m") with Ir.funcs = [ { f with blocks = List.map patch f.blocks } ] } in
+  let m' = Out_of_ssa.run m in
+  List.iter
+    (fun n ->
+      Alcotest.(check int)
+        (Printf.sprintf "swap %d" n)
+        (eval_exn m ~entry:"swap" ~args:[ n ]).exit_value
+        (eval_exn m' ~entry:"swap" ~args:[ n ]).exit_value)
+    [ 0; 1; 2; 5 ]
+
+(* llvm-link behaviours. *)
+let test_link_flag_conflict () =
+  let swift_mod =
+    {
+      (empty_module "swift_m") with
+      Ir.flags = [ ("objc_gc", Ir.Packed (Link.pack_objc_gc ~gc_mode:0 ~compiler_id:1 ~version:502)) ];
+    }
+  in
+  let clang_mod =
+    {
+      (empty_module "clang_m") with
+      Ir.flags = [ ("objc_gc", Ir.Packed (Link.pack_objc_gc ~gc_mode:0 ~compiler_id:2 ~version:900)) ];
+    }
+  in
+  (* Legacy semantics: spurious conflict from compiler identity bits. *)
+  (match Link.link ~flag_semantics:Link.Legacy ~name:"app" [ swift_mod; clang_mod ] with
+  | Error (Link.Flag_conflict _) -> ()
+  | Ok _ -> Alcotest.fail "legacy link should conflict"
+  | Error e -> Alcotest.fail ("unexpected error: " ^ Link.error_to_string e));
+  (* Attribute semantics (the paper's fix): links fine. *)
+  (match Link.link ~flag_semantics:Link.Attributes ~name:"app" [ swift_mod; clang_mod ] with
+  | Ok m -> Alcotest.(check string) "linked" "app" m.Ir.m_name
+  | Error e -> Alcotest.fail ("attribute link failed: " ^ Link.error_to_string e));
+  (* A genuine gc-mode difference must still conflict. *)
+  let bad = { (empty_module "bad") with Ir.flags = [ ("objc_gc", Ir.Packed (Link.pack_objc_gc ~gc_mode:1 ~compiler_id:1 ~version:502)) ] } in
+  match Link.link ~flag_semantics:Link.Attributes ~name:"app" [ swift_mod; bad ] with
+  | Error (Link.Flag_conflict _) -> ()
+  | Ok _ -> Alcotest.fail "genuine conflict must be detected"
+  | Error e -> Alcotest.fail ("unexpected error: " ^ Link.error_to_string e)
+
+let module_with_globals name globals =
+  {
+    (empty_module name) with
+    Ir.globals =
+      List.map (fun g -> { Ir.g_name = g; g_init = [ Ir.Gword 0 ]; g_module = name }) globals;
+  }
+
+let test_link_data_order () =
+  let m1 = module_with_globals "m1" [ "m1_a"; "m1_b"; "m1_c" ] in
+  let m2 = module_with_globals "m2" [ "m2_a"; "m2_b"; "m2_c" ] in
+  let preserved =
+    match Link.link ~data_order:Link.Module_preserving ~name:"app" [ m1; m2 ] with
+    | Ok m -> List.map (fun (g : Ir.global) -> g.g_module) m.globals
+    | Error e -> Alcotest.fail (Link.error_to_string e)
+  in
+  Alcotest.(check (list string)) "module affinity preserved"
+    [ "m1"; "m1"; "m1"; "m2"; "m2"; "m2" ] preserved;
+  let interleaved =
+    match Link.link ~data_order:Link.Interleaved ~name:"app" [ m1; m2 ] with
+    | Ok m -> List.map (fun (g : Ir.global) -> g.g_module) m.globals
+    | Error e -> Alcotest.fail (Link.error_to_string e)
+  in
+  (* Same multiset of globals, but affinity destroyed (with high
+     probability under the hash shuffle; this fixed instance interleaves). *)
+  Alcotest.(check int) "same count" 6 (List.length interleaved);
+  Alcotest.(check bool) "order differs" true (interleaved <> preserved)
+
+let test_link_duplicate_symbol () =
+  let m1 = module_with_globals "m1" [ "shared" ] in
+  let m2 = module_with_globals "m2" [ "shared" ] in
+  match Link.link ~name:"app" [ m1; m2 ] with
+  | Error (Link.Duplicate_symbol "shared") -> ()
+  | Ok _ -> Alcotest.fail "expected duplicate symbol error"
+  | Error e -> Alcotest.fail ("unexpected: " ^ Link.error_to_string e)
+
+(* MergeFunctions / FMSA --------------------------------------------------- *)
+
+let const_func name k =
+  let b = Builder.create ~name ~nparams:1 () in
+  let p = List.hd (Builder.params b) in
+  let x = Builder.binop b Ir.Add (Ir.V p) (Ir.Imm k) in
+  let y = Builder.binop b Ir.Mul (Ir.V x) (Ir.V x) in
+  let z = Builder.binop b Ir.Sub (Ir.V y) (Ir.V p) in
+  Builder.terminate b (Ir.Ret (Ir.V z));
+  Builder.finish b
+
+let test_merge_functions () =
+  let m =
+    {
+      (empty_module "m") with
+      Ir.funcs = [ const_func "f1" 5; const_func "f2" 5; const_func "f3" 9 ];
+    }
+  in
+  let m', stats = Merge_functions.run ~min_instrs:1 m in
+  Alcotest.(check int) "one group" 1 stats.Merge_functions.groups;
+  Alcotest.(check int) "one merged" 1 stats.Merge_functions.funcs_merged;
+  (* f2 became a thunk but must still compute the same thing. *)
+  List.iter
+    (fun n ->
+      Alcotest.(check int) "f2 behaviour" (eval_exn m ~entry:"f2" ~args:[ n ]).exit_value
+        (eval_exn m' ~entry:"f2" ~args:[ n ]).exit_value;
+      Alcotest.(check int) "f3 untouched" (eval_exn m ~entry:"f3" ~args:[ n ]).exit_value
+        (eval_exn m' ~entry:"f3" ~args:[ n ]).exit_value)
+    [ 0; 3; 10 ]
+
+let test_fmsa () =
+  let m =
+    {
+      (empty_module "m") with
+      Ir.funcs = [ const_func "g1" 5; const_func "g2" 9; const_func "g3" 123 ];
+    }
+  in
+  let m', stats = Fmsa.run m in
+  Alcotest.(check int) "one group" 1 stats.Fmsa.groups;
+  Alcotest.(check int) "three thunked" 3 stats.Fmsa.funcs_merged;
+  Alcotest.(check int) "one merged created" 1 stats.Fmsa.merged_created;
+  (match Ir.validate m' with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("fmsa output invalid: " ^ e));
+  List.iter
+    (fun (f, n) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s(%d)" f n)
+        (eval_exn m ~entry:f ~args:[ n ]).exit_value
+        (eval_exn m' ~entry:f ~args:[ n ]).exit_value)
+    [ ("g1", 4); ("g2", 7); ("g3", 2) ]
+
+let test_dce () =
+  let b = Builder.create ~name:"f" ~nparams:1 () in
+  let p = List.hd (Builder.params b) in
+  let _dead = Builder.binop b Ir.Mul (Ir.V p) (Ir.Imm 100) in
+  let live = Builder.binop b Ir.Add (Ir.V p) (Ir.Imm 1) in
+  Builder.terminate b (Ir.Ret (Ir.V live));
+  Builder.start_block b "orphan";
+  let _dead2 = Builder.assign b (Ir.Imm 1) in
+  Builder.terminate b (Ir.Ret (Ir.Imm 0));
+  let m = { (empty_module "m") with Ir.funcs = [ Builder.finish b ] } in
+  let m', stats = Dce.run m in
+  Alcotest.(check int) "block removed" 1 stats.Dce.blocks_removed;
+  Alcotest.(check bool) "instrs removed" true (stats.Dce.instrs_removed >= 1);
+  Alcotest.(check int) "behaviour preserved" (eval_exn m ~entry:"f" ~args:[ 4 ]).exit_value
+    (eval_exn m' ~entry:"f" ~args:[ 4 ]).exit_value
+
+
+(* Codegen internals: live intervals ---------------------------------------- *)
+
+let test_intervals () =
+  (* %1 = const; call; use %1  -> %1 crosses the call. *)
+  let b = Builder.create ~name:"f" ~nparams:1 () in
+  let p = List.hd (Builder.params b) in
+  let x = Builder.assign b (Ir.Imm 5) in
+  let r = Builder.call b "g" [ Ir.V p ] in
+  let s = Builder.binop b Ir.Add (Ir.V x) (Ir.V r) in
+  Builder.terminate b (Ir.Ret (Ir.V s));
+  let f = Builder.finish b in
+  let ivs = Intervals.compute f in
+  let find v = List.find (fun (iv : Intervals.t) -> iv.v = v) ivs in
+  Alcotest.(check bool) "x crosses the call" true (find x).Intervals.crosses_call;
+  Alcotest.(check bool) "call result does not cross its own call" false
+    (find r).Intervals.crosses_call;
+  Alcotest.(check bool) "param starts at 0" true ((find p).Intervals.first = 0);
+  (* Intervals are sorted by start. *)
+  let sorted = ref true in
+  let rec chk = function
+    | (a : Intervals.t) :: (b' : Intervals.t) :: rest ->
+      if a.first > b'.first then sorted := false;
+      chk (b' :: rest)
+    | _ -> ()
+  in
+  chk ivs;
+  Alcotest.(check bool) "sorted by start" true !sorted
+
+let test_intervals_loop_extension () =
+  (* A value defined before a loop and used inside it must stay live across
+     the whole loop (the back edge extends its interval). *)
+  let m = sum_module () in
+  let f = Out_of_ssa.run_func (List.hd m.Ir.funcs) in
+  let ivs = Intervals.compute f in
+  (* The parameter n (value 0) is used in the loop condition on every
+     iteration; its interval must cover the loop body's positions. *)
+  let n_iv = List.find (fun (iv : Intervals.t) -> iv.v = 0) ivs in
+  let max_last = List.fold_left (fun a (iv : Intervals.t) -> max a iv.last) 0 ivs in
+  Alcotest.(check bool) "n lives into the loop region" true
+    (n_iv.Intervals.last > max_last / 2)
+
+(* Codegen differential ----------------------------------------------------- *)
+
+let machine_result m ~entry ~args =
+  let prog = Codegen.compile_modul m in
+  (match Machine.Program.validate prog with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("compiled program invalid: " ^ e));
+  let config = { Perfsim.Interp.default_config with model_perf = false } in
+  match Perfsim.Interp.run ~config ~args ~entry prog with
+  | Ok r -> (r.exit_value, r.output)
+  | Error e -> Alcotest.fail ("machine exec error: " ^ Perfsim.Interp.error_to_string e)
+
+let check_diff ?(args = []) m ~entry =
+  let er = eval_exn m ~entry ~args in
+  let mv, mo = machine_result m ~entry ~args in
+  Alcotest.(check int) (entry ^ " exit value") er.exit_value mv;
+  Alcotest.(check (list int)) (entry ^ " output") er.output mo
+
+let test_codegen_sum () =
+  let m = sum_module () in
+  List.iter (fun n -> check_diff m ~entry:"sum" ~args:[ n ]) [ 0; 1; 10; 100 ]
+
+let test_codegen_objects () =
+  let b = Builder.create ~name:"main" ~nparams:0 () in
+  let obj = Builder.alloc_object b "Meta" 40 in
+  Builder.retain b (Ir.V obj);
+  Builder.store b (Ir.Imm 5) (Ir.V obj) 16;
+  Builder.store b (Ir.Imm 6) (Ir.V obj) 24;
+  let a = Builder.load b (Ir.V obj) 16 in
+  let c = Builder.load b (Ir.V obj) 24 in
+  let s = Builder.binop b Ir.Add (Ir.V a) (Ir.V c) in
+  Builder.call_void b "print_i64" [ Ir.V s ];
+  let rc = Builder.load b (Ir.V obj) 0 in
+  Builder.call_void b "print_i64" [ Ir.V rc ];
+  Builder.release b (Ir.V obj);
+  Builder.terminate b (Ir.Ret (Ir.V s));
+  let m =
+    {
+      (empty_module "m") with
+      Ir.funcs = [ Builder.finish b ];
+      globals = [ { Ir.g_name = "Meta"; g_init = [ Ir.Gword 1 ]; g_module = "m" } ];
+    }
+  in
+  check_diff m ~entry:"main"
+
+let test_codegen_spills () =
+  (* More simultaneously-live values than there are registers: forces
+     spilling; all values are summed at the end across a call. *)
+  let b = Builder.create ~name:"main" ~nparams:0 () in
+  let vals = List.init 24 (fun i -> Builder.assign b (Ir.Imm (i * 3))) in
+  Builder.call_void b "print_i64" [ Ir.Imm 1 ];
+  let total =
+    List.fold_left
+      (fun acc v -> Builder.binop b Ir.Add (Ir.V acc) (Ir.V v))
+      (List.hd vals) (List.tl vals)
+  in
+  Builder.terminate b (Ir.Ret (Ir.V total));
+  let m = { (empty_module "m") with Ir.funcs = [ Builder.finish b ] } in
+  check_diff m ~entry:"main"
+
+let test_codegen_calls_across () =
+  (* Values live across calls must survive in callee-saved registers. *)
+  let callee =
+    let b = Builder.create ~name:"triple" ~nparams:1 () in
+    let p = List.hd (Builder.params b) in
+    let r = Builder.binop b Ir.Mul (Ir.V p) (Ir.Imm 3) in
+    Builder.terminate b (Ir.Ret (Ir.V r));
+    Builder.finish b
+  in
+  let b = Builder.create ~name:"main" ~nparams:0 () in
+  let a = Builder.assign b (Ir.Imm 7) in
+  let r1 = Builder.call b "triple" [ Ir.V a ] in
+  let r2 = Builder.call b "triple" [ Ir.V r1 ] in
+  let s = Builder.binop b Ir.Add (Ir.V a) (Ir.V r1) in
+  let s2 = Builder.binop b Ir.Add (Ir.V s) (Ir.V r2) in
+  Builder.terminate b (Ir.Ret (Ir.V s2));
+  let m = { (empty_module "m") with Ir.funcs = [ Builder.finish b; callee ] } in
+  check_diff m ~entry:"main"
+
+let test_codegen_frame_shape () =
+  (* A function with calls must save fp/lr with stp and restore with ldp —
+     the paper's Listing 7/8 shape. *)
+  let b = Builder.create ~name:"main" ~nparams:0 () in
+  let x = Builder.assign b (Ir.Imm 1) in
+  Builder.call_void b "print_i64" [ Ir.V x ];
+  let y = Builder.binop b Ir.Add (Ir.V x) (Ir.Imm 1) in
+  Builder.call_void b "print_i64" [ Ir.V y ];
+  Builder.terminate b (Ir.Ret (Ir.Imm 0));
+  let m = { (empty_module "m") with Ir.funcs = [ Builder.finish b ] } in
+  let prog = Codegen.compile_modul m in
+  let f = Option.get (Machine.Program.find_func prog "main") in
+  let entry = Machine.Mfunc.entry f in
+  (match entry.Machine.Block.body.(0) with
+  | Machine.Insn.Stp (a, l, { base = Machine.Reg.SP; mode = Machine.Insn.Pre; _ })
+    when Machine.Reg.equal a Machine.Reg.fp && Machine.Reg.equal l Machine.Reg.lr ->
+    ()
+  | i -> Alcotest.fail ("expected fp/lr save, got " ^ Machine.Insn.to_string i));
+  (* The instruction before ret must restore fp/lr. *)
+  let last = entry.Machine.Block.body.(Array.length entry.Machine.Block.body - 1) in
+  match last with
+  | Machine.Insn.Ldp (a, l, { base = Machine.Reg.SP; mode = Machine.Insn.Post; _ })
+    when Machine.Reg.equal a Machine.Reg.fp && Machine.Reg.equal l Machine.Reg.lr ->
+    ()
+  | i -> Alcotest.fail ("expected fp/lr restore, got " ^ Machine.Insn.to_string i)
+
+(* Random differential: generated MIR modules behave identically compiled. *)
+let gen_module =
+  QCheck.Gen.(
+    let gen_func fidx callable =
+      (* ops reference only already-defined values; calls only target
+         already-generated functions, so the call graph is acyclic. *)
+      let* n_ops = int_range 1 14 in
+      let name = Printf.sprintf "fn%d" fidx in
+      let b = Builder.create ~name ~nparams:1 () in
+      let rec build nvals i =
+        if i >= n_ops then return nvals
+        else
+          let pick_val = map (fun k -> Ir.V (k mod nvals)) (int_range 0 (nvals - 1)) in
+          let call_cases =
+            if callable = [] then []
+            else [ (2, map2 (fun f a -> `Call (f, a)) (oneofl callable) pick_val) ]
+          in
+          let* op =
+            frequency
+              ([
+                 (3, map (fun n -> `Const n) (int_range 0 20));
+                 ( 4,
+                   map3
+                     (fun o a b' -> `Bin (o, a, b'))
+                     (oneofl [ Ir.Add; Ir.Sub; Ir.Mul; Ir.And; Ir.Or; Ir.Xor ])
+                     pick_val pick_val );
+                 ( 2,
+                   map2
+                     (fun c a -> `Cmp (c, a))
+                     (oneofl Machine.Cond.[ Eq; Ne; Lt; Ge ])
+                     pick_val );
+                 (1, map (fun a -> `Print a) pick_val);
+               ]
+              @ call_cases)
+          in
+          match op with
+          | `Const n ->
+            ignore (Builder.assign b (Ir.Imm n));
+            build (nvals + 1) (i + 1)
+          | `Bin (o, a, b') ->
+            ignore (Builder.binop b o a b');
+            build (nvals + 1) (i + 1)
+          | `Cmp (c, a) ->
+            ignore (Builder.icmp b c a (Ir.Imm 5));
+            build (nvals + 1) (i + 1)
+          | `Call (f, a) ->
+            ignore (Builder.call b f [ a ]);
+            build (nvals + 1) (i + 1)
+          | `Print a ->
+            Builder.call_void b "print_i64" [ a ];
+            build nvals (i + 1)
+      in
+      let* nvals = build 1 0 in
+      (* Return the last defined value via a diamond to exercise branches. *)
+      let c = Builder.icmp b Machine.Cond.Ge (Ir.V (nvals - 1)) (Ir.Imm 10) in
+      Builder.terminate b (Ir.Cond_br (Ir.V c, "big", "small"));
+      Builder.start_block b "big";
+      let r1 = Builder.binop b Ir.Add (Ir.V (nvals - 1)) (Ir.Imm 1) in
+      Builder.terminate b (Ir.Ret (Ir.V r1));
+      Builder.start_block b "small";
+      let r2 = Builder.binop b Ir.Sub (Ir.V (nvals - 1)) (Ir.Imm 1) in
+      Builder.terminate b (Ir.Ret (Ir.V r2));
+      return (Builder.finish b)
+    in
+    let* nfuncs = int_range 1 5 in
+    let rec go i acc callable =
+      if i >= nfuncs then return (List.rev acc)
+      else
+        let* f = gen_func i callable in
+        go (i + 1) (f :: acc) (f.Ir.name :: callable)
+    in
+    let* funcs = go 0 [] [] in
+    (* main calls every function and folds the results. *)
+    let b = Builder.create ~name:"main" ~nparams:0 () in
+    let acc0 = Builder.assign b (Ir.Imm 1) in
+    let acc =
+      List.fold_left
+        (fun acc (f : Ir.func) ->
+          let r = Builder.call b f.Ir.name [ Ir.V acc ] in
+          Builder.binop b Ir.Xor (Ir.V acc) (Ir.V r))
+        acc0 funcs
+    in
+    Builder.call_void b "print_i64" [ Ir.V acc ];
+    Builder.terminate b (Ir.Ret (Ir.V acc));
+    return { (empty_module "rand") with Ir.funcs = Builder.finish b :: funcs })
+
+let arb_module =
+  QCheck.make gen_module ~print:(fun m -> Format.asprintf "%a" Ir.pp_modul m)
+
+let prop_codegen_matches_eval =
+  QCheck.Test.make ~count:250 ~name:"codegen matches MIR evaluation" arb_module
+    (fun m ->
+      match Eval.run ~entry:"main" m with
+      | Error e -> QCheck.Test.fail_reportf "eval failed: %s" (Eval.error_to_string e)
+      | Ok er -> (
+        let prog = Codegen.compile_modul m in
+        (match Machine.Program.validate prog with
+        | Ok () -> ()
+        | Error e -> QCheck.Test.fail_reportf "invalid program: %s" e);
+        let config = { Perfsim.Interp.default_config with model_perf = false } in
+        match Perfsim.Interp.run ~config ~entry:"main" prog with
+        | Error e ->
+          QCheck.Test.fail_reportf "machine failed: %s"
+            (Perfsim.Interp.error_to_string e)
+        | Ok mr ->
+          er.exit_value = mr.exit_value && er.output = mr.output))
+
+let prop_codegen_seed_matches_eval =
+  QCheck.Test.make ~count:100
+    ~name:"randomized register pools preserve behaviour (future work 2)" arb_module
+    (fun m ->
+      match Eval.run ~entry:"main" m with
+      | Error e -> QCheck.Test.fail_reportf "eval failed: %s" (Eval.error_to_string e)
+      | Ok er -> (
+        let prog = Codegen.compile_modul ~regalloc_seed:1234 m in
+        (match Machine.Program.validate prog with
+        | Ok () -> ()
+        | Error e -> QCheck.Test.fail_reportf "invalid program: %s" e);
+        let config = { Perfsim.Interp.default_config with model_perf = false } in
+        match Perfsim.Interp.run ~config ~entry:"main" prog with
+        | Error e ->
+          QCheck.Test.fail_reportf "machine failed: %s"
+            (Perfsim.Interp.error_to_string e)
+        | Ok mr ->
+          er.exit_value = mr.exit_value && er.output = mr.output))
+
+let prop_codegen_then_outline_matches_eval =
+  QCheck.Test.make ~count:150
+    ~name:"codegen + whole-program outlining matches MIR evaluation" arb_module
+    (fun m ->
+      match Eval.run ~entry:"main" m with
+      | Error e -> QCheck.Test.fail_reportf "eval failed: %s" (Eval.error_to_string e)
+      | Ok er -> (
+        let prog = Codegen.compile_modul m in
+        let prog, _ = Outcore.Repeat.run ~rounds:5 prog in
+        let config = { Perfsim.Interp.default_config with model_perf = false } in
+        match Perfsim.Interp.run ~config ~entry:"main" prog with
+        | Error e ->
+          QCheck.Test.fail_reportf "outlined machine failed: %s"
+            (Perfsim.Interp.error_to_string e)
+        | Ok mr ->
+          er.exit_value = mr.exit_value && er.output = mr.output))
+
+let () =
+  Alcotest.run "mir"
+    [
+      ( "ir",
+        [
+          Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "eval sum" `Quick test_eval_sum;
+          Alcotest.test_case "eval objects" `Quick test_eval_objects;
+        ] );
+      ( "out_of_ssa",
+        [
+          Alcotest.test_case "lowering" `Quick test_out_of_ssa;
+          Alcotest.test_case "swap problem" `Quick test_out_of_ssa_swap;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "flag conflict" `Quick test_link_flag_conflict;
+          Alcotest.test_case "data order" `Quick test_link_data_order;
+          Alcotest.test_case "duplicate symbol" `Quick test_link_duplicate_symbol;
+        ] );
+      ( "merging",
+        [
+          Alcotest.test_case "merge functions" `Quick test_merge_functions;
+          Alcotest.test_case "fmsa" `Quick test_fmsa;
+          Alcotest.test_case "dce" `Quick test_dce;
+        ] );
+      ( "codegen",
+        [
+          Alcotest.test_case "intervals" `Quick test_intervals;
+          Alcotest.test_case "intervals loop extension" `Quick
+            test_intervals_loop_extension;
+          Alcotest.test_case "sum loop" `Quick test_codegen_sum;
+          Alcotest.test_case "objects" `Quick test_codegen_objects;
+          Alcotest.test_case "spills" `Quick test_codegen_spills;
+          Alcotest.test_case "values across calls" `Quick test_codegen_calls_across;
+          Alcotest.test_case "frame shape" `Quick test_codegen_frame_shape;
+        ] );
+      ( "differential",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_codegen_matches_eval;
+            prop_codegen_seed_matches_eval;
+            prop_codegen_then_outline_matches_eval;
+          ] );
+    ]

@@ -1,0 +1,171 @@
+(* Tests for the generalized suffix tree, including cross-checks against the
+   quadratic reference implementation. *)
+
+let check = Alcotest.(check bool)
+
+let occ_list =
+  Alcotest.testable
+    (fun ppf l ->
+      List.iter
+        (fun (o : Sufftree.Suffix_tree.occurrence) ->
+          Format.fprintf ppf "(%d,%d) " o.seq o.pos)
+        l)
+    ( = )
+
+let banana = [| 1; 2; 3; 2; 3; 2 |] (* b a n a n a *)
+
+let test_contains () =
+  let t = Sufftree.Suffix_tree.build [ banana ] in
+  check "ana" true (Sufftree.Suffix_tree.contains t [| 2; 3; 2 |]);
+  check "anan" true (Sufftree.Suffix_tree.contains t [| 2; 3; 2; 3 |]);
+  check "banana" true (Sufftree.Suffix_tree.contains t banana);
+  check "nab" false (Sufftree.Suffix_tree.contains t [| 3; 2; 1 |]);
+  check "empty" true (Sufftree.Suffix_tree.contains t [||]);
+  check "bananas" false (Sufftree.Suffix_tree.contains t [| 1; 2; 3; 2; 3; 2; 9 |])
+
+let test_leaves () =
+  let t = Sufftree.Suffix_tree.build [ banana ] in
+  (* 6 symbols + 1 sentinel = 7 suffixes. *)
+  Alcotest.(check int) "leaf count" 7 (Sufftree.Suffix_tree.count_leaves t)
+
+let test_repeats_banana () =
+  let t = Sufftree.Suffix_tree.build [ banana ] in
+  let reps = Sufftree.Suffix_tree.repeats ~min_length:2 t in
+  (* Right-maximal repeats of length >= 2 in "banana": "ana" (an occurs only
+     as prefix of ana; "na" likewise is right-maximal? na occurs at 2 and 4,
+     followed by 'n' and end -> right-maximal). *)
+  let syms r =
+    match r.Sufftree.Suffix_tree.occs with
+    | o :: _ -> Array.to_list (Sufftree.Suffix_tree.substring_at t o r.length)
+    | [] -> []
+  in
+  let sorted = List.sort compare (List.map syms reps) in
+  Alcotest.(check (list (list int)))
+    "repeats" [ [ 2; 3; 2 ]; [ 3; 2 ] ] sorted
+
+let test_multi_sequence () =
+  (* Pattern [5;6] appears once in each of two sequences: the generalized
+     tree must find it without gluing sequences together. *)
+  let t = Sufftree.Suffix_tree.build [ [| 5; 6; 1 |]; [| 2; 5; 6 |] ] in
+  let reps = Sufftree.Suffix_tree.repeats ~min_length:2 t in
+  let target =
+    List.find_opt
+      (fun r ->
+        r.Sufftree.Suffix_tree.length = 2
+        &&
+        match r.occs with
+        | o :: _ ->
+          Sufftree.Suffix_tree.substring_at t o 2 = [| 5; 6 |]
+        | [] -> false)
+      reps
+  in
+  match target with
+  | None -> Alcotest.fail "pattern [5;6] not found"
+  | Some r ->
+    Alcotest.check occ_list "occurrences"
+      [ { Sufftree.Suffix_tree.seq = 0; pos = 0 }; { seq = 1; pos = 1 } ]
+      r.occs
+
+let test_no_cross_sequence_repeat () =
+  (* [1;2] would repeat only if sequences were glued: seq0 ends with 1 and
+     seq1 starts with 2. *)
+  let t = Sufftree.Suffix_tree.build [ [| 7; 1 |]; [| 2; 8 |] ] in
+  let reps = Sufftree.Suffix_tree.repeats ~min_length:2 t in
+  Alcotest.(check int) "no repeats" 0 (List.length reps)
+
+let test_negative_rejected () =
+  Alcotest.check_raises "negative symbol"
+    (Invalid_argument "Suffix_tree.build: negative symbol") (fun () ->
+      ignore (Sufftree.Suffix_tree.build [ [| 1; -3 |] ]))
+
+(* Cross-check against the naive reference on random inputs. *)
+let normalize_tree_repeats t reps =
+  List.map
+    (fun (r : Sufftree.Suffix_tree.repeat) ->
+      let syms =
+        match r.occs with
+        | o :: _ -> Array.to_list (Sufftree.Suffix_tree.substring_at t o r.length)
+        | [] -> []
+      in
+      let occs =
+        List.sort
+          (fun (a : Sufftree.Suffix_tree.occurrence) b ->
+            match Int.compare a.seq b.seq with
+            | 0 -> Int.compare a.pos b.pos
+            | c -> c)
+          r.occs
+      in
+      (syms, occs))
+    reps
+  |> List.sort compare
+
+let gen_seqs =
+  QCheck.Gen.(
+    let seq = list_size (int_range 0 24) (int_range 0 3) in
+    map (List.map Array.of_list) (list_size (int_range 1 3) seq))
+
+let arb_seqs =
+  QCheck.make gen_seqs
+    ~print:(fun seqs ->
+      String.concat "|"
+        (List.map
+           (fun s ->
+             String.concat ","
+               (List.map string_of_int (Array.to_list s)))
+           seqs))
+
+let prop_matches_naive =
+  QCheck.Test.make ~count:300 ~name:"tree repeats = naive right-maximal repeats"
+    arb_seqs (fun seqs ->
+      let t = Sufftree.Suffix_tree.build seqs in
+      let tree = normalize_tree_repeats t (Sufftree.Suffix_tree.repeats ~min_length:2 t) in
+      let naive = Sufftree.Naive.repeats ~min_length:2 seqs in
+      tree = naive)
+
+let prop_contains =
+  QCheck.Test.make ~count:300 ~name:"contains agrees with substring scan"
+    QCheck.(pair arb_seqs (make QCheck.Gen.(list_size (int_range 1 4) (int_range 0 3))))
+    (fun (seqs, needle_l) ->
+      let needle = Array.of_list needle_l in
+      let t = Sufftree.Suffix_tree.build seqs in
+      let naive_contains =
+        List.exists
+          (fun s ->
+            let n = Array.length s and m = Array.length needle in
+            let rec at i =
+              if i + m > n then false
+              else if Array.sub s i m = needle then true
+              else at (i + 1)
+            in
+            at 0)
+          seqs
+      in
+      Sufftree.Suffix_tree.contains t needle = naive_contains)
+
+let prop_leaf_count =
+  QCheck.Test.make ~count:200 ~name:"leaf count = number of suffixes"
+    arb_seqs (fun seqs ->
+      let t = Sufftree.Suffix_tree.build seqs in
+      let expected =
+        List.fold_left (fun acc s -> acc + Array.length s + 1) 0 seqs
+      in
+      Sufftree.Suffix_tree.count_leaves t = expected)
+
+let () =
+  Alcotest.run "sufftree"
+    [
+      ( "suffix_tree",
+        [
+          Alcotest.test_case "contains" `Quick test_contains;
+          Alcotest.test_case "leaf count" `Quick test_leaves;
+          Alcotest.test_case "banana repeats" `Quick test_repeats_banana;
+          Alcotest.test_case "multi-sequence repeat" `Quick test_multi_sequence;
+          Alcotest.test_case "no cross-sequence repeat" `Quick
+            test_no_cross_sequence_repeat;
+          Alcotest.test_case "negative symbols rejected" `Quick
+            test_negative_rejected;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_matches_naive; prop_contains; prop_leaf_count ] );
+    ]
