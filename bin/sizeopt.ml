@@ -252,7 +252,67 @@ let report_cmd =
     (Cmd.info "report" ~doc:"Per-module size attribution for a program.")
     Term.(const run $ input $ top)
 
+(* --- fuzz ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N"
+           ~doc:"Root seed; every failure report names the (seed, index) \
+                 pair that regenerates it.")
+  in
+  let count =
+    Arg.(value & opt int 100 & info [ "count" ] ~docv:"K"
+           ~doc:"Programs to generate and sweep across the config lattice.")
+  in
+  let fuel =
+    Arg.(value & opt int 8 & info [ "fuel" ] ~docv:"F"
+           ~doc:"Program size: scales modules, declarations and statements.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log every skip/failure.")
+  in
+  let self_test =
+    Arg.(value & flag & info [ "self-test" ]
+           ~doc:"Inject an outliner legality bug and require the harness to \
+                 catch it and shrink the reproducer to <= 30 lines.")
+  in
+  let list_points =
+    Arg.(value & flag & info [ "list-points" ]
+           ~doc:"Print the lattice point labels and exit.")
+  in
+  let run seed count fuel verbose self_test list_points =
+    let log = if verbose then prerr_endline else fun _ -> () in
+    if list_points then
+      List.iter
+        (fun (label, _) -> print_endline label)
+        (Fuzz.Lattice.points Pipeline.default_config)
+    else if self_test then begin
+      match Fuzz.Driver.self_test ~log ~seed () with
+      | Ok report -> print_endline ("self-test OK: " ^ report)
+      | Error report ->
+        prerr_endline ("self-test FAILED: " ^ report);
+        exit 1
+    end
+    else begin
+      match Fuzz.Driver.fuzz ~log ~seed ~count ~fuel () with
+      | Ok s ->
+        Printf.printf
+          "fuzz OK: %d programs (%d skipped), %d lattice points checked, 0 \
+           divergences\n"
+          s.Fuzz.Driver.programs s.skipped s.points_checked
+      | Error report ->
+        prerr_endline report;
+        exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random Swiftlet and machine programs, every \
+          pipeline-config lattice point checked against the MIR oracle.")
+    Term.(const run $ seed $ count $ fuel $ verbose $ self_test $ list_points)
+
 let () =
   let doc = "whole-program repeated machine outlining toolchain (CGO'21 reproduction)" in
   let info = Cmd.info "sizeopt" ~doc in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; outline_cmd; stats_cmd; run_cmd; appgen_cmd; report_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; outline_cmd; stats_cmd; run_cmd; appgen_cmd; report_cmd; fuzz_cmd ]))

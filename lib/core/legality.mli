@@ -15,3 +15,10 @@ type verdict =
   | Illegal
 
 val classify : Machine.Insn.t -> verdict
+
+val unsafe_outline_lr : bool ref
+(** Fault-injection hook for the differential fuzzer's self-test: when set,
+    the LR rule above is skipped, so LR-touching instructions become
+    outlinable and repeated outlining silently corrupts return addresses.
+    The fuzz harness flips this to prove it can catch and shrink a real
+    outliner bug ([sizeopt fuzz --self-test]).  Never set it anywhere else. *)

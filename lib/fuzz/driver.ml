@@ -1,0 +1,138 @@
+type stats = {
+  programs : int;
+  skipped : int;
+  points_checked : int;
+}
+
+let null_log _ = ()
+
+(* Every program gets its own child rng, so a failure reproduces from
+   (seed, index) alone no matter how much the generators drift between
+   runs. *)
+let rng_for ~seed ~index = Random.State.make [| seed; index |]
+
+let swiftlet_report ~seed ~index p (f : Lattice.failure) =
+  let buf = Buffer.create 2048 in
+  Printf.bprintf buf "=== fuzz divergence (swiftlet) ===\n";
+  Printf.bprintf buf "reproduce: sizeopt fuzz --seed %d --count %d  (program #%d)\n"
+    seed (index + 1) index;
+  Printf.bprintf buf "lattice point: %s\n" f.point;
+  Printf.bprintf buf "%s\n" f.reason;
+  Printf.bprintf buf "--- reduced program (%d lines) ---\n%s"
+    (Swiftgen.source_lines p) (Swiftgen.print_source p);
+  Buffer.contents buf
+
+let machine_report ~seed ~index p (f : Lattice.failure) =
+  let src = Machine.Asm_printer.to_source p in
+  let lines =
+    String.split_on_char '\n' src
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.length
+  in
+  let buf = Buffer.create 2048 in
+  Printf.bprintf buf "=== fuzz divergence (machine) ===\n";
+  Printf.bprintf buf "reproduce: sizeopt fuzz --seed %d --count %d  (program #%d)\n"
+    seed (index + 1) index;
+  Printf.bprintf buf "lattice point: %s\n" f.point;
+  Printf.bprintf buf "%s\n" f.reason;
+  Printf.bprintf buf "--- reduced program (%d lines) ---\n%s" lines src;
+  Buffer.contents buf
+
+let fuzz ?(log = null_log) ~seed ~count ~fuel () =
+  let skipped = ref 0 and points = ref 0 in
+  let failure = ref None in
+  let i = ref 0 in
+  while !failure = None && !i < count do
+    let index = !i in
+    let st = rng_for ~seed ~index in
+    (* Three Swiftlet programs to one direct machine program. *)
+    if index mod 4 = 3 then begin
+      let p = Machgen.generate st ~fuel in
+      match Lattice.check_machine p with
+      | Lattice.Pass n -> points := !points + n
+      | Lattice.Skip reason ->
+        incr skipped;
+        log (Printf.sprintf "#%d skipped (machine): %s" index reason)
+      | Lattice.Fail f ->
+        log (Printf.sprintf "#%d FAILED (machine) at %s; shrinking..." index
+               f.point);
+        let p', f' = Shrink.machine p f in
+        failure := Some (machine_report ~seed ~index p' f')
+    end
+    else begin
+      let p = Swiftgen.generate st ~fuel in
+      match Lattice.check p with
+      | Lattice.Pass n -> points := !points + n
+      | Lattice.Skip reason ->
+        incr skipped;
+        log (Printf.sprintf "#%d skipped: %s" index reason)
+      | Lattice.Fail f ->
+        log (Printf.sprintf "#%d FAILED at %s; shrinking..." index f.point);
+        let p', f' = Shrink.swiftlet p f in
+        failure := Some (swiftlet_report ~seed ~index p' f')
+    end;
+    incr i
+  done;
+  match !failure with
+  | Some report -> Error report
+  | None -> Ok { programs = !i; skipped = !skipped; points_checked = !points }
+
+(* --- self-test --------------------------------------------------------------- *)
+
+let non_blank_lines s =
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length
+
+let self_test ?(log = null_log) ~seed () =
+  let max_attempts = 100 in
+  Outcore.Legality.unsafe_outline_lr := true;
+  Fun.protect
+    ~finally:(fun () -> Outcore.Legality.unsafe_outline_lr := false)
+    (fun () ->
+      let found = ref None in
+      let attempt = ref 0 in
+      while !found = None && !attempt < max_attempts do
+        let index = !attempt in
+        let st = rng_for ~seed:(seed + 7919) ~index in
+        let p = Machgen.generate st ~fuel:8 in
+        (match Lattice.check_machine p with
+        | Lattice.Fail f ->
+          log
+            (Printf.sprintf
+               "injected bug caught on attempt %d at %s; shrinking..." index
+               f.point);
+          found := Some (p, f)
+        | Lattice.Pass _ | Lattice.Skip _ -> ());
+        incr attempt
+      done;
+      match !found with
+      | None ->
+        Error
+          (Printf.sprintf
+             "self-test: the injected LR-legality bug was NOT caught in %d \
+              random machine programs"
+             max_attempts)
+      | Some (p, f) -> (
+        let p', f' = Shrink.machine p f in
+        let src = Machine.Asm_printer.to_source p' in
+        let lines = non_blank_lines src in
+        if lines > 30 then
+          Error
+            (Printf.sprintf
+               "self-test: reproducer still %d lines after shrinking (want \
+                <= 30)\n--- program ---\n%s"
+               lines src)
+        else
+          match Lattice.check_machine p' with
+          | Lattice.Fail _ ->
+            Ok
+              (Printf.sprintf
+                 "injected LR-legality bug caught and shrunk to %d lines\n\
+                  offending point: %s\n\
+                  %s\n\
+                  --- reproducer ---\n\
+                  %s"
+                 lines f'.point f'.reason src)
+          | _ ->
+            Error "self-test: shrunk reproducer no longer fails (unsound shrink)"))

@@ -1,0 +1,27 @@
+(** The fuzzing loop and the harness self-test. *)
+
+type stats = {
+  programs : int;        (** generated (Swiftlet + machine) *)
+  skipped : int;         (** outside the checkable domain (see {!Lattice}) *)
+  points_checked : int;  (** lattice points that ran and agreed *)
+}
+
+val fuzz :
+  ?log:(string -> unit) ->
+  seed:int ->
+  count:int ->
+  fuel:int ->
+  unit ->
+  (stats, string) result
+(** Generate [count] programs from [seed] (three Swiftlet programs to one
+    machine program) and sweep each across its lattice.  On the first
+    divergence the failing case is shrunk and [Error report] returns the
+    reduced source, the offending lattice point and both traces — the
+    report's seed line reproduces the run bit-for-bit. *)
+
+val self_test : ?log:(string -> unit) -> seed:int -> unit -> (string, string) result
+(** Prove the harness catches a real outliner bug: flip
+    {!Outcore.Legality.unsafe_outline_lr}, fuzz machine programs until the
+    corrupted-LR divergence appears, shrink it, and require the reproducer
+    to fit in 30 source lines.  [Ok report] carries the shrunk reproducer;
+    [Error] means the harness failed to catch or shrink the bug. *)

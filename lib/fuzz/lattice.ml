@@ -1,0 +1,342 @@
+type failure = {
+  point : string;
+  reason : string;
+}
+
+type verdict =
+  | Pass of int
+  | Skip of string
+  | Fail of failure
+
+(* --- lattice points -------------------------------------------------------- *)
+
+let pass_combos =
+  [
+    ("plain", fun (c : Pipeline.config) -> c);
+    ("nodce", fun c -> { c with Pipeline.run_dce = false });
+    ("sil", fun c -> { c with Pipeline.run_sil_outline = true });
+    ("merge", fun c -> { c with Pipeline.run_merge_functions = true });
+    ("fmsa", fun c -> { c with Pipeline.run_fmsa = true });
+    ("canon", fun c -> { c with Pipeline.run_canonicalize = true });
+    ( "all",
+      fun c ->
+        {
+          c with
+          Pipeline.run_sil_outline = true;
+          run_merge_functions = true;
+          run_fmsa = true;
+          run_canonicalize = true;
+        } );
+  ]
+
+let points base =
+  let base =
+    {
+      base with
+      Pipeline.flag_semantics = Link.Attributes;
+      data_order = Link.Module_preserving;
+      outlined_layout = `Append;
+    }
+  in
+  let modes = [ ("pm", Pipeline.Per_module); ("wp", Pipeline.Whole_program) ] in
+  let rounds = [ 0; 1; 3 ] in
+  let main =
+    List.concat_map
+      (fun (mname, mode) ->
+        List.concat_map
+          (fun r ->
+            List.map
+              (fun (pname, f) ->
+                ( Printf.sprintf "%s/r%d/%s" mname r pname,
+                  f { base with Pipeline.mode; outline_rounds = r } ))
+              pass_combos)
+          rounds)
+      modes
+  in
+  let wp3 = { base with Pipeline.mode = Whole_program; outline_rounds = 3 } in
+  let link_axes =
+    [
+      ("wp/r3/legacy-flags", { wp3 with Pipeline.flag_semantics = Link.Legacy });
+      ( "wp/r3/interleaved",
+        { wp3 with Pipeline.data_order = Link.Interleaved } );
+      ( "wp/r3/legacy-interleaved",
+        {
+          wp3 with
+          Pipeline.flag_semantics = Link.Legacy;
+          data_order = Link.Interleaved;
+        } );
+      ( "wp/r3/caller-affinity",
+        { wp3 with Pipeline.outlined_layout = `Caller_affinity } );
+    ]
+  in
+  main @ link_axes
+
+(* --- flags ------------------------------------------------------------------ *)
+
+let attach_flags style modules =
+  List.mapi
+    (fun i (m : Ir.modul) ->
+      let v =
+        match style with
+        | Swiftgen.Uniform_attrs -> Ir.Attrs [ ("gc_mode", 0) ]
+        | Swiftgen.Uniform_packed ->
+          Ir.Packed (Link.pack_objc_gc ~gc_mode:0 ~compiler_id:7 ~version:502)
+        | Swiftgen.Mixed_compilers ->
+          (* Same gc mode, different compiler identity/version bits: the
+             §VI-2 spurious conflict under Legacy semantics. *)
+          Ir.Packed
+            (Link.pack_objc_gc ~gc_mode:0 ~compiler_id:(1 + i)
+               ~version:(500 + i))
+      in
+      { m with Ir.flags = [ ("objc_gc", v) ] })
+    modules
+
+(* --- running one side -------------------------------------------------------- *)
+
+let render_output l = "[" ^ String.concat "; " (List.map string_of_int l) ^ "]"
+
+let render_run exit_value output =
+  Printf.sprintf "exit=%d output=%s" exit_value (render_output output)
+
+let interp_config =
+  {
+    Perfsim.Interp.default_config with
+    model_perf = false;
+    max_steps = 20_000_000;
+  }
+
+(* A Legacy-semantics point over Mixed_compilers modules must die in
+   llvm-link with the spurious flag conflict. *)
+let expect_conflict (cfg : Pipeline.config) style n_modules =
+  cfg.Pipeline.mode = Pipeline.Whole_program
+  && cfg.Pipeline.flag_semantics = Link.Legacy
+  && style = Swiftgen.Mixed_compilers
+  && n_modules >= 2
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let run_point modules (label, cfg) ~style ~ref_exit ~ref_output =
+  match Pipeline.build ~config:cfg modules with
+  | Error msg ->
+    if expect_conflict cfg style (List.length modules) then
+      if contains_substring msg "module flag conflict" then Ok None
+      else
+        Error
+          {
+            point = label;
+            reason =
+              "expected a module flag conflict under Legacy semantics, got \
+               a different failure: " ^ msg;
+          }
+    else Error { point = label; reason = "pipeline failed: " ^ msg }
+  | Ok res ->
+    if expect_conflict cfg style (List.length modules) then
+      Error
+        {
+          point = label;
+          reason =
+            "Legacy flag semantics should have reported a module flag \
+             conflict for mixed-compiler modules, but the build succeeded";
+        }
+    else begin
+      match
+        Perfsim.Interp.run ~config:interp_config ~entry:"main" res.program
+      with
+      | Error e ->
+        Error
+          {
+            point = label;
+            reason =
+              "machine execution failed: " ^ Perfsim.Interp.error_to_string e
+              ^ " (reference: " ^ render_run ref_exit ref_output ^ ")";
+          }
+      | Ok r ->
+        if r.exit_value <> ref_exit || r.output <> ref_output then
+          Error
+            {
+              point = label;
+              reason =
+                Printf.sprintf "oracle divergence: reference %s, %s got %s"
+                  (render_run ref_exit ref_output)
+                  label
+                  (render_run r.exit_value r.output);
+            }
+        else Ok (Some res)
+    end
+
+(* Strip the round count out of a label so results can be grouped into
+   monotonicity chains: same mode, same passes, same link axes. *)
+let chain_key label cfg =
+  match String.index_opt label '/' with
+  | Some _ ->
+    let parts = String.split_on_char '/' label in
+    let parts = List.filter (fun p -> String.length p < 2 || String.sub p 0 1 <> "r"
+                                       || not (String.for_all (fun c -> c >= '0' && c <= '9')
+                                                 (String.sub p 1 (String.length p - 1)))) parts in
+    String.concat "/" parts
+  | None -> ignore cfg; label
+
+let check_monotone results =
+  (* [results]: (label, rounds, binary_size) list in lattice order. *)
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (label, cfg, rounds, size) ->
+      let key = chain_key label cfg in
+      let prev = try Hashtbl.find tbl key with Not_found -> [] in
+      Hashtbl.replace tbl key ((label, rounds, size) :: prev))
+    results;
+  Hashtbl.fold
+    (fun _key chain acc ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+        let chain = List.sort (fun (_, a, _) (_, b, _) -> compare a b) chain in
+        let rec scan = function
+          | (la, ra, sa) :: ((lb, rb, sb) :: _ as rest) ->
+            if rb > ra && sb > sa then
+              Some
+                {
+                  point = lb;
+                  reason =
+                    Printf.sprintf
+                      "image size not monotone in outline rounds: %s = %d \
+                       bytes but %s = %d bytes"
+                      la sa lb sb;
+                }
+            else scan rest
+          | _ -> None
+        in
+        scan chain)
+    tbl None
+
+(* --- the Swiftlet check ------------------------------------------------------ *)
+
+let check (p : Swiftgen.program) =
+  match Swiftlet.Compile.compile_program (Swiftgen.to_sources p) with
+  | Error msg -> Skip ("front-end: " ^ msg)
+  | Ok modules -> (
+    let modules = attach_flags p.flag_style modules in
+    match
+      Link.link ~flag_semantics:Link.Attributes
+        ~data_order:Link.Module_preserving ~name:"whole" modules
+    with
+    | Error e -> Skip ("reference link: " ^ Link.error_to_string e)
+    | Ok whole -> (
+      match Eval.run ~max_steps:5_000_000 ~entry:"main" whole with
+      | Error e -> Skip ("reference eval: " ^ Eval.error_to_string e)
+      | Ok ref_res -> (
+        let ref_exit = ref_res.exit_value and ref_output = ref_res.output in
+        let pts = points Pipeline.default_config in
+        let failure = ref None in
+        let sizes = ref [] in
+        List.iter
+          (fun ((label, cfg) as pt) ->
+            if !failure = None then
+              match
+                run_point modules pt ~style:p.flag_style ~ref_exit ~ref_output
+              with
+              | Error f -> failure := Some f
+              | Ok None -> ()
+              | Ok (Some res) ->
+                sizes :=
+                  (label, cfg, cfg.Pipeline.outline_rounds, res.binary_size)
+                  :: !sizes)
+          pts;
+        match !failure with
+        | Some f -> Fail f
+        | None -> (
+          match check_monotone (List.rev !sizes) with
+          | Some f -> Fail f
+          | None -> Pass (List.length pts)))))
+
+(* --- the machine check ------------------------------------------------------- *)
+
+let machine_interp_config =
+  { Perfsim.Interp.default_config with model_perf = false; max_steps = 2_000_000 }
+
+let machine_points = [ ("r1", 1, false); ("r3", 3, false); ("r5", 5, false);
+                       ("canon-r3", 3, true) ]
+
+let check_machine (p : Machine.Program.t) =
+  match Perfsim.Interp.run ~config:machine_interp_config ~entry:"main" p with
+  | Error e -> Skip ("base run: " ^ Perfsim.Interp.error_to_string e)
+  | Ok base -> (
+    let base_size = Machine.Program.code_size_bytes p in
+    let failure = ref None in
+    let last_size = ref None in
+    List.iter
+      (fun (label, rounds, canon) ->
+        if !failure = None then begin
+          let q = if canon then fst (Outcore.Canonicalize.run p) else p in
+          let q', _stats = Outcore.Repeat.run ~rounds q in
+          match Machine.Program.validate q' with
+          | Error msg ->
+            failure :=
+              Some { point = label; reason = "invalid after outlining: " ^ msg }
+          | Ok () -> (
+            let size = Machine.Program.code_size_bytes q' in
+            if size > base_size then
+              failure :=
+                Some
+                  {
+                    point = label;
+                    reason =
+                      Printf.sprintf
+                        "outlining grew the code: %d -> %d bytes" base_size size;
+                  }
+            else begin
+              (match !last_size with
+              | Some (prev_label, prev_rounds, prev_size)
+                when (not canon) && rounds > prev_rounds && size > prev_size ->
+                failure :=
+                  Some
+                    {
+                      point = label;
+                      reason =
+                        Printf.sprintf
+                          "code size not monotone in rounds: %s = %d, %s = %d"
+                          prev_label prev_size label size;
+                    }
+              | _ -> ());
+              if not canon then last_size := Some (label, rounds, size);
+              if !failure = None then
+                match
+                  Perfsim.Interp.run ~config:machine_interp_config ~entry:"main"
+                    q'
+                with
+                | Error e ->
+                  failure :=
+                    Some
+                      {
+                        point = label;
+                        reason =
+                          "execution failed after outlining: "
+                          ^ Perfsim.Interp.error_to_string e
+                          ^ " (base: "
+                          ^ render_run base.exit_value base.output
+                          ^ ")";
+                      }
+                | Ok r ->
+                  if
+                    r.exit_value <> base.exit_value || r.output <> base.output
+                  then
+                    failure :=
+                      Some
+                        {
+                          point = label;
+                          reason =
+                            Printf.sprintf
+                              "oracle divergence: base %s, %s got %s"
+                              (render_run base.exit_value base.output)
+                              label
+                              (render_run r.exit_value r.output);
+                        }
+            end)
+        end)
+      machine_points;
+    match !failure with
+    | Some f -> Fail f
+    | None -> Pass (List.length machine_points))

@@ -1,0 +1,41 @@
+(** The pipeline-config lattice and the differential oracle check.
+
+    One generated Swiftlet program is compiled under every lattice point —
+    {!Pipeline.mode} × outline rounds × each optional pass × the §VI
+    [flag_semantics]/[data_order] link axes — and every resulting machine
+    program must agree with the MIR reference interpreter on exit value and
+    printed output.  Image size must also be monotonically non-increasing
+    in the outline-round count, holding every other axis fixed.
+
+    Legacy-semantics points are special-cased: a program whose modules
+    carry {!Swiftgen.Mixed_compilers} flags is *required* to fail linking
+    with a module-flag conflict there (and only there) — reproducing the
+    §VI-2 spurious-conflict behaviour is part of the oracle. *)
+
+type failure = {
+  point : string;  (** label of the offending lattice point *)
+  reason : string; (** what diverged, with both sides rendered *)
+}
+
+type verdict =
+  | Pass of int       (** number of lattice points checked *)
+  | Skip of string    (** front-end rejection or reference-oracle trap:
+                          the program is outside the checkable domain *)
+  | Fail of failure
+
+val points : Pipeline.config -> (string * Pipeline.config) list
+(** The labelled lattice, derived from a base config (normally
+    [Pipeline.default_config]).  Exposed for the CLI's [--list-points]. *)
+
+val attach_flags : Swiftgen.flag_style -> Ir.modul list -> Ir.modul list
+(** Give each module an ["objc_gc"] flag in the requested style. *)
+
+val check : Swiftgen.program -> verdict
+(** Compile, run the reference oracle, sweep the lattice. *)
+
+val check_machine : Machine.Program.t -> verdict
+(** Direct outliner stress for generated machine programs: the
+    uninstrumented interpreter run is the oracle; {!Outcore.Repeat.run}
+    at 1/3/5 rounds — with and without pre-canonicalization — must
+    preserve it, keep {!Machine.Program.validate} happy, and shrink code
+    size monotonically in the round count. *)

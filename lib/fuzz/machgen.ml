@@ -1,0 +1,161 @@
+open Machine
+
+let irange st lo hi = lo + Random.State.int st (hi - lo + 1)
+let pick st l = List.nth l (Random.State.int st (List.length l))
+let chance st pct = Random.State.int st 100 < pct
+
+(* Register roles.  Arithmetic lives in x0..x7, x8 holds addresses, x9..x12
+   are prologue-filler scratch, x(19+g)/x28 hold saved LRs.  Keeping the
+   roles disjoint is what makes outlining-induced address motion invisible
+   to the program's output. *)
+let arith_reg st = Reg.x (irange st 0 7)
+let addr_reg = Reg.x 8
+
+let buf_words = 8
+
+let arith_ops = [ Insn.Add; Sub; Mul; And; Orr; Eor ]
+
+(* One straight-line instruction that cannot trap and cannot observe an
+   address: constant divisors, small constant shifts, in-bounds [buf]
+   offsets. *)
+let gen_body_insn st =
+  match irange st 0 9 with
+  | 0 | 1 | 2 ->
+    Insn.Binop (pick st arith_ops, arith_reg st, arith_reg st, Rop (arith_reg st))
+  | 3 | 4 ->
+    Insn.Binop (pick st arith_ops, arith_reg st, arith_reg st, Imm (irange st 0 99))
+  | 5 -> Insn.Mov (arith_reg st, Imm (irange st 0 99))
+  | 6 -> Insn.Binop (Sdiv, arith_reg st, arith_reg st, Imm (irange st 2 9))
+  | 7 ->
+    Insn.Binop (pick st [ Insn.Lsl; Lsr; Asr ], arith_reg st, arith_reg st,
+                Imm (irange st 0 6))
+  | 8 ->
+    Insn.Ldr (arith_reg st,
+              { base = addr_reg; off = 8 * irange st 0 (buf_words - 1);
+                mode = Offset })
+  | _ ->
+    Insn.Str (arith_reg st,
+              { base = addr_reg; off = 8 * irange st 0 (buf_words - 1);
+                mode = Offset })
+
+(* The shared prologue of one generation: the LR save followed by identical
+   filler so the repeated pattern is long enough to be profitable once the
+   legality rule stops protecting it. *)
+let gen_prologue st ~save_reg =
+  let fillers =
+    List.init (irange st 5 8) (fun i ->
+        let r = Reg.x (9 + (i mod 4)) in
+        match irange st 0 2 with
+        | 0 -> Insn.Mov (r, Imm (irange st 0 99))
+        | 1 -> Insn.Binop (Add, r, r, Imm (irange st 1 9))
+        | _ -> Insn.Binop (Eor, r, r, Rop (Reg.x (9 + ((i + 1) mod 4)))))
+  in
+  Insn.mov_r save_reg Reg.lr :: fillers
+
+(* A motif shared across several functions of different generations, so the
+   *correct* outliner always has something to chew on too. *)
+let gen_shared_motif st =
+  List.init (irange st 3 6) (fun _ -> gen_body_insn st)
+
+let gen_function st ~name ~prologue ~save_reg ~callees ~motifs ~may_print =
+  let n_blocks = irange st 1 3 in
+  let label i = Printf.sprintf "%s_b%d" name i in
+  let ret_label = Printf.sprintf "%s_ret" name in
+  let calls_left = ref (if callees = [] then 0 else irange st 0 2) in
+  let block i =
+    let body = ref [] in
+    let n = irange st 2 5 in
+    for _ = 1 to n do
+      body := gen_body_insn st :: !body
+    done;
+    if motifs <> [] && chance st 60 then body := List.rev (pick st motifs) @ !body;
+    if !calls_left > 0 && chance st 60 then begin
+      decr calls_left;
+      body := Insn.Bl (pick st callees) :: !body
+    end;
+    if may_print && chance st 35 then
+      body :=
+        Insn.Bl "print_i64"
+        :: Insn.Binop (And, Reg.x 0, arith_reg st, Imm 1023)
+        :: !body;
+    let next = if i + 1 < n_blocks then label (i + 1) else ret_label in
+    let term =
+      if i + 1 >= n_blocks then Block.B next
+      else
+        match irange st 0 3 with
+        | 0 -> Block.B next
+        | 1 -> Block.Cbz (arith_reg st, ret_label, next)
+        | 2 -> Block.Cbnz (arith_reg st, ret_label, next)
+        | _ ->
+          body := Insn.Cmp (arith_reg st, Imm (irange st 0 50)) :: !body;
+          Block.Bcond
+            (pick st [ Cond.Eq; Ne; Lt; Le; Gt; Ge ], ret_label, next)
+    in
+    Block.make ~label:(label i) (List.rev !body) term
+  in
+  let entry_prologue = Insn.Adr (addr_reg, "buf") :: prologue in
+  let blocks = List.init n_blocks block in
+  let blocks =
+    match blocks with
+    | (b : Block.t) :: rest ->
+      { b with body = Array.append (Array.of_list entry_prologue) b.body }
+      :: rest
+    | [] -> assert false
+  in
+  let ret_block =
+    Block.make ~label:ret_label [ Insn.mov_r Reg.lr save_reg ] Block.Ret
+  in
+  Mfunc.make ~from_module:"fuzz" ~name (blocks @ [ ret_block ])
+
+let generate st ~fuel =
+  let fuel = max 2 fuel in
+  let n_gens = 2 + irange st 0 (min 2 (fuel / 4)) in
+  let per_gen = 2 + irange st 0 1 in
+  let motifs = List.init 3 (fun _ -> gen_shared_motif st) in
+  (* Deepest generation first, so every function's callee list is closed. *)
+  let funcs = ref [] in
+  let callees = ref [] in
+  for g = n_gens - 1 downto 0 do
+    (* Same-generation functions share one prologue verbatim: that is the
+       repeated sequence the outliner sees. *)
+    let save_reg = Reg.x (19 + g) in
+    let prologue = gen_prologue st ~save_reg in
+    let gen_names = ref [] in
+    for i = 0 to per_gen - 1 do
+      let name = Printf.sprintf "g%d_f%d" g i in
+      gen_names := name :: !gen_names;
+      funcs :=
+        gen_function st ~name ~prologue ~save_reg ~callees:!callees ~motifs
+          ~may_print:true
+        :: !funcs
+    done;
+    callees := !gen_names @ !callees
+  done;
+  let main_save = Reg.x 28 in
+  let main =
+    gen_function st ~name:"main" ~prologue:(gen_prologue st ~save_reg:main_save)
+      ~save_reg:main_save ~callees:!callees ~motifs ~may_print:true
+  in
+  (* Force a deterministic exit value in [0, 255]. *)
+  let main =
+    let rec patch = function
+      | [] -> []
+      | [ (b : Block.t) ] when b.term = Block.Ret ->
+        [ { b with
+            body =
+              Array.append b.body
+                [| Insn.Binop (And, Reg.x 0, Reg.x 0, Imm 255) |];
+          } ]
+      | b :: rest -> b :: patch rest
+    in
+    { main with Mfunc.blocks = patch main.Mfunc.blocks }
+  in
+  let data =
+    [ Dataobj.make ~from_module:"fuzz" ~name:"buf"
+        (List.init buf_words (fun i -> Dataobj.Word ((i * 37) + 5))) ]
+  in
+  let p = Program.make ~data ~externs:[ "print_i64" ] (main :: !funcs) in
+  (match Program.validate p with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Machgen.generate produced invalid program: " ^ e));
+  p

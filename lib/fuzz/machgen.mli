@@ -1,0 +1,22 @@
+(** Seeded random machine-program generator, for direct outliner stress.
+
+    Programs are safe by construction:
+
+    - the call graph is acyclic: functions are arranged in "generations",
+      and a function only ever calls into strictly later generations;
+    - every branch inside a function is forward-only, so execution
+      terminates without relying on the interpreter's step limit;
+    - each generation [g] saves LR into its own callee-saved register
+      [x(19+g)] ([main] uses x28) with a prologue shared verbatim by the
+      functions of that generation — so the LR save/restore motif repeats
+      and becomes an outlining candidate the moment the legality rule for
+      LR is broken (see {!Outcore.Legality.unsafe_outline_lr});
+    - address-valued registers (the LR saves, and x8 which holds [Adr]
+      results) never flow into [print_i64], [exit_value] or stored data,
+      so correct outlining — which legitimately moves code around —
+      cannot change observable behaviour. *)
+
+val generate : Random.State.t -> fuel:int -> Machine.Program.t
+(** Deterministic in the state.  [fuel] scales generation count, functions
+    per generation and block/instruction counts.  The program defines
+    [main], declares [print_i64] as its only extern, and validates. *)

@@ -1,0 +1,316 @@
+(* Generic greedy fixpoint: repeatedly try candidate reductions, keep any
+   that still fail, stop when a full sweep makes no progress or the check
+   budget runs out. *)
+let fixpoint ~max_checks ~candidates ~still_fails p0 f0 =
+  let checks = ref 0 in
+  let cur = ref p0 and fail = ref f0 in
+  let progress = ref true in
+  while !progress && !checks < max_checks do
+    progress := false;
+    let cands = candidates !cur in
+    List.iter
+      (fun reduce ->
+        if !checks < max_checks then
+          match reduce !cur with
+          | None -> ()
+          | Some q -> (
+            incr checks;
+            match still_fails q with
+            | Some f ->
+              cur := q;
+              fail := f;
+              progress := true
+            | None -> ()))
+      cands
+  done;
+  (!cur, !fail)
+
+(* --- Swiftlet -------------------------------------------------------------- *)
+
+let swiftlet ?(max_checks = 400) p f0 =
+  let still_fails q =
+    match Lattice.check q with Lattice.Fail f -> Some f | _ -> None
+  in
+  let candidates (p : Swiftgen.program) =
+    (* Delete from the back first: later nodes are more often leaves, and
+       removing a leaf never invalidates earlier indices' meaning for the
+       *next* candidate because every candidate re-reads the current
+       program. *)
+    List.init (Swiftgen.count_nodes p) (fun i q ->
+        Swiftgen.delete_node q (Swiftgen.count_nodes q - 1 - i))
+  in
+  fixpoint ~max_checks ~candidates ~still_fails p f0
+
+(* --- machine --------------------------------------------------------------- *)
+
+let validate_opt p =
+  match Machine.Program.validate p with Ok () -> Some p | Error _ -> None
+
+let delete_func name (p : Machine.Program.t) =
+  if name = "main" then None
+  else
+    let funcs = List.filter (fun (f : Machine.Mfunc.t) -> f.name <> name) p.funcs in
+    if List.length funcs = List.length p.funcs then None
+    else validate_opt { p with funcs }
+
+let map_func name fn (p : Machine.Program.t) =
+  let changed = ref false in
+  let funcs =
+    List.map
+      (fun (f : Machine.Mfunc.t) ->
+        if f.name = name then
+          match fn f with
+          | Some f' ->
+            changed := true;
+            f'
+          | None -> f
+        else f)
+      p.funcs
+  in
+  if !changed then validate_opt { p with funcs } else None
+
+let delete_block fname label p =
+  map_func fname
+    (fun f ->
+      let blocks =
+        List.filter (fun (b : Machine.Block.t) -> b.label <> label) f.blocks
+      in
+      if blocks = [] || List.length blocks = List.length f.blocks then None
+      else Some { f with blocks })
+    p
+
+let delete_insn fname label idx p =
+  map_func fname
+    (fun f ->
+      let changed = ref false in
+      let blocks =
+        List.map
+          (fun (b : Machine.Block.t) ->
+            if b.label = label && idx < Array.length b.body then begin
+              changed := true;
+              let body =
+                Array.init
+                  (Array.length b.body - 1)
+                  (fun i -> if i < idx then b.body.(i) else b.body.(i + 1))
+              in
+              { b with body }
+            end
+            else b)
+          f.blocks
+      in
+      if !changed then Some { f with blocks } else None)
+    p
+
+(* Turn a conditional terminator into one of its straight branches: this is
+   what unlocks deleting the branched-to blocks afterwards. *)
+let simplify_term fname label which p =
+  map_func fname
+    (fun f ->
+      let changed = ref false in
+      let blocks =
+        List.map
+          (fun (b : Machine.Block.t) ->
+            if b.label <> label then b
+            else
+              match b.term with
+              | Machine.Block.Bcond (_, taken, fall)
+              | Machine.Block.Cbz (_, taken, fall)
+              | Machine.Block.Cbnz (_, taken, fall) ->
+                changed := true;
+                { b with term = Machine.Block.B (if which then taken else fall) }
+              | _ -> b)
+          f.blocks
+      in
+      if !changed then Some { f with blocks } else None)
+    p
+
+(* Retarget one call to a different defined function, so intermediate
+   frames in a deep call chain can then be deleted outright. *)
+let retarget_call fname label idx target p =
+  map_func fname
+    (fun f ->
+      let changed = ref false in
+      let blocks =
+        List.map
+          (fun (b : Machine.Block.t) ->
+            if b.label = label && idx < Array.length b.body then
+              match b.body.(idx) with
+              | Machine.Insn.Bl callee when callee <> target ->
+                changed := true;
+                let body = Array.copy b.body in
+                body.(idx) <- Machine.Insn.Bl target;
+                { b with body }
+              | _ -> b
+            else b)
+          f.blocks
+      in
+      if !changed then Some { f with blocks } else None)
+    p
+
+(* Merge a [B target] block with its target when nothing else branches
+   there: collapses the label/branch scaffolding that generated programs
+   carry, which matters for reproducer line counts. *)
+let merge_block fname label p =
+  map_func fname
+    (fun f ->
+      let ref_count l =
+        List.fold_left
+          (fun acc (b : Machine.Block.t) ->
+            acc
+            + List.length
+                (List.filter (String.equal l) (Machine.Block.successors b.term)))
+          0 f.blocks
+      in
+      match
+        List.find_opt (fun (b : Machine.Block.t) -> b.label = label) f.blocks
+      with
+      | Some ({ term = Machine.Block.B target; _ } as b)
+        when target <> label && ref_count target = 1 -> (
+        match
+          List.find_opt (fun (x : Machine.Block.t) -> x.label = target) f.blocks
+        with
+        | Some bx ->
+          let merged =
+            { b with body = Array.append b.body bx.body; term = bx.term }
+          in
+          let blocks =
+            List.filter_map
+              (fun (x : Machine.Block.t) ->
+                if x.label = label then Some merged
+                else if x.label = target then None
+                else Some x)
+              f.blocks
+          in
+          Some { f with blocks }
+        | None -> None)
+      | _ -> None)
+    p
+
+let delete_data name (p : Machine.Program.t) =
+  let data =
+    List.filter (fun (d : Machine.Dataobj.t) -> d.name <> name) p.data
+  in
+  if List.length data = List.length p.data then None
+  else validate_opt { p with data }
+
+let machine ?(max_checks = 900) p f0 =
+  let still_fails q =
+    match Lattice.check_machine q with Lattice.Fail f -> Some f | _ -> None
+  in
+  let candidates (p : Machine.Program.t) =
+    let fns = List.concat_map
+        (fun (f : Machine.Mfunc.t) -> [ delete_func f.name ])
+        p.funcs
+    in
+    let blocks =
+      List.concat_map
+        (fun (f : Machine.Mfunc.t) ->
+          List.map
+            (fun (b : Machine.Block.t) -> delete_block f.name b.label)
+            f.blocks)
+        p.funcs
+    in
+    let insns =
+      List.concat_map
+        (fun (f : Machine.Mfunc.t) ->
+          List.concat_map
+            (fun (b : Machine.Block.t) ->
+              (* Back to front, so earlier indices stay valid as the body
+                 shrinks across accepted deletions. *)
+              List.init (Array.length b.body) (fun i ->
+                  delete_insn f.name b.label (Array.length b.body - 1 - i)))
+            f.blocks)
+        p.funcs
+    in
+    let terms =
+      List.concat_map
+        (fun (f : Machine.Mfunc.t) ->
+          List.concat_map
+            (fun (b : Machine.Block.t) ->
+              match b.term with
+              | Machine.Block.Bcond _ | Machine.Block.Cbz _
+              | Machine.Block.Cbnz _ ->
+                [ simplify_term f.name b.label false;
+                  simplify_term f.name b.label true ]
+              | _ -> [])
+            f.blocks)
+        p.funcs
+    in
+    let fn_names = List.map (fun (f : Machine.Mfunc.t) -> f.name) p.funcs in
+    let retargets =
+      List.concat_map
+        (fun (f : Machine.Mfunc.t) ->
+          List.concat_map
+            (fun (b : Machine.Block.t) ->
+              List.concat
+                (List.mapi
+                   (fun i insn ->
+                     match insn with
+                     | Machine.Insn.Bl callee when callee <> "print_i64" ->
+                       List.filter_map
+                         (fun t ->
+                           if t <> callee && t <> "main" then
+                             Some (retarget_call f.name b.label i t)
+                           else None)
+                         fn_names
+                     | _ -> [])
+                   (Array.to_list b.body)))
+            f.blocks)
+        p.funcs
+    in
+    let merges =
+      List.concat_map
+        (fun (f : Machine.Mfunc.t) ->
+          List.filter_map
+            (fun (b : Machine.Block.t) ->
+              match b.term with
+              | Machine.Block.B _ -> Some (merge_block f.name b.label)
+              | _ -> None)
+            f.blocks)
+        p.funcs
+    in
+    let datas =
+      List.map (fun (d : Machine.Dataobj.t) -> delete_data d.name) p.data
+    in
+    (* Deleting one copy of a repeated instruction kills the repeat (and
+       with it the failure); deleting both copies keeps the pattern alive
+       one instruction shorter.  Quadratic, so only on small programs. *)
+    let pairs =
+      if Machine.Program.insn_count p > 150 then []
+      else begin
+        let sites = ref [] in
+        List.iter
+          (fun (f : Machine.Mfunc.t) ->
+            List.iter
+              (fun (b : Machine.Block.t) ->
+                Array.iteri
+                  (fun i insn -> sites := (f.name, b.label, i, insn) :: !sites)
+                  b.body)
+              f.blocks)
+          p.funcs;
+        let sites = !sites in
+        List.concat_map
+          (fun (f1, l1, i1, insn1) ->
+            List.filter_map
+              (fun (f2, l2, i2, insn2) ->
+                let same_slot = f1 = f2 && l1 = l2 in
+                let ordered =
+                  if same_slot then i1 > i2
+                  else (f1, l1, i1) < (f2, l2, i2)
+                in
+                if ordered && Machine.Insn.equal insn1 insn2 then
+                  Some
+                    (fun p ->
+                      (* Higher index first within a block, so the second
+                         deletion's index is still valid. *)
+                      match delete_insn f1 l1 i1 p with
+                      | None -> None
+                      | Some p' -> delete_insn f2 l2 i2 p')
+                else None)
+              sites)
+          sites
+      end
+    in
+    fns @ blocks @ insns @ terms @ retargets @ merges @ datas @ pairs
+  in
+  fixpoint ~max_checks ~candidates ~still_fails p f0

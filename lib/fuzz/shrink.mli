@@ -1,0 +1,24 @@
+(** Minimization of failing fuzz cases by greedy deletion.
+
+    Swiftlet programs shrink by deleting AST print-nodes
+    ({!Swiftgen.delete_node}); a deletion that breaks scoping or typing
+    simply fails to compile, which {!Lattice.check} reports as [Skip], so
+    it is rejected like any deletion that stops failing.  Machine programs
+    shrink by deleting functions, blocks and instructions, with
+    {!Machine.Program.validate} as the structural gate.  Both run to a
+    greedy fixpoint under a check budget. *)
+
+val swiftlet :
+  ?max_checks:int ->
+  Swiftgen.program ->
+  Lattice.failure ->
+  Swiftgen.program * Lattice.failure
+(** [swiftlet p f] assumes [Lattice.check p = Fail f] and returns a minimal
+    still-failing program with its (possibly different) failure. *)
+
+val machine :
+  ?max_checks:int ->
+  Machine.Program.t ->
+  Lattice.failure ->
+  Machine.Program.t * Lattice.failure
+(** Same contract against {!Lattice.check_machine}. *)

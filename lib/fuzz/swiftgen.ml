@@ -1,0 +1,640 @@
+type node =
+  | Line of string
+  | Block of string * node list
+  | Block2 of string * node list * node list
+
+type flag_style =
+  | Uniform_attrs
+  | Uniform_packed
+  | Mixed_compilers
+
+type program = {
+  modules : (string * node list) list;
+  flag_style : flag_style;
+}
+
+(* --- printing ------------------------------------------------------------- *)
+
+let rec print_node buf indent n =
+  let pad = String.make (2 * indent) ' ' in
+  match n with
+  | Line s -> Buffer.add_string buf (pad ^ s ^ "\n")
+  | Block (header, body) ->
+    Buffer.add_string buf (pad ^ header ^ " {\n");
+    List.iter (print_node buf (indent + 1)) body;
+    Buffer.add_string buf (pad ^ "}\n")
+  | Block2 (header, a, b) ->
+    Buffer.add_string buf (pad ^ header ^ " {\n");
+    List.iter (print_node buf (indent + 1)) a;
+    Buffer.add_string buf (pad ^ "} else {\n");
+    List.iter (print_node buf (indent + 1)) b;
+    Buffer.add_string buf (pad ^ "}\n")
+
+let module_source nodes =
+  let buf = Buffer.create 1024 in
+  List.iter (print_node buf 0) nodes;
+  Buffer.contents buf
+
+let to_sources p = List.map (fun (name, nodes) -> (name, module_source nodes)) p.modules
+
+let print_source p =
+  let buf = Buffer.create 2048 in
+  List.iter
+    (fun (name, nodes) ->
+      Buffer.add_string buf (Printf.sprintf "// module %s\n" name);
+      List.iter (print_node buf 0) nodes)
+    p.modules;
+  Buffer.contents buf
+
+let source_lines p =
+  String.split_on_char '\n' (print_source p)
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length
+
+(* --- node counting / deletion --------------------------------------------- *)
+
+let count_nodes p =
+  let rec n_node = function
+    | Line _ -> 1
+    | Block (_, b) -> 1 + List.fold_left (fun a n -> a + n_node n) 0 b
+    | Block2 (_, a, b) ->
+      1
+      + List.fold_left (fun acc n -> acc + n_node n) 0 a
+      + List.fold_left (fun acc n -> acc + n_node n) 0 b
+  in
+  List.fold_left
+    (fun acc (_, nodes) -> acc + List.fold_left (fun a n -> a + n_node n) 0 nodes)
+    0 p.modules
+
+(* Pre-order traversal; node [i] (and its subtree) is removed. *)
+let delete_node p i =
+  let k = ref 0 in
+  let deleted = ref false in
+  let rec del_list nodes =
+    List.concat_map
+      (fun n ->
+        let here = !k in
+        incr k;
+        if here = i then begin
+          deleted := true;
+          (* Skip counting the subtree we removed: indices are only used
+             within one call, and callers restart traversal after every
+             deletion attempt, so no need to keep counters aligned. *)
+          []
+        end
+        else
+          match n with
+          | Line _ -> [ n ]
+          | Block (h, b) -> [ Block (h, del_list b) ]
+          | Block2 (h, a, b) ->
+            let a' = del_list a in
+            [ Block2 (h, a', del_list b) ])
+      nodes
+  in
+  let modules = List.map (fun (name, nodes) -> (name, del_list nodes)) p.modules in
+  if !deleted then Some { p with modules } else None
+
+(* --- rng helpers ----------------------------------------------------------- *)
+
+let irange st lo hi = lo + Random.State.int st (hi - lo + 1)
+let pick st l = List.nth l (Random.State.int st (List.length l))
+let chance st pct = Random.State.int st 100 < pct
+
+(* --- generator state ------------------------------------------------------- *)
+
+type cls = {
+  c_name : string;
+  c_ints : string list;
+  c_arr : string option;
+  c_arr_len : int;
+  c_getters : (string * int) list; (* name, #Int params; returns Int *)
+  c_mutators : string list;        (* name; takes one Int, returns Void *)
+  c_init_arity : int;
+  c_throwing_init : bool;
+}
+
+type fn = {
+  f_name : string;
+  f_arity : int;
+  f_throws : bool;
+  f_hof : bool;
+  f_cost : int; (* rough dynamic cost estimate, to bound nested-loop blowup *)
+}
+
+type ctx = {
+  st : Random.State.t;
+  mutable uid : int;
+  mutable fns : fn list;
+}
+
+let fresh ctx prefix =
+  ctx.uid <- ctx.uid + 1;
+  Printf.sprintf "%s%d" prefix ctx.uid
+
+type env = {
+  mutable ints : string list;
+  mutable muts : string list;
+  mutable arrs : (string * int) list;
+  mutable objs : (string * cls) list;
+  mutable funs1 : string list; (* (Int) -> Int values *)
+  e_throws : bool;
+  classes : cls list;
+  loop_mult : int;
+  cost : int ref; (* shared across nested scopes of one function *)
+}
+
+(* Budget for one function's estimated dynamic cost; keeps the whole
+   program's execution well under the oracle step limits. *)
+let fn_budget = 25_000
+
+let charge env c = env.cost := !(env.cost) + (c * env.loop_mult)
+
+let callable_fns ctx env ~throws ~hof =
+  List.filter
+    (fun f ->
+      f.f_throws = throws && f.f_hof = hof
+      && f.f_cost * env.loop_mult < fn_budget
+      && !(env.cost) < fn_budget)
+    ctx.fns
+
+(* --- expressions ----------------------------------------------------------- *)
+
+let arith_ops = [ "+"; "-"; "*"; "&"; "|"; "^" ]
+let cmp_ops = [ "<"; "<="; ">"; ">="; "=="; "!=" ]
+
+let rec gen_expr ctx env depth =
+  let st = ctx.st in
+  let leaf () =
+    if env.ints <> [] && chance st 65 then pick st env.ints
+    else string_of_int (irange st 0 99)
+  in
+  if depth <= 0 then leaf ()
+  else begin
+    let fns = callable_fns ctx env ~throws:false ~hof:false in
+    let hofs = callable_fns ctx env ~throws:false ~hof:true in
+    let cases = ref [ `Leaf; `Leaf; `Bin; `Bin; `Bin; `Div; `Shift; `Neg ] in
+    if fns <> [] then cases := `Call :: `Call :: !cases;
+    if hofs <> [] && (env.funs1 <> [] || env.ints <> []) then cases := `Hof :: !cases;
+    if env.funs1 <> [] then cases := `Clo :: !cases;
+    if env.arrs <> [] then cases := `Arr :: `Len :: !cases;
+    if List.exists (fun (_, c) -> c.c_ints <> []) env.objs then
+      cases := `Field :: !cases;
+    if List.exists (fun (_, c) -> c.c_getters <> []) env.objs then
+      cases := `Method :: !cases;
+    match pick st !cases with
+    | `Leaf -> leaf ()
+    | `Bin ->
+      charge env 1;
+      Printf.sprintf "(%s %s %s)" (gen_expr ctx env (depth - 1)) (pick st arith_ops)
+        (gen_expr ctx env (depth - 1))
+    | `Div ->
+      charge env 1;
+      Printf.sprintf "(%s %s %d)" (gen_expr ctx env (depth - 1))
+        (pick st [ "/"; "%" ])
+        (irange st 2 9)
+    | `Shift ->
+      charge env 1;
+      Printf.sprintf "(%s %s %d)" (gen_expr ctx env (depth - 1))
+        (pick st [ "<<"; ">>" ])
+        (irange st 0 6)
+    | `Neg -> Printf.sprintf "(0 - %s)" (gen_expr ctx env (depth - 1))
+    | `Call ->
+      let f = pick st fns in
+      charge env f.f_cost;
+      Printf.sprintf "%s(%s)" f.f_name (gen_args ctx env f.f_arity)
+    | `Hof ->
+      let h = pick st hofs in
+      charge env (h.f_cost + 100);
+      let fun_arg =
+        if env.funs1 <> [] && chance st 40 then pick st env.funs1
+        else begin
+          (* A unary non-throwing named function also works as a value. *)
+          let unary = List.filter (fun f -> f.f_arity = 1) fns in
+          if unary <> [] && chance st 30 then (pick st unary).f_name
+          else gen_closure ctx env
+        end
+      in
+      Printf.sprintf "%s(%s, %s)" h.f_name fun_arg (gen_args ctx env h.f_arity)
+    | `Clo ->
+      charge env 10;
+      Printf.sprintf "%s(%s)" (pick st env.funs1) (gen_expr ctx env (depth - 1))
+    | `Arr ->
+      charge env 1;
+      let a, len = pick st env.arrs in
+      Printf.sprintf "%s[%d]" a (irange st 0 (len - 1))
+    | `Len ->
+      let a, _ = pick st env.arrs in
+      Printf.sprintf "len(%s)" a
+    | `Field ->
+      charge env 1;
+      let o, c = pick st (List.filter (fun (_, c) -> c.c_ints <> []) env.objs) in
+      Printf.sprintf "%s.%s" o (pick st c.c_ints)
+    | `Method ->
+      let o, c = pick st (List.filter (fun (_, c) -> c.c_getters <> []) env.objs) in
+      let m, arity = pick st c.c_getters in
+      charge env 20;
+      Printf.sprintf "%s.%s(%s)" o m (gen_args ctx env arity)
+  end
+
+and gen_args ctx env arity =
+  String.concat ", " (List.init arity (fun _ -> gen_expr ctx env 1))
+
+and gen_closure ctx env =
+  let x = fresh ctx "x" in
+  let captures = List.filteri (fun i _ -> i < 3) env.ints in
+  let inner =
+    {
+      env with
+      ints = x :: captures;
+      muts = [];
+      arrs = [];
+      objs = [];
+      funs1 = [];
+      loop_mult = env.loop_mult;
+    }
+  in
+  Printf.sprintf "{ (%s: Int) in return %s }" x (gen_expr ctx inner 2)
+
+let gen_cond ctx env =
+  let st = ctx.st in
+  let cmp () =
+    charge env 1;
+    Printf.sprintf "%s %s %s" (gen_expr ctx env 1) (pick st cmp_ops)
+      (gen_expr ctx env 1)
+  in
+  match irange st 0 9 with
+  | 0 -> Printf.sprintf "%s && %s" (cmp ()) (cmp ())
+  | 1 -> Printf.sprintf "%s || %s" (cmp ()) (cmp ())
+  | 2 -> Printf.sprintf "!(%s)" (cmp ())
+  | _ -> cmp ()
+
+(* --- statements ------------------------------------------------------------ *)
+
+let sub_env ?(mult = 1) env =
+  {
+    env with
+    loop_mult = env.loop_mult * mult;
+    ints = env.ints;
+    muts = env.muts;
+    arrs = env.arrs;
+    objs = env.objs;
+    funs1 = env.funs1;
+  }
+
+let rec gen_stmts ctx env ~fuel =
+  let st = ctx.st in
+  let out = ref [] in
+  let emit n = out := n :: !out in
+  let budget = ref fuel in
+  while !budget > 0 do
+    decr budget;
+    let throwing_fns = callable_fns ctx env ~throws:true ~hof:false in
+    let cases = ref [ `Let; `Let; `Var; `Print; `If; `For; `ArrDecl; `Closure ] in
+    if env.muts <> [] then cases := `Assign :: `Assign :: !cases;
+    if env.arrs <> [] then cases := `ArrSet :: `ForArr :: !cases;
+    if !budget > 2 then cases := `While :: !cases;
+    if List.exists (fun c -> not c.c_throwing_init) env.classes then
+      cases := `Obj :: !cases;
+    if List.exists (fun c -> c.c_throwing_init) env.classes && !budget > 1 then
+      cases := `ObjTry :: !cases;
+    if List.exists (fun (_, c) -> c.c_ints <> []) env.objs then
+      cases := `FieldSet :: !cases;
+    if List.exists (fun (_, c) -> c.c_mutators <> []) env.objs then
+      cases := `Mutate :: !cases;
+    if List.exists (fun (_, c) -> c.c_arr <> None) env.objs then
+      cases := `ObjArr :: !cases;
+    if env.funs1 <> [] then cases := `CloUse :: !cases;
+    if throwing_fns <> [] then cases := `TryOpt :: !cases;
+    if throwing_fns <> [] && env.e_throws then cases := `Try :: !cases;
+    if env.e_throws then cases := `Throw :: !cases;
+    (match pick st !cases with
+    | `Let ->
+      let v = fresh ctx "v" in
+      emit (Line (Printf.sprintf "let %s = %s" v (gen_expr ctx env 2)));
+      env.ints <- v :: env.ints
+    | `Var ->
+      let v = fresh ctx "v" in
+      emit (Line (Printf.sprintf "var %s = %s" v (gen_expr ctx env 2)));
+      env.ints <- v :: env.ints;
+      env.muts <- v :: env.muts
+    | `Assign ->
+      charge env 1;
+      emit (Line (Printf.sprintf "%s = %s" (pick st env.muts) (gen_expr ctx env 2)))
+    | `Print ->
+      charge env 3;
+      emit (Line (Printf.sprintf "print(%s)" (gen_expr ctx env 2)))
+    | `If ->
+      let c = gen_cond ctx env in
+      let then_ = gen_stmts ctx (sub_env env) ~fuel:(irange st 1 2) in
+      if chance st 50 then
+        emit (Block2 (Printf.sprintf "if %s" c, then_,
+                      gen_stmts ctx (sub_env env) ~fuel:(irange st 1 2)))
+      else emit (Block (Printf.sprintf "if %s" c, then_))
+    | `For ->
+      let k = irange st 2 5 in
+      let i = fresh ctx "i" in
+      let inner = sub_env ~mult:k env in
+      inner.ints <- i :: inner.ints;
+      let body = gen_stmts ctx inner ~fuel:(irange st 1 3) in
+      emit (Block (Printf.sprintf "for %s in 0 ..< %d" i k, body))
+    | `ForArr ->
+      let a, _len = pick st env.arrs in
+      let i = fresh ctx "i" in
+      let inner = sub_env ~mult:8 env in
+      inner.ints <- i :: inner.ints;
+      charge env 8;
+      let update = Line (Printf.sprintf "%s[%s] = %s" a i (gen_expr ctx inner 1)) in
+      let rest = gen_stmts ctx inner ~fuel:(irange st 0 1) in
+      emit (Block (Printf.sprintf "for %s in 0 ..< len(%s)" i a, update :: rest))
+    | `While ->
+      let w = fresh ctx "w" in
+      let k = irange st 1 5 in
+      emit (Line (Printf.sprintf "var %s = %d" w k));
+      let inner = sub_env ~mult:k env in
+      inner.ints <- w :: inner.ints;
+      let body = gen_stmts ctx inner ~fuel:(irange st 1 2) in
+      charge env k;
+      emit
+        (Block (Printf.sprintf "while %s > 0" w,
+                Line (Printf.sprintf "%s = %s - 1" w w) :: body))
+    | `ArrDecl ->
+      let a = fresh ctx "a" in
+      let len = irange st 3 8 in
+      charge env len;
+      emit (Line (Printf.sprintf "let %s = array(%d)" a len));
+      env.arrs <- (a, len) :: env.arrs
+    | `ArrSet ->
+      charge env 1;
+      let a, len = pick st env.arrs in
+      emit
+        (Line (Printf.sprintf "%s[%d] = %s" a (irange st 0 (len - 1))
+                 (gen_expr ctx env 2)))
+    | `Obj ->
+      let c = pick st (List.filter (fun c -> not c.c_throwing_init) env.classes) in
+      let o = fresh ctx "o" in
+      charge env 20;
+      emit
+        (Line (Printf.sprintf "let %s = %s(%s)" o c.c_name
+                 (gen_args ctx env c.c_init_arity)));
+      env.objs <- (o, c) :: env.objs
+    | `ObjTry ->
+      (* Guarded throwing-initializer use, as in the paper's decoding code:
+         a failed [try?] init yields 0, so the object is only touched in the
+         else branch.  The object deliberately does not join the scope. *)
+      let c = pick st (List.filter (fun c -> c.c_throwing_init) env.classes) in
+      let o = fresh ctx "o" in
+      charge env 25;
+      emit
+        (Line (Printf.sprintf "let %s = try? %s(%s)" o c.c_name
+                 (gen_args ctx env c.c_init_arity)));
+      let use =
+        match c.c_ints with
+        | f :: _ -> Printf.sprintf "print(%s.%s)" o f
+        | [] -> Printf.sprintf "print(%d)" (irange st 0 99)
+      in
+      emit
+        (Block2 (Printf.sprintf "if %s == 0" o,
+                 [ Line (Printf.sprintf "print(%d)" (irange st 100 199)) ],
+                 [ Line use ]))
+    | `FieldSet ->
+      charge env 1;
+      let o, c = pick st (List.filter (fun (_, c) -> c.c_ints <> []) env.objs) in
+      emit
+        (Line (Printf.sprintf "%s.%s = %s" o (pick st c.c_ints)
+                 (gen_expr ctx env 2)))
+    | `Mutate ->
+      charge env 5;
+      let o, c = pick st (List.filter (fun (_, c) -> c.c_mutators <> []) env.objs) in
+      emit
+        (Line (Printf.sprintf "%s.%s(%s)" o (pick st c.c_mutators)
+                 (gen_expr ctx env 1)))
+    | `ObjArr ->
+      charge env 1;
+      let o, c = pick st (List.filter (fun (_, c) -> c.c_arr <> None) env.objs) in
+      let f = Option.get c.c_arr in
+      let idx = irange st 0 (c.c_arr_len - 1) in
+      if chance st 50 then
+        emit
+          (Line (Printf.sprintf "%s.%s[%d] = %s" o f idx (gen_expr ctx env 1)))
+      else
+        emit (Line (Printf.sprintf "print(%s.%s[%d])" o f idx))
+    | `Closure ->
+      let cvar = fresh ctx "c" in
+      emit (Line (Printf.sprintf "let %s = %s" cvar (gen_closure ctx env)));
+      env.funs1 <- cvar :: env.funs1
+    | `CloUse ->
+      charge env 10;
+      let cvar = pick st env.funs1 in
+      let v = fresh ctx "v" in
+      emit (Line (Printf.sprintf "let %s = %s(%s)" v cvar (gen_expr ctx env 1)));
+      env.ints <- v :: env.ints
+    | `TryOpt ->
+      let f = pick st throwing_fns in
+      charge env f.f_cost;
+      let v = fresh ctx "v" in
+      emit
+        (Line (Printf.sprintf "let %s = try? %s(%s)" v f.f_name
+                 (gen_args ctx env f.f_arity)));
+      env.ints <- v :: env.ints
+    | `Try ->
+      let f = pick st throwing_fns in
+      charge env f.f_cost;
+      let v = fresh ctx "v" in
+      emit
+        (Line (Printf.sprintf "let %s = try %s(%s)" v f.f_name
+                 (gen_args ctx env f.f_arity)));
+      env.ints <- v :: env.ints
+    | `Throw ->
+      emit
+        (Block (Printf.sprintf "if %s" (gen_cond ctx env), [ Line "throw" ])))
+  done;
+  List.rev !out
+
+(* --- declarations ----------------------------------------------------------- *)
+
+let gen_class ctx =
+  let st = ctx.st in
+  let name = fresh ctx "K" in
+  let n_ints = irange st 1 3 in
+  let ints = List.init n_ints (fun i -> Printf.sprintf "g%d" i) in
+  let has_arr = chance st 40 in
+  let arr_len = 4 in
+  let init_arity = irange st 1 2 in
+  let throwing = chance st 30 in
+  let getters = if chance st 80 then [ (fresh ctx "get", irange st 0 1) ] else [] in
+  let mutators = if chance st 50 then [ fresh ctx "bump" ] else [] in
+  let cls =
+    {
+      c_name = name;
+      c_ints = ints;
+      c_arr = (if has_arr then Some "items" else None);
+      c_arr_len = arr_len;
+      c_getters = getters;
+      c_mutators = mutators;
+      c_init_arity = init_arity;
+      c_throwing_init = throwing;
+    }
+  in
+  let fields =
+    List.map (fun f -> Line (Printf.sprintf "var %s: Int" f)) ints
+    @ (if has_arr then [ Line "var items: [Int]" ] else [])
+  in
+  let init_params =
+    String.concat ", "
+      (List.init init_arity (fun i -> Printf.sprintf "a%d: Int" i))
+  in
+  let init_body =
+    (if throwing then [ Line "if a0 < 0 { throw }" ] else [])
+    @ List.mapi
+        (fun i f ->
+          let src = Printf.sprintf "a%d" (i mod init_arity) in
+          if i = 0 then Line (Printf.sprintf "self.%s = %s" f src)
+          else Line (Printf.sprintf "self.%s = %s + %d" f src i))
+        ints
+    @
+    if has_arr then
+      [
+        Line (Printf.sprintf "self.items = array(%d)" arr_len);
+        Line "self.items[0] = a0";
+      ]
+    else []
+  in
+  let init_hdr =
+    if throwing then Printf.sprintf "init(%s) throws" init_params
+    else Printf.sprintf "init(%s)" init_params
+  in
+  let methods =
+    List.map
+      (fun (m, arity) ->
+        let params =
+          String.concat ", " (List.init arity (fun i -> Printf.sprintf "p%d: Int" i))
+        in
+        let terms =
+          List.map (fun f -> "self." ^ f) ints
+          @ List.init arity (fun i -> Printf.sprintf "p%d" i)
+        in
+        let expr =
+          match terms with
+          | [ t ] -> t
+          | t :: rest -> List.fold_left (fun acc u -> Printf.sprintf "(%s + %s)" acc u) t rest
+          | [] -> "0"
+        in
+        Block (Printf.sprintf "func %s(%s) -> Int" m params, [ Line ("return " ^ expr) ]))
+      getters
+    @ List.map
+        (fun m ->
+          let f = List.hd ints in
+          Block (Printf.sprintf "func %s(d: Int)" m,
+                 [ Line (Printf.sprintf "self.%s = self.%s + d" f f) ]))
+        mutators
+  in
+  (cls, Block ("class " ^ name, fields @ [ Block (init_hdr, init_body) ] @ methods))
+
+let gen_hof ctx =
+  let st = ctx.st in
+  let name = fresh ctx "h" in
+  let k = irange st 2 4 in
+  let m = irange st 5 20 in
+  let node =
+    Block
+      (Printf.sprintf "func %s(f: (Int) -> Int, a0: Int) -> Int" name,
+       [
+         Line "var acc = a0";
+         Block
+           (Printf.sprintf "for i in 0 ..< %d" k,
+            [ Line (Printf.sprintf "acc = acc + f((acc %% %d) + i)" m) ]);
+         Line "return acc";
+       ])
+  in
+  let fn = { f_name = name; f_arity = 1; f_throws = false; f_hof = true; f_cost = k * 60 } in
+  ctx.fns <- fn :: ctx.fns;
+  node
+
+let gen_function ctx classes ~throws ~fuel =
+  let st = ctx.st in
+  let name = fresh ctx (if throws then "t" else "f") in
+  let arity = irange st 1 3 in
+  let params = List.init arity (fun i -> Printf.sprintf "p%d" i) in
+  let env =
+    {
+      ints = params;
+      muts = [];
+      arrs = [];
+      objs = [];
+      funs1 = [];
+      e_throws = throws;
+      classes;
+      loop_mult = 1;
+      cost = ref 10;
+    }
+  in
+  let guard =
+    if throws then [ Line (Printf.sprintf "if p0 < (0 - %d) { throw }" (irange st 50 500)) ]
+    else []
+  in
+  let body = gen_stmts ctx env ~fuel in
+  let ret = Line (Printf.sprintf "return %s" (gen_expr ctx env 2)) in
+  let sig_ =
+    String.concat ", " (List.map (fun p -> p ^ ": Int") params)
+  in
+  let hdr =
+    if throws then Printf.sprintf "func %s(%s) throws -> Int" name sig_
+    else Printf.sprintf "func %s(%s) -> Int" name sig_
+  in
+  let node = Block (hdr, guard @ body @ [ ret ]) in
+  let fn = { f_name = name; f_arity = arity; f_throws = throws; f_hof = false;
+             f_cost = !(env.cost) + 10 } in
+  ctx.fns <- fn :: ctx.fns;
+  node
+
+let gen_main ctx classes ~fuel =
+  let env =
+    {
+      ints = [];
+      muts = [];
+      arrs = [];
+      objs = [];
+      funs1 = [];
+      e_throws = false;
+      classes;
+      loop_mult = 1;
+      cost = ref 10;
+    }
+  in
+  let body = gen_stmts ctx env ~fuel in
+  let ret = Line (Printf.sprintf "return (%s & 255)" (gen_expr ctx env 2)) in
+  Block ("func main() -> Int", body @ [ ret ])
+
+let generate st ~fuel =
+  let fuel = max 2 fuel in
+  let ctx = { st; uid = 0; fns = [] } in
+  let n_modules = min 4 (1 + irange st 0 (fuel / 4)) in
+  let modules =
+    List.init n_modules (fun mi ->
+        let m_name = Printf.sprintf "m%d" mi in
+        let classes = ref [] in
+        let decls = ref [] in
+        let n_classes = if chance st 60 then irange st 1 2 else 0 in
+        for _ = 1 to n_classes do
+          let cls, node = gen_class ctx in
+          classes := cls :: !classes;
+          decls := node :: !decls
+        done;
+        if chance st 40 then decls := gen_hof ctx :: !decls;
+        let n_funcs = irange st 1 (max 1 (fuel / 3)) in
+        for _ = 1 to n_funcs do
+          let throws = chance st 25 in
+          decls :=
+            gen_function ctx !classes ~throws ~fuel:(irange st 2 fuel) :: !decls
+        done;
+        if mi = n_modules - 1 then
+          decls := gen_main ctx !classes ~fuel:(max 3 fuel) :: !decls;
+        (m_name, List.rev !decls))
+  in
+  let flag_style =
+    match irange st 0 9 with
+    | 0 | 1 -> Uniform_packed
+    | 2 | 3 -> Mixed_compilers
+    | _ -> Uniform_attrs
+  in
+  { modules; flag_style }

@@ -1,0 +1,53 @@
+(** Seeded random Swiftlet program generator.
+
+    Programs are built as a tree of printable nodes so the shrinker can
+    minimize failing cases by subtree deletion ({!delete_node}) and simply
+    re-print and re-compile: deletions that break scoping or typing are
+    rejected by the compile step, not by bookkeeping here.
+
+    The generator only produces programs that are well-typed and
+    deterministic by construction: divisors and shift amounts are
+    constants, array indices are loop-bounded or in-range literals, loops
+    are bounded, the call graph is acyclic, and no address-valued
+    expression (class reference) ever reaches [print] or [main]'s return
+    value — so the MIR evaluator and the machine interpreter must agree
+    exactly, under every pipeline configuration. *)
+
+type node =
+  | Line of string
+  | Block of string * node list              (** [header { body }] *)
+  | Block2 of string * node list * node list (** [header { a } else { b }] *)
+
+(** How module metadata flags are emitted, to exercise the §VI-2
+    [llvm-link] conflict across the lattice's [flag_semantics] axis. *)
+type flag_style =
+  | Uniform_attrs    (** every module uses the attribute encoding *)
+  | Uniform_packed   (** every module packs the same legacy word *)
+  | Mixed_compilers  (** packed words with different compiler id/version
+                         bits per module: conflicts under [Legacy],
+                         links fine under [Attributes] *)
+
+type program = {
+  modules : (string * node list) list;  (** (module name, declarations) *)
+  flag_style : flag_style;
+}
+
+val generate : Random.State.t -> fuel:int -> program
+(** Deterministic in the state: same seed, same program.  [fuel] scales
+    module count, declarations per module and statements per function. *)
+
+val to_sources : program -> (string * string) list
+(** (module name, Swiftlet source) pairs, ready for
+    [Swiftlet.Compile.compile_program]. *)
+
+val print_source : program -> string
+(** All modules concatenated with [// module] headers, for reports. *)
+
+val source_lines : program -> int
+(** Non-blank source lines across all modules. *)
+
+val count_nodes : program -> int
+(** Number of deletable nodes (pre-order over all modules). *)
+
+val delete_node : program -> int -> program option
+(** Remove the n-th node (and its subtree); [None] if out of range. *)

@@ -166,7 +166,14 @@ let run ?(max_holes = 6) ?(min_instrs = 4) ?(keep = fun _ -> false)
     (fun (f : Ir.func) ->
       if Ir.instr_count f >= min_instrs && not (keep f) then begin
         let key, holes = key_with_holes f in
-        if List.length holes <= max_holes then
+        (* The merged function gains one parameter per hole; stay within
+           the register-passed argument budget or the back end cannot
+           lower calls to it (caught by the differential fuzzer). *)
+        if
+          List.length holes <= max_holes
+          && List.length f.Ir.params + List.length holes
+             <= Machine.Reg.max_args
+        then
           let prev = Option.value ~default:[] (Hashtbl.find_opt groups key) in
           Hashtbl.replace groups key ((f, holes) :: prev)
       end)

@@ -304,7 +304,10 @@ and fn_value_thunk f name (fs : Sigs.fsig) =
   match Hashtbl.find_opt f.l.fn_thunks name with
   | Some t -> t
   | None ->
-    let thunk_name = name ^ "_fnthunk" in
+    (* Thunks are emitted per referencing module; qualify the symbol so two
+       modules taking the same function's value don't collide at link time
+       (found by the differential fuzzer). *)
+    let thunk_name = name ^ "_fnthunk_" ^ f.l.module_name in
     Hashtbl.replace f.l.fn_thunks name thunk_name;
     Hashtbl.replace f.l.defined thunk_name ();
     note_call f name;

@@ -1,0 +1,155 @@
+(* Unit tests for the outlining cost model: per-strategy function sizes,
+   per-site call overheads, and the exact break-even boundaries of the
+   profitability rule (benefit >= 1 with at least two sites). *)
+
+open Outcore
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A pattern of [len] movs with [sites] occurrences, all using the same
+   call overhead.  The instruction contents are irrelevant to the model;
+   only lengths and site categories enter the arithmetic. *)
+let mk ?(strategy = Candidate.Plain_call) ?(needs_lr_frame = false)
+    ?(call = Candidate.Call_free) ~len ~sites () =
+  {
+    Candidate.insns =
+      List.init len (fun i -> Machine.Insn.Mov (Machine.Reg.x 1, Imm i));
+    length = len;
+    strategy;
+    sites =
+      List.init sites (fun i ->
+          {
+            Candidate.func = Printf.sprintf "f%d" i;
+            block = "entry";
+            start = 0;
+            len;
+            with_ret = strategy = Candidate.Ends_with_ret;
+            call;
+          });
+    needs_lr_frame;
+  }
+
+let test_outlined_function_bytes () =
+  (* Ends_with_ret keeps the pattern's own ret: no extra instruction. *)
+  check_int "ends_with_ret" 20
+    (Cost_model.outlined_function_bytes Candidate.Ends_with_ret
+       ~needs_lr_frame:false ~pattern_len:5);
+  (* Thunk re-issues the trailing call as a tail call: also 4 * len. *)
+  check_int "thunk" 20
+    (Cost_model.outlined_function_bytes Candidate.Thunk ~needs_lr_frame:false
+       ~pattern_len:5);
+  (* Plain_call appends a ret. *)
+  check_int "plain_call" 24
+    (Cost_model.outlined_function_bytes Candidate.Plain_call
+       ~needs_lr_frame:false ~pattern_len:5);
+  (* An interior call forces an LR spill/reload pair: + 8 bytes. *)
+  check_int "plain_call + frame" 32
+    (Cost_model.outlined_function_bytes Candidate.Plain_call
+       ~needs_lr_frame:true ~pattern_len:5);
+  check_int "thunk + frame" 28
+    (Cost_model.outlined_function_bytes Candidate.Thunk ~needs_lr_frame:true
+       ~pattern_len:5)
+
+let test_site_costs () =
+  check_int "direct call" 4 (Candidate.site_cost_bytes Candidate.Call_free);
+  check_int "save-LR call" 12 (Candidate.site_cost_bytes Candidate.Call_save_lr);
+  check_int "pattern bytes" 28 (Candidate.pattern_bytes (mk ~len:7 ~sites:2 ()))
+
+(* Plain_call, Call_free sites: benefit = n*(4L - 4) - 4(L + 1). *)
+let test_benefit_plain_call_free () =
+  check_int "L=3 n=2" 0 (Cost_model.benefit (mk ~len:3 ~sites:2 ()));
+  check_int "L=4 n=2" 4 (Cost_model.benefit (mk ~len:4 ~sites:2 ()));
+  check_int "L=3 n=3" 8 (Cost_model.benefit (mk ~len:3 ~sites:3 ()));
+  check_int "L=2 n=2" (-4) (Cost_model.benefit (mk ~len:2 ~sites:2 ()))
+
+let test_break_even_plain_call () =
+  (* Two Call_free sites break even at exactly L = 3 (benefit 0, not
+     profitable) and turn profitable at L = 4. *)
+  check_bool "L=3 n=2 not profitable" false
+    (Cost_model.profitable (mk ~len:3 ~sites:2 ()));
+  check_bool "L=4 n=2 profitable" true
+    (Cost_model.profitable (mk ~len:4 ~sites:2 ()));
+  (* Three sites of a 3-long pattern clear the bar. *)
+  check_bool "L=3 n=3 profitable" true
+    (Cost_model.profitable (mk ~len:3 ~sites:3 ()))
+
+(* Save-LR sites cost 12 bytes each: benefit = n*(4L - 12) - 4(L + 1);
+   with two sites the boundary sits at L = 7. *)
+let test_break_even_save_lr () =
+  let mk = mk ~call:Candidate.Call_save_lr in
+  check_int "L=7 n=2" 0 (Cost_model.benefit (mk ~len:7 ~sites:2 ()));
+  check_bool "L=7 n=2 not profitable" false
+    (Cost_model.profitable (mk ~len:7 ~sites:2 ()));
+  check_bool "L=8 n=2 profitable" true
+    (Cost_model.profitable (mk ~len:8 ~sites:2 ()));
+  (* Mixed overheads: one cheap site pulls the 7-long pattern over the
+     line: (28-4) + (28-12) - 32 = 8. *)
+  let mixed =
+    {
+      (mk ~len:7 ~sites:2 ()) with
+      Candidate.sites =
+        [
+          { Candidate.func = "a"; block = "entry"; start = 0; len = 7;
+            with_ret = false; call = Candidate.Call_free };
+          { Candidate.func = "b"; block = "entry"; start = 0; len = 7;
+            with_ret = false; call = Candidate.Call_save_lr };
+        ];
+    }
+  in
+  check_int "mixed sites" 8 (Cost_model.benefit mixed);
+  check_bool "mixed profitable" true (Cost_model.profitable mixed)
+
+(* Ends_with_ret: tail branches (4 bytes/site), body keeps its ret:
+   benefit = n*(4L - 4) - 4L; two sites break even at L = 2. *)
+let test_break_even_ends_with_ret () =
+  let mk = mk ~strategy:Candidate.Ends_with_ret in
+  check_int "L=2 n=2" 0 (Cost_model.benefit (mk ~len:2 ~sites:2 ()));
+  check_bool "L=2 n=2 not profitable" false
+    (Cost_model.profitable (mk ~len:2 ~sites:2 ()));
+  check_bool "L=3 n=2 profitable" true
+    (Cost_model.profitable (mk ~len:3 ~sites:2 ()))
+
+(* Thunk: same function size as ends-with-ret, ordinary call sites. *)
+let test_break_even_thunk () =
+  let mk = mk ~strategy:Candidate.Thunk in
+  check_int "L=2 n=2" 0 (Cost_model.benefit (mk ~len:2 ~sites:2 ()));
+  check_bool "L=3 n=2 profitable" true
+    (Cost_model.profitable (mk ~len:3 ~sites:2 ()));
+  (* The LR frame eats 8 bytes, pushing the two-site boundary to L = 4. *)
+  check_int "L=3 n=2 framed" (-4)
+    (Cost_model.benefit (mk ~needs_lr_frame:true ~len:3 ~sites:2 ()));
+  check_int "L=4 n=2 framed" 0
+    (Cost_model.benefit (mk ~needs_lr_frame:true ~len:4 ~sites:2 ()));
+  check_bool "L=4 n=2 framed not profitable" false
+    (Cost_model.profitable (mk ~needs_lr_frame:true ~len:4 ~sites:2 ()));
+  check_bool "L=5 n=2 framed profitable" true
+    (Cost_model.profitable (mk ~needs_lr_frame:true ~len:5 ~sites:2 ()))
+
+let test_single_site_never_profitable () =
+  (* A lone occurrence can have positive arithmetic benefit in no case —
+     but the rule also demands two sites explicitly. *)
+  check_bool "one site" false
+    (Cost_model.profitable (mk ~len:50 ~sites:1 ()))
+
+let () =
+  Alcotest.run "cost_model"
+    [
+      ( "cost_model",
+        [
+          Alcotest.test_case "outlined function bytes" `Quick
+            test_outlined_function_bytes;
+          Alcotest.test_case "site costs" `Quick test_site_costs;
+          Alcotest.test_case "benefit: plain call, free sites" `Quick
+            test_benefit_plain_call_free;
+          Alcotest.test_case "break-even: plain call" `Quick
+            test_break_even_plain_call;
+          Alcotest.test_case "break-even: save-LR sites" `Quick
+            test_break_even_save_lr;
+          Alcotest.test_case "break-even: ends-with-ret" `Quick
+            test_break_even_ends_with_ret;
+          Alcotest.test_case "break-even: thunk" `Quick test_break_even_thunk;
+          Alcotest.test_case "single site never profitable" `Quick
+            test_single_site_never_profitable;
+        ] );
+    ]

@@ -241,6 +241,34 @@ let test_link_data_order () =
   Alcotest.(check int) "same count" 6 (List.length interleaved);
   Alcotest.(check bool) "order differs" true (interleaved <> preserved)
 
+(* Regression for the §VI-3 data-layout fix: under [Module_preserving] the
+   merged global list is *exactly* the concatenation of the input modules'
+   lists — object order within each module untouched, names included — no
+   matter how hash-scatter-prone the names are.  (The original llvm-link
+   behaviour, modelled by [Interleaved], reorders by name hash.) *)
+let test_link_data_order_preserves_object_order () =
+  let st = Random.State.make [| 0xda7a |] in
+  let mk_module mi =
+    let name = Printf.sprintf "mod%d" mi in
+    let n = 3 + Random.State.int st 5 in
+    module_with_globals name
+      (List.init n (fun gi ->
+           Printf.sprintf "%s_g%d_%d" name gi (Random.State.int st 10000)))
+  in
+  let modules = List.init 4 mk_module in
+  let before =
+    List.concat_map
+      (fun (m : Ir.modul) ->
+        List.map (fun (g : Ir.global) -> g.g_name) m.globals)
+      modules
+  in
+  match Link.link ~data_order:Link.Module_preserving ~name:"app" modules with
+  | Error e -> Alcotest.fail (Link.error_to_string e)
+  | Ok merged ->
+    let after = List.map (fun (g : Ir.global) -> g.g_name) merged.globals in
+    Alcotest.(check (list string))
+      "object order identical before/after merge" before after
+
 let test_link_duplicate_symbol () =
   let m1 = module_with_globals "m1" [ "shared" ] in
   let m2 = module_with_globals "m2" [ "shared" ] in
@@ -625,6 +653,8 @@ let () =
         [
           Alcotest.test_case "flag conflict" `Quick test_link_flag_conflict;
           Alcotest.test_case "data order" `Quick test_link_data_order;
+          Alcotest.test_case "data order: object order preserved" `Quick
+            test_link_data_order_preserves_object_order;
           Alcotest.test_case "duplicate symbol" `Quick test_link_duplicate_symbol;
         ] );
       ( "merging",

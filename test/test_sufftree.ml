@@ -122,6 +122,33 @@ let prop_matches_naive =
       let naive = Sufftree.Naive.repeats ~min_length:2 seqs in
       tree = naive)
 
+(* Deterministic seeded sweep: 200 random inputs with longer sequences and
+   a wider alphabet than the QCheck shrinker-friendly generator explores.
+   Any disagreement prints the offending input, which reproduces from the
+   fixed seed alone. *)
+let test_seeded_matches_naive () =
+  let st = Random.State.make [| 0x5eed; 200 |] in
+  for i = 1 to 200 do
+    let n_seqs = 1 + Random.State.int st 3 in
+    let seqs =
+      List.init n_seqs (fun _ ->
+          Array.init (Random.State.int st 48) (fun _ -> Random.State.int st 7))
+    in
+    let t = Sufftree.Suffix_tree.build seqs in
+    let tree =
+      normalize_tree_repeats t (Sufftree.Suffix_tree.repeats ~min_length:2 t)
+    in
+    let naive = Sufftree.Naive.repeats ~min_length:2 seqs in
+    if tree <> naive then
+      Alcotest.failf "seeded case %d: tree/naive disagree on %s" i
+        (String.concat "|"
+           (List.map
+              (fun s ->
+                String.concat ","
+                  (List.map string_of_int (Array.to_list s)))
+              seqs))
+  done
+
 let prop_contains =
   QCheck.Test.make ~count:300 ~name:"contains agrees with substring scan"
     QCheck.(pair arb_seqs (make QCheck.Gen.(list_size (int_range 1 4) (int_range 0 3))))
@@ -164,6 +191,8 @@ let () =
             test_no_cross_sequence_repeat;
           Alcotest.test_case "negative symbols rejected" `Quick
             test_negative_rejected;
+          Alcotest.test_case "seeded 200-array naive agreement" `Quick
+            test_seeded_matches_naive;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
