@@ -454,7 +454,136 @@ let buildtime () =
   Printf.printf
     "default (per-module) pipeline total: %.2fs\n\
      [paper: default 21 min; new pipeline 53 min + ~7 min/round, 66 min at 5 rounds]\n"
-    dtotal
+    dtotal;
+  (* Incremental vs from-scratch outliner engine on the same machine
+     program (the llc output, before outlining), best of two runs each.
+     The byte-identity and the >= 2x speedup are hard assertions, not
+     eyeballed numbers. *)
+  let machine = (Lazy.force rider_unoutlined).Pipeline.program in
+  let time_engine engine =
+    let once () =
+      let prof = Outcore.Profile.create () in
+      let t0 = Unix.gettimeofday () in
+      let p, _ = Outcore.Repeat.run ~profile:prof ~engine ~rounds:5 machine in
+      (Unix.gettimeofday () -. t0, p, prof)
+    in
+    let (t1, p, prof) = once () in
+    let (t2, _, _) = once () in
+    (Float.min t1 t2, p, prof)
+  in
+  let ts, ps, _ = time_engine `Scratch in
+  let ti, pi, prof_i = time_engine `Incremental in
+  let speedup = ts /. ti in
+  Printf.printf
+    "\nuber_rider outliner, 5 rounds: scratch %.2fs, incremental %.2fs \
+     (%.1fx speedup)\n"
+    ts ti speedup;
+  print_string (Outcore.Profile.render prof_i);
+  if Machine.Asm_printer.to_source ps <> Machine.Asm_printer.to_source pi then
+    failwith "buildtime: incremental and scratch outliner outputs differ";
+  if speedup < 2.0 then
+    failwith
+      (Printf.sprintf "buildtime: incremental speedup %.2fx is below the 2x bar"
+         speedup);
+  Printf.printf "engines byte-identical; speedup %.1fx clears the 2x bar\n"
+    speedup
+
+(* ------------------------------------------------------- outline bench *)
+
+(* Wall time and code size for both outliner engines across round counts,
+   emitted as BENCH_outline.json (schema documented in README) so CI can
+   track the perf trajectory.  Exits nonzero if the engines ever diverge. *)
+let outline_bench () =
+  title "Outliner engine benchmark: scratch vs incremental (uber_rider)";
+  let machine = (Lazy.force rider_unoutlined).Pipeline.program in
+  let src = Machine.Asm_printer.to_source in
+  let run_engine engine rounds =
+    let prof = Outcore.Profile.create () in
+    let t0 = Unix.gettimeofday () in
+    let p, stats = Outcore.Repeat.run ~profile:prof ~engine ~rounds machine in
+    (Unix.gettimeofday () -. t0, p, stats, prof)
+  in
+  let rounds_list = [ 1; 3; 5 ] in
+  let results =
+    List.concat_map
+      (fun rounds ->
+        List.map
+          (fun (ename, engine) ->
+            let wall, p, stats, prof = run_engine engine rounds in
+            (ename, rounds, wall, p, stats, prof))
+          [ ("scratch", `Scratch); ("incremental", `Incremental) ])
+      rounds_list
+  in
+  let find ename rounds =
+    List.find (fun (e, r, _, _, _, _) -> e = ename && r = rounds) results
+  in
+  let identical =
+    List.for_all
+      (fun rounds ->
+        let _, _, _, ps, _, _ = find "scratch" rounds in
+        let _, _, _, pi, _, _ = find "incremental" rounds in
+        src ps = src pi)
+      rounds_list
+  in
+  print_string
+    (table
+       ~header:[ "engine"; "rounds"; "wall s"; "code B"; "funcs" ]
+       (List.map
+          (fun (ename, rounds, wall, p, stats, _) ->
+            [
+              ename;
+              string_of_int rounds;
+              Printf.sprintf "%.3f" wall;
+              string_of_int (Machine.Program.code_size_bytes p);
+              string_of_int
+                (List.fold_left
+                   (fun a (s : Outcore.Outliner.round_stats) ->
+                     a + s.functions_created)
+                   0 stats);
+            ])
+          results));
+  let ts, ti =
+    let s, _, ws, _, _, _ = find "scratch" 5 in
+    let i, _, wi, _, _, _ = find "incremental" 5 in
+    ignore s;
+    ignore i;
+    (ws, wi)
+  in
+  let speedup = ts /. ti in
+  Printf.printf "identical outputs: %b   r5 speedup: %.2fx\n" identical speedup;
+  (* Hand-rolled JSON: no JSON library in the build environment. *)
+  let json_config (ename, rounds, wall, p, stats, prof) =
+    Printf.sprintf
+      "    {\"engine\":\"%s\",\"rounds\":%d,\"wall_s\":%.6f,\"code_size\":%d,\
+       \"binary_size\":%d,\"functions_created\":%d,\"rounds_profile\":%s}"
+      ename rounds wall
+      (Machine.Program.code_size_bytes p)
+      (Linker.binary_size (Linker.link p))
+      (List.fold_left
+         (fun a (s : Outcore.Outliner.round_stats) -> a + s.functions_created)
+         0 stats)
+      (Outcore.Profile.to_json prof)
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"app\": \"uber_rider\",\n\
+      \  \"default_rounds\": 5,\n\
+      \  \"configs\": [\n\
+       %s\n\
+      \  ],\n\
+      \  \"speedup_r5\": %.3f,\n\
+      \  \"identical\": %b\n\
+       }\n"
+      (String.concat ",\n" (List.map json_config results))
+      speedup identical
+  in
+  let oc = open_out "BENCH_outline.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_outline.json\n";
+  if not identical then
+    failwith "outline_bench: incremental and scratch outputs diverge"
 
 (* ----------------------------------------------------------------- E12 *)
 
@@ -729,6 +858,7 @@ let experiments =
     ("table3", table3);
     ("table4", table4);
     ("buildtime", buildtime);
+    ("outline_bench", outline_bench);
     ("apps", apps);
     ("foreign", foreign);
     ("datalayout", datalayout);

@@ -196,6 +196,110 @@ let appgen_cmd =
     (Cmd.info "appgen" ~doc:"Emit a synthetic app's Swiftlet sources.")
     Term.(const run $ dir $ profile_arg $ week)
 
+(* --- build ----------------------------------------------------------------- *)
+
+let app_profile = function
+  | "rider" -> Workload.Appgen.uber_rider
+  | "driver" -> Workload.Appgen.uber_driver
+  | "eats" -> Workload.Appgen.uber_eats
+  | "small" -> Workload.Appgen.small
+  | other ->
+    prerr_endline ("unknown profile " ^ other);
+    exit 1
+
+let build_cmd =
+  let dir =
+    Arg.(value & pos 0 (some dir) None & info [] ~docv:"DIR"
+           ~doc:"Directory of .swl modules (one module per file).")
+  in
+  let app_arg =
+    Arg.(value & opt (some string) None
+         & info [ "app" ] ~docv:"rider|driver|eats|small"
+             ~doc:"Build a synthetic app profile instead of a directory.")
+  in
+  let week = Arg.(value & opt int 0 & info [ "week" ] ~docv:"W") in
+  let mode =
+    Arg.(value & opt string "wp" & info [ "mode" ] ~docv:"wp|pm"
+           ~doc:"Whole-program or per-module pipeline.")
+  in
+  let rounds =
+    Arg.(value & opt int 5 & info [ "rounds"; "outline-repeat-count" ] ~docv:"N")
+  in
+  let engine =
+    Arg.(value & opt string "incremental"
+         & info [ "engine" ] ~docv:"incremental|scratch"
+             ~doc:"Outliner engine: the incremental dirty-block engine \
+                   (default) or the from-scratch reference.")
+  in
+  let profile_flag =
+    Arg.(value & flag
+         & info [ "profile" ]
+             ~doc:"Print the per-outline-round phase profile (sequence \
+                   build, tree build, enumerate, score, rewrite) after the \
+                   coarse pipeline phase timings.")
+  in
+  let run dir app week mode rounds engine profile =
+    let sources =
+      match (app, dir) with
+      | Some name, _ ->
+        Workload.Appgen.generate_sources
+          (Workload.Appgen.at_week (app_profile name) week)
+      | None, Some d ->
+        Sys.readdir d |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".swl")
+        |> List.sort String.compare
+        |> List.map (fun f ->
+               (Filename.chop_suffix f ".swl", read_file (Filename.concat d f)))
+      | None, None ->
+        prerr_endline "error: pass a DIR of .swl modules or --app PROFILE";
+        exit 1
+    in
+    let mode =
+      match mode with
+      | "wp" -> Pipeline.Whole_program
+      | "pm" -> Pipeline.Per_module
+      | other ->
+        prerr_endline ("unknown mode " ^ other ^ " (want wp or pm)");
+        exit 1
+    in
+    let outline_engine =
+      match engine with
+      | "incremental" -> `Incremental
+      | "scratch" -> `Scratch
+      | other ->
+        prerr_endline ("unknown engine " ^ other ^ " (want incremental or scratch)");
+        exit 1
+    in
+    let config =
+      { Pipeline.default_config with mode; outline_rounds = rounds; outline_engine }
+    in
+    let res = or_die (Pipeline.build_sources ~config sources) in
+    Printf.printf "binary size: %d B   code size: %d B   outlined rounds: %d\n"
+      res.Pipeline.binary_size res.code_size
+      (List.length res.outline_stats);
+    List.iteri
+      (fun i (s : Outcore.Outliner.round_stats) ->
+        Printf.printf
+          "  round %d: %d occurrences -> %d functions, %d bytes saved\n"
+          (i + 1) s.sequences_outlined s.functions_created s.bytes_saved)
+      res.outline_stats;
+    Printf.printf "\nphase timings:\n";
+    List.iter
+      (fun (name, t) -> Printf.printf "  %-22s %8.4fs\n" name t)
+      res.timings;
+    if profile then begin
+      Printf.printf "\noutline round profile (%s engine):\n%s" engine
+        (Outcore.Profile.render res.outline_profile)
+    end
+  in
+  Cmd.v
+    (Cmd.info "build"
+       ~doc:
+         "Run the full pipeline over a module directory or synthetic app, \
+          reporting sizes, phase timings and (with --profile) the per-round \
+          outliner phase split.")
+    Term.(const run $ dir $ app_arg $ week $ mode $ rounds $ engine $ profile_flag)
+
 (* --- report --------------------------------------------------------------- *)
 
 let report_cmd =
@@ -273,8 +377,9 @@ let fuzz_cmd =
   in
   let self_test =
     Arg.(value & flag & info [ "self-test" ]
-           ~doc:"Inject an outliner legality bug and require the harness to \
-                 catch it and shrink the reproducer to <= 30 lines.")
+           ~doc:"Inject an outliner legality bug, then a stale dirty-set \
+                 bug in the incremental engine, and require the harness to \
+                 catch both and shrink each reproducer.")
   in
   let list_points =
     Arg.(value & flag & info [ "list-points" ]
@@ -315,4 +420,4 @@ let fuzz_cmd =
 let () =
   let doc = "whole-program repeated machine outlining toolchain (CGO'21 reproduction)" in
   let info = Cmd.info "sizeopt" ~doc in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; outline_cmd; stats_cmd; run_cmd; appgen_cmd; report_cmd; fuzz_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; outline_cmd; stats_cmd; run_cmd; build_cmd; appgen_cmd; report_cmd; fuzz_cmd ]))

@@ -10,6 +10,7 @@ type site_call =
 type site = {
   func : string;
   block : string;
+  block_id : int;
   start : int;
   len : int;
   with_ret : bool;

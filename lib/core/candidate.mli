@@ -26,8 +26,15 @@ type site_call =
 type site = {
   func : string;
   block : string;
+  block_id : int;
+      (** index of the block in the round's sequence table; lets the
+          selector use int-indexed occupancy arrays instead of hashing
+          [(func, block)] tuples on every probe *)
   start : int;          (** index into the block body *)
-  len : int;            (** number of symbols, including a trailing ret symbol *)
+  len : int;
+      (** number of body instructions covered, {e excluding} the [ret]
+          terminator; a [with_ret] site additionally occupies the
+          terminator slot [start + len] *)
   with_ret : bool;      (** the pattern consumes the block's [ret] terminator *)
   call : site_call;
 }

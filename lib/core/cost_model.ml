@@ -4,16 +4,22 @@ let outlined_function_bytes strategy ~needs_lr_frame ~pattern_len =
   | Ends_with_ret | Thunk -> (4 * pattern_len) + frame
   | Plain_call -> (4 * (pattern_len + 1)) + frame
 
+let benefit_of_counts strategy ~needs_lr_frame ~pattern_len ~n_free ~n_save =
+  let inline_bytes = pattern_len * Machine.Insn.size_bytes in
+  (n_free * (inline_bytes - Candidate.site_cost_bytes Candidate.Call_free))
+  + (n_save * (inline_bytes - Candidate.site_cost_bytes Candidate.Call_save_lr))
+  - outlined_function_bytes strategy ~needs_lr_frame ~pattern_len
+
 let benefit (c : Candidate.t) =
-  let inline_bytes = Candidate.pattern_bytes c in
-  let saved_per_site =
-    List.map
-      (fun (s : Candidate.site) ->
-        inline_bytes - Candidate.site_cost_bytes s.call)
-      c.sites
+  let n_free, n_save =
+    List.fold_left
+      (fun (f, s) (site : Candidate.site) ->
+        match site.call with
+        | Candidate.Call_free -> (f + 1, s)
+        | Candidate.Call_save_lr -> (f, s + 1))
+      (0, 0) c.sites
   in
-  List.fold_left ( + ) 0 saved_per_site
-  - outlined_function_bytes c.strategy ~needs_lr_frame:c.needs_lr_frame
-      ~pattern_len:c.length
+  benefit_of_counts c.strategy ~needs_lr_frame:c.needs_lr_frame
+    ~pattern_len:c.length ~n_free ~n_save
 
 let profitable (c : Candidate.t) = List.length c.sites >= 2 && benefit c >= 1

@@ -14,6 +14,19 @@ val outlined_function_bytes :
     plus 8 bytes when the body contains interior calls and the outlined
     function must spill/reload LR around it ([needs_lr_frame]). *)
 
+val benefit_of_counts :
+  Candidate.strategy ->
+  needs_lr_frame:bool ->
+  pattern_len:int ->
+  n_free:int ->
+  n_save:int ->
+  int
+(** [benefit] expressed over site-kind counts ([n_free] {!Candidate.Call_free}
+    sites, [n_save] {!Candidate.Call_save_lr} sites) instead of a site list,
+    so the enumerator can reject unprofitable repeats before allocating any
+    site records.  [benefit c] is exactly [benefit_of_counts] applied to
+    [c]'s counts. *)
+
 val benefit : Candidate.t -> int
 (** Total bytes saved by outlining this candidate at all its sites; may be
     negative.  A candidate is worth outlining iff [benefit c >= 1]. *)

@@ -26,6 +26,13 @@ type round_stats = {
   bytes_saved : int;
 }
 
+type dirty = {
+  dirty_blocks : (string * string) list;
+  dirty_new_funcs : string list;
+}
+
+let no_dirty = { dirty_blocks = []; dirty_new_funcs = [] }
+
 (* Metadata for each sequence fed to the suffix tree. *)
 type seq_meta = {
   sm_func : Mfunc.t;
@@ -56,22 +63,21 @@ let build_sequences imap (p : Program.t) =
     p.funcs;
   (List.rev !seqs, Array.of_list (List.rev !metas))
 
-(* Drop occurrences that overlap an earlier-kept occurrence of the same
-   pattern within the same sequence. *)
-let prune_self_overlaps occs len =
-  let sorted =
-    List.sort
-      (fun (a : Sufftree.Suffix_tree.occurrence) b ->
-        match Int.compare a.seq b.seq with 0 -> Int.compare a.pos b.pos | c -> c)
-      occs
-  in
-  let rec go last_seq last_end = function
-    | [] -> []
+(* Walk the occurrences that survive self-overlap pruning: an occurrence
+   is dropped when it overlaps an earlier-kept occurrence of the same
+   pattern within the same sequence.  Occurrences arrive in increasing text
+   order (the suffix-tree contract), so one stateful pass suffices; the
+   fold shape lets callers count or build without materializing the pruned
+   list — most repeats are rejected, and allocating a pruned copy for each
+   of them dominated this phase. *)
+let fold_pruned occs len f acc =
+  let rec go last_seq last_end acc = function
+    | [] -> acc
     | (o : Sufftree.Suffix_tree.occurrence) :: rest ->
-      if o.seq = last_seq && o.pos < last_end then go last_seq last_end rest
-      else o :: go o.seq (o.pos + len) rest
+      if o.seq = last_seq && o.pos < last_end then go last_seq last_end acc rest
+      else go o.seq (o.pos + len) (f acc o) rest
   in
-  go (-1) 0 sorted
+  go (-1) 0 acc occs
 
 (* Outlined functions whose bodies are frame fragments (unbalanced SP
    changes, e.g. half a prologue) are legal and valuable to outline — but a
@@ -116,11 +122,33 @@ let sp_unsafe_callees (p : Program.t) =
   done;
   fun name -> Hashtbl.mem unsafe name
 
-let candidate_of_repeat options ~callee_sp_unsafe metas liveness_of
+(* Per-point LR liveness, memoized per sequence id.  All occurrences of a
+   sequence share one block, so the label-keyed table lookup inside
+   {!Liveness.live_before} would repeat the same string hash tens of
+   thousands of times per round; instead fetch each block's per-point array
+   once and answer further probes with two array reads. *)
+let lr_live_memo metas liveness_of =
+  let cache = Array.make (Array.length metas) [||] in
+  fun seq pos ->
+    let arr =
+      if cache.(seq) != [||] then cache.(seq)
+      else begin
+        let m = metas.(seq) in
+        let lv = liveness_of m.sm_func in
+        let arr = Liveness.points lv ~label:m.sm_block.Block.label in
+        cache.(seq) <- arr;
+        arr
+      end
+    in
+    Regset.mem Reg.lr arr.(pos)
+
+let candidate_of_repeat options ~callee_sp_unsafe metas lr_live
     (r : Sufftree.Suffix_tree.repeat) : Candidate.t option =
-  match prune_self_overlaps r.occs r.length with
+  match r.occs with
   | [] | [ _ ] -> None
-  | (first :: _) as occs ->
+  (* Pruning always keeps the first occurrence, so [first] is the head of
+     the pruned walk too. *)
+  | first :: _ ->
     let meta = metas.(first.seq) in
     let body = meta.sm_block.Block.body in
     let with_ret =
@@ -129,15 +157,12 @@ let candidate_of_repeat options ~callee_sp_unsafe metas liveness_of
     let insn_len = if with_ret then r.length - 1 else r.length in
     if insn_len = 0 then None
     else begin
-      let insns =
-        Array.to_list (Array.sub body first.pos insn_len)
-      in
       let strategy =
         if with_ret then
           if options.allow_ret then Some Candidate.Ends_with_ret else None
         else
-          match List.rev insns with
-          | Insn.Bl _ :: _ when options.allow_thunk -> Some Candidate.Thunk
+          match body.(first.pos + insn_len - 1) with
+          | Insn.Bl _ when options.allow_thunk -> Some Candidate.Thunk
           | _ -> Some Candidate.Plain_call
       in
       match strategy with
@@ -150,51 +175,76 @@ let candidate_of_repeat options ~callee_sp_unsafe metas liveness_of
           || (match i with Insn.Bl t -> callee_sp_unsafe t | _ -> false)
         in
         (* The final call of a thunk becomes a tail branch, so it is exempt
-           from both the interior-call and the SP checks. *)
-        let checked_insns =
-          match (strategy, List.rev insns) with
-          | Candidate.Thunk, Insn.Bl _ :: rev_prefix -> List.rev rev_prefix
-          | (Candidate.Thunk | Candidate.Ends_with_ret | Candidate.Plain_call), _
-            ->
-            insns
+           from both the interior-call and the SP checks.  Scan the body
+           array in place — building the instruction list for every repeat
+           would dominate this phase (most repeats are rejected). *)
+        let checked_hi =
+          match strategy with
+          | Candidate.Thunk -> first.pos + insn_len - 1
+          | Candidate.Ends_with_ret | Candidate.Plain_call ->
+            first.pos + insn_len
         in
-        let touches_sp = List.exists insn_touches_sp checked_insns in
+        let exists_in_range pred =
+          let rec go i = i < checked_hi && (pred body.(i) || go (i + 1)) in
+          go first.pos
+        in
+        let touches_sp = exists_in_range insn_touches_sp in
         (* Calls before the end of the body clobber LR inside the outlined
            function, so it needs its own LR spill — impossible if the body
            is SP-relevant. *)
-        let needs_lr_frame = List.exists Insn.is_call checked_insns in
+        let needs_lr_frame = exists_in_range Insn.is_call in
         if needs_lr_frame && touches_sp then None
         else
-        let site_of (o : Sufftree.Suffix_tree.occurrence) =
-          let m = metas.(o.seq) in
-          let call =
-            match strategy with
-            | Candidate.Ends_with_ret | Candidate.Thunk -> Some Candidate.Call_free
-            | Candidate.Plain_call ->
-              let lv = liveness_of m.sm_func in
-              if Liveness.lr_live_before lv ~label:m.sm_block.Block.label o.pos
-              then
-                if options.allow_save_lr && not touches_sp then
-                  Some Candidate.Call_save_lr
-                else None
-              else Some Candidate.Call_free
-          in
-          match call with
-          | None -> None
-          | Some call ->
-            Some
-              {
-                Candidate.func = m.sm_func.Mfunc.name;
-                block = m.sm_block.Block.label;
-                start = o.pos;
-                len = r.length;
-                with_ret;
-                call;
-              }
+        let call_of (o : Sufftree.Suffix_tree.occurrence) =
+          match strategy with
+          | Candidate.Ends_with_ret | Candidate.Thunk -> Some Candidate.Call_free
+          | Candidate.Plain_call ->
+            if lr_live o.seq o.pos then
+              if options.allow_save_lr && not touches_sp then
+                Some Candidate.Call_save_lr
+              else None
+            else Some Candidate.Call_free
         in
-        let sites = List.filter_map site_of occs in
-        if List.length sites < 2 then None
-        else Some { Candidate.insns; length = r.length; strategy; sites; needs_lr_frame }
+        (* Count site kinds before allocating anything: most repeats fall to
+           the profitability bar, and rejecting them from two integers is far
+           cheaper than building their site records first. *)
+        let n_free = ref 0 and n_save = ref 0 in
+        fold_pruned r.occs r.length
+          (fun () o ->
+            match call_of o with
+            | Some Candidate.Call_free -> incr n_free
+            | Some Candidate.Call_save_lr -> incr n_save
+            | None -> ())
+          ();
+        if !n_free + !n_save < 2 then None
+        else if
+          Cost_model.benefit_of_counts strategy ~needs_lr_frame
+            ~pattern_len:r.length ~n_free:!n_free ~n_save:!n_save
+          < 1
+        then None
+        else
+          let rev_sites =
+            fold_pruned r.occs r.length
+              (fun acc (o : Sufftree.Suffix_tree.occurrence) ->
+                match call_of o with
+                | None -> acc
+                | Some call ->
+                  let m = metas.(o.seq) in
+                  {
+                    Candidate.func = m.sm_func.Mfunc.name;
+                    block = m.sm_block.Block.label;
+                    block_id = o.seq;
+                    start = o.pos;
+                    len = insn_len;
+                    with_ret;
+                    call;
+                  }
+                  :: acc)
+              []
+          in
+          let sites = List.rev rev_sites in
+          let insns = Array.to_list (Array.sub body first.pos insn_len) in
+          Some { Candidate.insns; length = r.length; strategy; sites; needs_lr_frame }
     end
 
 let enumerate ?min_length ?(options = default_options) (p : Program.t) =
@@ -218,10 +268,56 @@ let enumerate ?min_length ?(options = default_options) (p : Program.t) =
     let reps = Sufftree.Suffix_tree.repeats ~min_length tree in
     let callee_sp_unsafe = sp_unsafe_callees p in
     ignore imap;
+    let lr_live = lr_live_memo metas liveness_of in
     List.filter_map
-      (candidate_of_repeat options ~callee_sp_unsafe metas liveness_of)
+      (candidate_of_repeat options ~callee_sp_unsafe metas lr_live)
       reps
   end
+
+(* --- Greedy selection order ------------------------------------------- *)
+
+(* Candidates must be picked in an order independent of suffix-tree
+   internals and interner symbol numbering, so that the from-scratch and
+   incremental engines (and permuted-module builds of the same content)
+   make identical greedy decisions.  Benefit descending, then the smallest
+   site by (func, block, start), then pattern length.  A (site, length)
+   pair pins down the pattern content, so two distinct candidates can
+   never tie. *)
+let min_site_key (c : Candidate.t) =
+  List.fold_left
+    (fun acc (s : Candidate.site) ->
+      let k = (s.func, s.block, s.start) in
+      match acc with Some k0 when k0 <= k -> acc | _ -> Some k)
+    None c.sites
+
+(* Sort keys are computed once per candidate (decorate/sort/undecorate):
+   recomputing [min_site_key] inside the comparator would fold over every
+   site list O(n log n) times. *)
+type scored = {
+  sc_benefit : int;
+  sc_min_site : (string * string * int) option;
+  sc_cand : Candidate.t;
+}
+
+let compare_scored s1 s2 =
+  match Int.compare s2.sc_benefit s1.sc_benefit with
+  | 0 -> (
+    match compare s1.sc_min_site s2.sc_min_site with
+    | 0 -> Int.compare s1.sc_cand.Candidate.length s2.sc_cand.Candidate.length
+    | c -> c)
+  | c -> c
+
+let score_candidates cands =
+  let scored =
+    List.filter_map
+      (fun c ->
+        let b = Cost_model.benefit c in
+        if b >= 1 then
+          Some { sc_benefit = b; sc_min_site = min_site_key c; sc_cand = c }
+        else None)
+      cands
+  in
+  List.sort compare_scored scored
 
 (* --- Rewriting --------------------------------------------------------- *)
 
@@ -293,40 +389,29 @@ let make_outlined_function ~name ~from_module (c : Candidate.t) =
   in
   Mfunc.make ~from_module ~is_outlined:true ~name blocks
 
-let run_round options (p : Program.t) =
-  let cands = enumerate ~options p in
-  let scored =
-    List.filter_map
-      (fun c ->
-        let b = Cost_model.benefit c in
-        if b >= 1 then Some (b, c) else None)
-      cands
-  in
-  let sorted = List.sort (fun (a, _) (b, _) -> Int.compare b a) scored in
-  (* Occupancy map: (func, block) -> consumed slots (body length + 1 for the
-     terminator slot used by ret-ending patterns). *)
-  let consumed : (string * string, bool array) Hashtbl.t = Hashtbl.create 256 in
-  let block_len = Hashtbl.create 256 in
-  List.iter
-    (fun (f : Mfunc.t) ->
-      List.iter
-        (fun (b : Block.t) ->
-          Hashtbl.replace block_len (f.name, b.Block.label)
-            (Array.length b.Block.body))
-        f.blocks)
-    p.funcs;
-  let slots key =
-    match Hashtbl.find_opt consumed key with
+(* Greedy site selection over int-indexed occupancy arrays (one lazily
+   allocated [bool array] per sequence-table block, no tuple hashing per
+   probe), then the program rewrite.  Shared by both engines. *)
+let select_and_rewrite options (metas : seq_meta array) sorted (p : Program.t) =
+  let nseq = Array.length metas in
+  (* Slot [n] (one past the body) is the terminator, occupied by ret-ending
+     patterns. *)
+  let consumed : bool array option array = Array.make nseq None in
+  let slots id =
+    match consumed.(id) with
     | Some a -> a
     | None ->
-      let n = Hashtbl.find block_len key in
+      let n = Array.length metas.(id).sm_block.Block.body in
       let a = Array.make (n + 1) false in
-      Hashtbl.replace consumed key a;
+      consumed.(id) <- Some a;
       a
   in
+  let site_hi (s : Candidate.site) =
+    if s.with_ret then s.start + s.len else s.start + s.len - 1
+  in
   let site_free (s : Candidate.site) =
-    let a = slots (s.func, s.block) in
-    let hi = if s.with_ret then s.start + s.len - 1 else s.start + s.len - 1 in
+    let a = slots s.Candidate.block_id in
+    let hi = site_hi s in
     let free = ref true in
     for i = s.start to hi do
       if a.(i) then free := false
@@ -334,19 +419,19 @@ let run_round options (p : Program.t) =
     !free
   in
   let site_take (s : Candidate.site) =
-    let a = slots (s.func, s.block) in
-    for i = s.start to s.start + s.len - 1 do
+    let a = slots s.Candidate.block_id in
+    for i = s.start to site_hi s do
       a.(i) <- true
     done
   in
-  let plans : (string * string, plan_entry list) Hashtbl.t = Hashtbl.create 256 in
+  let plans : plan_entry list array = Array.make nseq [] in
   let new_funcs = ref [] in
   let idx = ref 0 in
   let stats =
     ref { sequences_outlined = 0; functions_created = 0; outlined_bytes = 0; bytes_saved = 0 }
   in
   List.iter
-    (fun ((_, c) : int * Candidate.t) ->
+    (fun { sc_cand = c; _ } ->
       let sites = List.filter site_free c.sites in
       let c' = { c with sites } in
       if Cost_model.profitable c' then begin
@@ -358,9 +443,7 @@ let run_round options (p : Program.t) =
         List.iter site_take sites;
         List.iter
           (fun (s : Candidate.site) ->
-            let key = (s.func, s.block) in
-            let prev = Option.value ~default:[] (Hashtbl.find_opt plans key) in
-            Hashtbl.replace plans key ({ pe_site = s; pe_name = name } :: prev))
+            plans.(s.block_id) <- { pe_site = s; pe_name = name } :: plans.(s.block_id))
           sites;
         let from_module =
           if options.scope_name = "" then "outlined" else options.scope_name
@@ -376,15 +459,204 @@ let run_round options (p : Program.t) =
           }
       end)
     sorted;
+  (* Group per-block plans by function so the rewrite does one hash probe
+     per function; untouched functions are returned physically unchanged. *)
+  let func_plans : (string, (string * plan_entry list) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let dirty_blocks = ref [] in
+  for id = 0 to nseq - 1 do
+    match plans.(id) with
+    | [] -> ()
+    | entries ->
+      let m = metas.(id) in
+      let fname = m.sm_func.Mfunc.name in
+      let blabel = m.sm_block.Block.label in
+      dirty_blocks := (fname, blabel) :: !dirty_blocks;
+      let prev = Option.value ~default:[] (Hashtbl.find_opt func_plans fname) in
+      Hashtbl.replace func_plans fname ((blabel, entries) :: prev)
+  done;
   let rewrite_func (f : Mfunc.t) =
-    Mfunc.map_blocks
-      (fun b ->
-        match Hashtbl.find_opt plans (f.name, b.Block.label) with
-        | None | Some [] -> b
-        | Some entries -> rewrite_block entries b)
-      f
+    match Hashtbl.find_opt func_plans f.name with
+    | None -> f
+    | Some blocks ->
+      Mfunc.map_blocks
+        (fun b ->
+          match List.assoc_opt b.Block.label blocks with
+          | None -> b
+          | Some entries -> rewrite_block entries b)
+        f
   in
-  let p' =
-    Program.replace_funcs p (List.map rewrite_func p.funcs @ List.rev !new_funcs)
+  let new_funcs = List.rev !new_funcs in
+  let p' = Program.replace_funcs p (List.map rewrite_func p.funcs @ new_funcs) in
+  let dirty =
+    {
+      dirty_blocks = List.rev !dirty_blocks;
+      dirty_new_funcs = List.map (fun (f : Mfunc.t) -> f.name) new_funcs;
+    }
   in
-  (p', !stats)
+  (p', !stats, dirty)
+
+(* --- Per-phase timing hooks -------------------------------------------- *)
+
+let timed rp set f =
+  match rp with
+  | None -> f ()
+  | Some rp ->
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    set rp (Unix.gettimeofday () -. t0);
+    r
+
+let set_seq rp d = rp.Profile.rp_seq_build <- rp.Profile.rp_seq_build +. d
+let set_tree rp d = rp.Profile.rp_tree_build <- rp.Profile.rp_tree_build +. d
+let set_enum rp d = rp.Profile.rp_enumerate <- rp.Profile.rp_enumerate +. d
+let set_score rp d = rp.Profile.rp_score <- rp.Profile.rp_score +. d
+let set_rewrite rp d = rp.Profile.rp_rewrite <- rp.Profile.rp_rewrite +. d
+
+(* --- From-scratch engine ----------------------------------------------- *)
+
+let run_round ?profile options (p : Program.t) =
+  let rp = Option.map (fun pr -> Profile.new_round pr options.round) profile in
+  let imap = Instr_map.create () in
+  let seqs, metas = timed rp set_seq (fun () -> build_sequences imap p) in
+  if seqs = [] then (p, { sequences_outlined = 0; functions_created = 0; outlined_bytes = 0; bytes_saved = 0 }, no_dirty)
+  else begin
+    let tree = timed rp set_tree (fun () -> Sufftree.Suffix_tree.build seqs) in
+    let cands =
+      timed rp set_enum (fun () ->
+          let reps =
+            Sufftree.Suffix_tree.repeats ~min_length:options.min_length tree
+          in
+          let callee_sp_unsafe = sp_unsafe_callees p in
+          let liveness_cache : (string, Liveness.t) Hashtbl.t =
+            Hashtbl.create 64
+          in
+          let liveness_of (f : Mfunc.t) =
+            match Hashtbl.find_opt liveness_cache f.name with
+            | Some lv -> lv
+            | None ->
+              let lv = Liveness.compute f in
+              Hashtbl.replace liveness_cache f.name lv;
+              lv
+          in
+          let lr_live = lr_live_memo metas liveness_of in
+          List.filter_map
+            (candidate_of_repeat options ~callee_sp_unsafe metas lr_live)
+            reps)
+    in
+    let sorted = timed rp set_score (fun () -> score_candidates cands) in
+    timed rp set_rewrite (fun () -> select_and_rewrite options metas sorted p)
+  end
+
+(* --- Incremental engine ------------------------------------------------ *)
+
+type engine = {
+  eng_imap : Instr_map.t;
+  eng_seqs : (string, (string, int array) Hashtbl.t) Hashtbl.t;
+      (** func -> block label -> interned symbol array, invalidated by the
+          dirty set each round.  Two-level so the per-round walk hashes each
+          function name once instead of allocating and hashing a
+          (func, label) pair per block. *)
+  eng_live : (string, Liveness.t) Hashtbl.t;
+  eng_pool : Sufftree.Arena_tree.pool;
+      (** backing store recycled across rounds; each round's tree dies when
+          the next round builds *)
+}
+
+let create_engine () =
+  {
+    eng_imap = Instr_map.create ();
+    eng_seqs = Hashtbl.create 1024;
+    eng_live = Hashtbl.create 256;
+    eng_pool = Sufftree.Arena_tree.create_pool ();
+  }
+
+(* Fault injection for the fuzz harness: when set, dirty blocks keep their
+   stale cached sequences across rounds, so the incremental engine works on
+   a corrupted view of the program.  The incremental-vs-scratch differential
+   must catch the resulting divergence (see lib/fuzz). *)
+let fault_skip_invalidation = ref false
+
+let run_round_incremental ?profile engine options (p : Program.t) =
+  let rp = Option.map (fun pr -> Profile.new_round pr options.round) profile in
+  let seqs, metas =
+    timed rp set_seq (fun () ->
+        let seqs = ref [] and metas = ref [] in
+        List.iter
+          (fun (f : Mfunc.t) ->
+            if not f.no_outline then begin
+              let cache =
+                match Hashtbl.find_opt engine.eng_seqs f.Mfunc.name with
+                | Some tbl -> tbl
+                | None ->
+                  let tbl = Hashtbl.create 16 in
+                  Hashtbl.replace engine.eng_seqs f.Mfunc.name tbl;
+                  tbl
+              in
+              List.iter
+                (fun (b : Block.t) ->
+                  let has_ret = b.term = Block.Ret in
+                  let n = Array.length b.body in
+                  let len = if has_ret then n + 1 else n in
+                  if len >= 1 then begin
+                    let arr =
+                      match Hashtbl.find_opt cache b.Block.label with
+                      | Some arr -> arr
+                      | None ->
+                        let arr =
+                          Instr_map.seq_of_block engine.eng_imap ~has_ret b.body
+                        in
+                        Hashtbl.replace cache b.Block.label arr;
+                        arr
+                    in
+                    seqs := arr :: !seqs;
+                    metas :=
+                      { sm_func = f; sm_block = b; sm_has_ret = has_ret }
+                      :: !metas
+                  end)
+                f.blocks
+            end)
+          p.funcs;
+        (List.rev !seqs, Array.of_list (List.rev !metas)))
+  in
+  if seqs = [] then (p, { sequences_outlined = 0; functions_created = 0; outlined_bytes = 0; bytes_saved = 0 }, no_dirty)
+  else begin
+    let tree =
+      timed rp set_tree (fun () ->
+          Sufftree.Arena_tree.build ~pool:engine.eng_pool seqs)
+    in
+    let cands =
+      timed rp set_enum (fun () ->
+          let reps =
+            Sufftree.Arena_tree.repeats ~min_length:options.min_length tree
+          in
+          let callee_sp_unsafe = sp_unsafe_callees p in
+          let liveness_of (f : Mfunc.t) =
+            match Hashtbl.find_opt engine.eng_live f.name with
+            | Some lv -> lv
+            | None ->
+              let lv = Liveness.compute f in
+              Hashtbl.replace engine.eng_live f.name lv;
+              lv
+          in
+          let lr_live = lr_live_memo metas liveness_of in
+          List.filter_map
+            (candidate_of_repeat options ~callee_sp_unsafe metas lr_live)
+            reps)
+    in
+    let sorted = timed rp set_score (fun () -> score_candidates cands) in
+    let p', stats, dirty =
+      timed rp set_rewrite (fun () -> select_and_rewrite options metas sorted p)
+    in
+    if not !fault_skip_invalidation then begin
+      List.iter
+        (fun (fname, blabel) ->
+          (match Hashtbl.find_opt engine.eng_seqs fname with
+          | Some tbl -> Hashtbl.remove tbl blabel
+          | None -> ());
+          Hashtbl.remove engine.eng_live fname)
+        dirty.dirty_blocks
+    end;
+    (p', stats, dirty)
+  end

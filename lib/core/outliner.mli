@@ -1,6 +1,13 @@
 (** One round of whole-unit machine outlining: discover repeated sequences
     with a suffix tree, score them with the cost model, pick greedily by
-    immediate benefit (LLVM's heuristic, §II-C), and rewrite. *)
+    immediate benefit (LLVM's heuristic, §II-C), and rewrite.
+
+    Two engines produce byte-identical programs (enforced by the fuzz
+    lattice differential): {!run_round} rebuilds everything from scratch
+    every round — the readable reference — while {!run_round_incremental}
+    keeps an interner, per-block symbol arrays, and liveness alive across
+    rounds, re-deriving only what the previous round's dirty set
+    invalidated (the build-time fix the paper's §VII calls for). *)
 
 type options = {
   scope_name : string;
@@ -23,9 +30,43 @@ type round_stats = {
   bytes_saved : int;         (** net size reduction achieved this round *)
 }
 
+type dirty = {
+  dirty_blocks : (string * string) list;
+      (** (function, block label) pairs whose bodies the round rewrote *)
+  dirty_new_funcs : string list;  (** outlined functions the round created *)
+}
+
 val enumerate : ?min_length:int -> ?options:options -> Machine.Program.t -> Candidate.t list
 (** All legal candidates with their sites and strategies, self-overlaps
     pruned, unsorted, not yet filtered for profitability.  Shared with the
     statistics pass of §IV. *)
 
-val run_round : options -> Machine.Program.t -> Machine.Program.t * round_stats
+val run_round :
+  ?profile:Profile.t ->
+  options ->
+  Machine.Program.t ->
+  Machine.Program.t * round_stats * dirty
+(** From-scratch engine.  When [profile] is given, appends one
+    {!Profile.round_profile} with the phase split. *)
+
+type engine
+(** Caches carried across rounds by the incremental engine: the shared
+    instruction interner, per-(func, block) symbol arrays, and per-function
+    liveness. *)
+
+val create_engine : unit -> engine
+
+val run_round_incremental :
+  ?profile:Profile.t ->
+  engine ->
+  options ->
+  Machine.Program.t ->
+  Machine.Program.t * round_stats * dirty
+(** Like {!run_round} but reusing [engine]'s caches; after rewriting it
+    invalidates exactly the returned dirty set.  Must be fed the program
+    returned by its own previous round. *)
+
+val fault_skip_invalidation : bool ref
+(** Fault injection for [sizeopt fuzz --self-test]: suppress dirty-set
+    invalidation so the incremental engine runs on stale cached sequences.
+    The incremental-vs-scratch differential must catch the divergence. *)

@@ -1,9 +1,19 @@
-let run ?(options = Outliner.default_options) ~rounds p =
+let run ?(options = Outliner.default_options) ?profile
+    ?(engine = `Incremental) ~rounds p =
+  let eng =
+    match engine with
+    | `Incremental -> Some (Outliner.create_engine ())
+    | `Scratch -> None
+  in
   let rec go round p acc =
     if round > rounds then (p, List.rev acc)
     else begin
       let opts = { options with Outliner.round = options.Outliner.round + round - 1 } in
-      let p', stats = Outliner.run_round opts p in
+      let p', stats, _dirty =
+        match eng with
+        | Some e -> Outliner.run_round_incremental ?profile e opts p
+        | None -> Outliner.run_round ?profile opts p
+      in
       if stats.Outliner.sequences_outlined = 0 then (p, List.rev acc)
       else go (round + 1) p' (stats :: acc)
     end

@@ -5,13 +5,20 @@
 
 val run :
   ?options:Outliner.options ->
+  ?profile:Profile.t ->
+  ?engine:[ `Incremental | `Scratch ] ->
   rounds:int ->
   Machine.Program.t ->
   Machine.Program.t * Outliner.round_stats list
 (** [run ~rounds p] applies up to [rounds] rounds, stopping early when a
     round outlines nothing.  Returns the final program and per-round stats
     (length <= rounds).  Round numbers in generated names start from
-    [options.round]. *)
+    [options.round].
+
+    [engine] selects the implementation (default [`Incremental], which
+    carries interner/sequence/liveness caches between rounds via the dirty
+    sets; [`Scratch] is the from-scratch reference).  Both produce
+    byte-identical programs.  [profile] collects a per-round phase split. *)
 
 val cumulative : Outliner.round_stats list -> Outliner.round_stats list
 (** Per-round running totals, as presented in Table II of the paper. *)

@@ -84,24 +84,29 @@ let non_blank_lines s =
   |> List.filter (fun l -> String.trim l <> "")
   |> List.length
 
-let self_test ?(log = null_log) ~seed () =
+(* One fault-injection phase: flip [flag], fuzz machine programs until the
+   divergence appears, shrink it, and demand a small reproducer that still
+   fails.  Each fault uses its own seed salt so the two phases explore
+   independent program streams. *)
+let fault_phase ?(log = null_log) ~seed ~salt ~flag ~fault_name
+    ~max_reproducer_lines () =
   let max_attempts = 100 in
-  Outcore.Legality.unsafe_outline_lr := true;
+  flag := true;
   Fun.protect
-    ~finally:(fun () -> Outcore.Legality.unsafe_outline_lr := false)
+    ~finally:(fun () -> flag := false)
     (fun () ->
       let found = ref None in
       let attempt = ref 0 in
       while !found = None && !attempt < max_attempts do
         let index = !attempt in
-        let st = rng_for ~seed:(seed + 7919) ~index in
+        let st = rng_for ~seed:(seed + salt) ~index in
         let p = Machgen.generate st ~fuel:8 in
         (match Lattice.check_machine p with
         | Lattice.Fail f ->
           log
             (Printf.sprintf
-               "injected bug caught on attempt %d at %s; shrinking..." index
-               f.point);
+               "injected %s bug caught on attempt %d at %s; shrinking..."
+               fault_name index f.point);
           found := Some (p, f)
         | Lattice.Pass _ | Lattice.Skip _ -> ());
         incr attempt
@@ -110,29 +115,53 @@ let self_test ?(log = null_log) ~seed () =
       | None ->
         Error
           (Printf.sprintf
-             "self-test: the injected LR-legality bug was NOT caught in %d \
-              random machine programs"
-             max_attempts)
+             "self-test: the injected %s bug was NOT caught in %d random \
+              machine programs"
+             fault_name max_attempts)
       | Some (p, f) -> (
         let p', f' = Shrink.machine p f in
         let src = Machine.Asm_printer.to_source p' in
         let lines = non_blank_lines src in
-        if lines > 30 then
+        if lines > max_reproducer_lines then
           Error
             (Printf.sprintf
-               "self-test: reproducer still %d lines after shrinking (want \
-                <= 30)\n--- program ---\n%s"
-               lines src)
+               "self-test: %s reproducer still %d lines after shrinking \
+                (want <= %d)\n--- program ---\n%s"
+               fault_name lines max_reproducer_lines src)
         else
           match Lattice.check_machine p' with
           | Lattice.Fail _ ->
             Ok
               (Printf.sprintf
-                 "injected LR-legality bug caught and shrunk to %d lines\n\
+                 "injected %s bug caught and shrunk to %d lines\n\
                   offending point: %s\n\
                   %s\n\
                   --- reproducer ---\n\
                   %s"
-                 lines f'.point f'.reason src)
+                 fault_name lines f'.point f'.reason src)
           | _ ->
-            Error "self-test: shrunk reproducer no longer fails (unsound shrink)"))
+            Error
+              (Printf.sprintf
+                 "self-test: shrunk %s reproducer no longer fails (unsound \
+                  shrink)"
+                 fault_name)))
+
+let self_test ?(log = null_log) ~seed () =
+  (* Phase 1: the LR-legality fault — execution-oracle divergence. *)
+  match
+    fault_phase ~log ~seed ~salt:7919
+      ~flag:Outcore.Legality.unsafe_outline_lr ~fault_name:"LR-legality"
+      ~max_reproducer_lines:30 ()
+  with
+  | Error _ as e -> e
+  | Ok report1 -> (
+    (* Phase 2: corrupt the incremental engine's dirty-set invalidation so
+       it outlines from stale cached sequences; the incremental-vs-scratch
+       differential must catch the stale-cache divergence. *)
+    match
+      fault_phase ~log ~seed ~salt:104729
+        ~flag:Outcore.Outliner.fault_skip_invalidation
+        ~fault_name:"stale-dirty-set" ~max_reproducer_lines:40 ()
+    with
+    | Error _ as e -> e
+    | Ok report2 -> Ok (report1 ^ "\n\n" ^ report2))

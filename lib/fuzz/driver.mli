@@ -20,8 +20,12 @@ val fuzz :
     report's seed line reproduces the run bit-for-bit. *)
 
 val self_test : ?log:(string -> unit) -> seed:int -> unit -> (string, string) result
-(** Prove the harness catches a real outliner bug: flip
-    {!Outcore.Legality.unsafe_outline_lr}, fuzz machine programs until the
-    corrupted-LR divergence appears, shrink it, and require the reproducer
-    to fit in 30 source lines.  [Ok report] carries the shrunk reproducer;
-    [Error] means the harness failed to catch or shrink the bug. *)
+(** Prove the harness catches real outliner bugs, one injected fault at a
+    time: first flip {!Outcore.Legality.unsafe_outline_lr} and fuzz machine
+    programs until the corrupted-LR divergence appears, then flip
+    {!Outcore.Outliner.fault_skip_invalidation} so the incremental engine
+    keeps stale dirty-block caches and require the incremental-vs-scratch
+    differential to flag the divergence.  Each failure is shrunk and must
+    fit in a small reproducer.  [Ok report] carries both shrunk
+    reproducers; [Error] means the harness failed to catch or shrink a
+    bug. *)

@@ -67,6 +67,8 @@ let points base =
         } );
       ( "wp/r3/caller-affinity",
         { wp3 with Pipeline.outlined_layout = `Caller_affinity } );
+      ( "wp/r3/scratch-engine",
+        { wp3 with Pipeline.outline_engine = `Scratch } );
     ]
   in
   main @ link_axes
@@ -271,7 +273,38 @@ let check_machine (p : Machine.Program.t) =
       (fun (label, rounds, canon) ->
         if !failure = None then begin
           let q = if canon then fst (Outcore.Canonicalize.run p) else p in
-          let q', _stats = Outcore.Repeat.run ~rounds q in
+          let q', _stats = Outcore.Repeat.run ~engine:`Scratch ~rounds q in
+          (* Incremental/scratch differential: the dirty-block engine must
+             produce a byte-identical program at every point.  A stale
+             cache can also crash the rewrite outright, so trap exceptions
+             and report them as divergence. *)
+          (match
+             try
+               Ok (fst (Outcore.Repeat.run ~engine:`Incremental ~rounds q))
+             with e -> Error (Printexc.to_string e)
+           with
+          | Error msg ->
+            failure :=
+              Some
+                {
+                  point = label ^ "/incremental";
+                  reason = "incremental engine raised: " ^ msg;
+                }
+          | Ok qi ->
+            if
+              Machine.Asm_printer.to_source qi
+              <> Machine.Asm_printer.to_source q'
+            then
+              failure :=
+                Some
+                  {
+                    point = label ^ "/incremental";
+                    reason =
+                      "incremental/scratch divergence: engines produced \
+                       different programs";
+                  });
+          if !failure <> None then ()
+          else
           match Machine.Program.validate q' with
           | Error msg ->
             failure :=

@@ -66,3 +66,4 @@ let live_before t ~label i =
 
 let live_out t ~label = Hashtbl.find t.out label
 let lr_live_before t ~label i = Regset.mem Reg.lr (live_before t ~label i)
+let points t ~label = Hashtbl.find t.per_point label

@@ -21,3 +21,10 @@ val live_out : t -> label:string -> Regset.t
 val lr_live_before : t -> label:string -> int -> bool
 (** Convenience: is LR live just before instruction [i]?  Inserting a [BL]
     there clobbers LR, so this gates the no-save call strategy. *)
+
+val points : t -> label:string -> Regset.t array
+(** The whole per-point table for one block: [arr.(i)] is the set live
+    before body instruction [i], [arr.(len)] the set before the terminator.
+    Callers probing many points of the same block should fetch this once
+    instead of paying the label lookup inside {!live_before} per probe.
+    Raises [Not_found] for an unknown label. *)

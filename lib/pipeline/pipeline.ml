@@ -14,6 +14,7 @@ type config = {
   no_outline_modules : string list;
   outlined_layout : [ `Append | `Caller_affinity ];
   run_canonicalize : bool;
+  outline_engine : [ `Incremental | `Scratch ];
 }
 
 let default_config =
@@ -29,6 +30,7 @@ let default_config =
     no_outline_modules = [ "system" ];
     outlined_layout = `Append;
     run_canonicalize = false;
+    outline_engine = `Incremental;
   }
 
 let default_ios_config = { default_config with mode = Per_module }
@@ -40,6 +42,7 @@ type result = {
   code_size : int;
   timings : (string * float) list;
   outline_stats : Outcore.Outliner.round_stats list;
+  outline_profile : Outcore.Profile.t;
 }
 
 let timed timings name f =
@@ -82,6 +85,7 @@ let mark_no_outline config (p : Machine.Program.t) =
 let build ?(config = default_config) modules =
   let timings = ref [] in
   let outline_stats = ref [] in
+  let outline_profile = Outcore.Profile.create () in
   try
     let program =
       match config.mode with
@@ -110,6 +114,7 @@ let build ?(config = default_config) modules =
               let p, stats =
                 Outcore.Repeat.run
                   ~options:(outline_options ~scope:"")
+                  ~profile:outline_profile ~engine:config.outline_engine
                   ~rounds:config.outline_rounds machine
               in
               outline_stats := stats;
@@ -129,6 +134,7 @@ let build ?(config = default_config) modules =
                     let p, stats =
                       Outcore.Repeat.run
                         ~options:(outline_options ~scope:m.Ir.m_name)
+                        ~profile:outline_profile ~engine:config.outline_engine
                         ~rounds:config.outline_rounds machine
                     in
                     outline_stats := !outline_stats @ stats;
@@ -156,6 +162,7 @@ let build ?(config = default_config) modules =
         code_size = layout.Linker.text_size;
         timings = List.rev !timings;
         outline_stats = !outline_stats;
+        outline_profile;
       }
   with Failure e -> Error e
 

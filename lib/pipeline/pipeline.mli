@@ -39,6 +39,11 @@ type config = {
   run_canonicalize : bool;
       (** canonicalize commutative operand order before outlining (the
           paper's future-work item 1); off by default *)
+  outline_engine : [ `Incremental | `Scratch ];
+      (** which outliner engine drives {!Outcore.Repeat.run}: the default
+          incremental engine (dirty-block caches across rounds) or the
+          from-scratch reference.  Both produce byte-identical programs —
+          the fuzz lattice checks exactly that. *)
 }
 
 val default_config : config
@@ -56,6 +61,9 @@ type result = {
   code_size : int;
   timings : (string * float) list;   (** phase name, seconds, in order *)
   outline_stats : Outcore.Outliner.round_stats list;
+  outline_profile : Outcore.Profile.t;
+      (** per-outline-round phase split (sequence build, tree build,
+          enumerate, score, rewrite); rendered by [sizeopt build --profile] *)
 }
 
 val build : ?config:config -> Ir.modul list -> (result, string) Stdlib.result

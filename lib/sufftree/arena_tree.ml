@@ -1,0 +1,338 @@
+(* Arena-allocated generalized suffix tree.  Same algorithm and reported
+   repeats as {!Suffix_tree} (Ukkonen over the concatenation with unique
+   negative sentinels), but engineered for the whole-program hot path:
+
+   - nodes live in parallel int arrays (struct-of-arrays), preallocated to
+     the 2n+2 Ukkonen bound — no per-node records, options, or hashtables;
+   - all children edges share one open-addressing table with packed int
+     keys [node * span + (symbol + nseq)] — no tuple/box allocation per
+     probe and no per-node table headers;
+   - repeats are extracted in a single Euler-tour DFS: leaves are collected
+     in visit order so every internal node's occurrence set is a contiguous
+     slice [lo, hi) of one shared array, instead of a per-node DFS.
+
+   The construction allocates O(n) words total and nothing per probe, which
+   is what cuts GC pressure on the uber_rider whole-program build. *)
+
+type t = {
+  n : int;                      (* concatenated text length *)
+  text : int array;
+  seq_of_pos : int array;
+  seq_start : int array;
+  n_nodes : int;
+  starts : int array;           (* edge start into node *)
+  stops : int array;            (* exclusive end (leaves closed to [n]) *)
+  sfx : int array;              (* leaves: suffix start; -1 otherwise *)
+  child_off : int array;        (* node -> first child slot, length n_nodes+1 *)
+  child_nodes : int array;
+  sd : int array;               (* string depth including the incoming edge *)
+  lo : int array;               (* node's leaves = leaf_order.[lo, hi) *)
+  hi : int array;
+  leaf_order : int array;       (* suffix starts in DFS visit order *)
+}
+
+let next_pow2 x =
+  let r = ref 16 in
+  while !r < x do
+    r := !r * 2
+  done;
+  !r
+
+(* Reusable backing store.  A whole-program build touches ~10 arrays of
+   O(n) ints; allocating them fresh every round puts megabytes on the major
+   heap per round and the collector's slices show up as noise across every
+   phase.  A pool hands out the previous round's arrays when they are big
+   enough — callers must treat the returned tree as dead once the pool is
+   used for another build. *)
+type pool = { mutable slots : int array array }
+
+let create_pool () = { slots = Array.make 32 [||] }
+
+(* A pooled array may be longer than requested; every consumer indexes
+   through explicit bounds ([n], [cap], [n_nodes]) so the slack is inert.
+   Slots with a read-before-write pattern are re-filled by the caller. *)
+let pool_get pool i size =
+  let a = pool.slots.(i) in
+  if Array.length a >= size then a
+  else begin
+    let a = Array.make size 0 in
+    pool.slots.(i) <- a;
+    a
+  end
+
+let build ?pool seqs =
+  (* Without a pool every array is freshly allocated, so distinct trees
+     never alias; with one, the newest build owns the backing store. *)
+  let alloc i size =
+    match pool with
+    | Some p -> pool_get p i size
+    | None -> Array.make size 0
+  in
+  List.iter
+    (fun s ->
+      Array.iter
+        (fun x -> if x < 0 then invalid_arg "Arena_tree.build: negative symbol")
+        s)
+    seqs;
+  let total = List.fold_left (fun acc s -> acc + Array.length s + 1) 0 seqs in
+  let n = total in
+  let text = alloc 0 (max n 1) in
+  let seq_of_pos = alloc 1 (max n 1) in
+  let nseq = List.length seqs in
+  let seq_start = alloc 2 (max nseq 1) in
+  let max_sym = ref 0 in
+  let off = ref 0 in
+  List.iteri
+    (fun si s ->
+      seq_start.(si) <- !off;
+      Array.iteri
+        (fun j x ->
+          if x > !max_sym then max_sym := x;
+          text.(!off + j) <- x;
+          seq_of_pos.(!off + j) <- si)
+        s;
+      off := !off + Array.length s;
+      text.(!off) <- -(si + 1);
+      seq_of_pos.(!off) <- si;
+      incr off)
+    seqs;
+  (* Node arena.  Ukkonen creates at most 2n+2 nodes including the root. *)
+  let cap_nodes = (2 * n) + 3 in
+  let starts = alloc 3 cap_nodes in
+  let stops = alloc 4 cap_nodes in
+  let slink = alloc 5 cap_nodes in
+  Array.fill slink 0 cap_nodes 0;
+  let sfx = alloc 6 cap_nodes in
+  Array.fill sfx 0 cap_nodes (-1);
+  let n_nodes = ref 1 in
+  starts.(0) <- -1;
+  stops.(0) <- -1;
+  let new_node ~start ~stop =
+    let id = !n_nodes in
+    incr n_nodes;
+    starts.(id) <- start;
+    stops.(id) <- stop;
+    id
+  in
+  (* Shared children table.  Packed key: [node * span + (sym + nseq)] where
+     symbols range over [-(nseq) .. max_sym]; every key is >= 0, so -1
+     marks an empty slot.  Machine code yields ~1.2n edges in practice
+     (2n+1 is the theoretical cap), so capacity 2.5n keeps the load factor
+     under ~0.5 with no resizing while halving the table's cache footprint
+     versus the conservative 4n. *)
+  let span = !max_sym + nseq + 1 in
+  let cap = next_pow2 ((5 * n / 2) + 16) in
+  let mask = cap - 1 in
+  let keys = alloc 7 cap in
+  Array.fill keys 0 cap (-1);
+  let vals = alloc 8 cap in
+  let slot k =
+    let h = k * 0x2545F4914F6CDD1D in
+    let i = ref ((h lxor (h lsr 29)) land mask) in
+    while keys.(!i) <> -1 && keys.(!i) <> k do
+      i := (!i + 1) land mask
+    done;
+    !i
+  in
+  let find node sym =
+    let i = slot ((node * span) + sym + nseq) in
+    if keys.(i) = -1 then -1 else vals.(i)
+  in
+  let set node sym child =
+    let k = (node * span) + sym + nseq in
+    let i = slot k in
+    keys.(i) <- k;
+    vals.(i) <- child
+  in
+  (* Ukkonen's online construction (identical control flow to
+     Suffix_tree.ukkonen; node 0 is the root, slink defaults to the root). *)
+  let active_node = ref 0 in
+  let active_edge = ref 0 in
+  let active_length = ref 0 in
+  let remainder = ref 0 in
+  for i = 0 to n - 1 do
+    let last_new = ref (-1) in
+    incr remainder;
+    let continue = ref true in
+    while !continue && !remainder > 0 do
+      if !active_length = 0 then active_edge := i;
+      let nxt = find !active_node text.(!active_edge) in
+      if nxt = -1 then begin
+        let leaf = new_node ~start:i ~stop:max_int in
+        set !active_node text.(!active_edge) leaf;
+        if !last_new >= 0 then begin
+          slink.(!last_new) <- !active_node;
+          last_new := -1
+        end;
+        decr remainder;
+        if !active_node = 0 && !active_length > 0 then begin
+          decr active_length;
+          active_edge := i - !remainder + 1
+        end
+        else if !active_node <> 0 then active_node := slink.(!active_node)
+      end
+      else begin
+        let el = min stops.(nxt) (i + 1) - starts.(nxt) in
+        if !active_length >= el then begin
+          active_node := nxt;
+          active_edge := !active_edge + el;
+          active_length := !active_length - el
+        end
+        else if text.(starts.(nxt) + !active_length) = text.(i) then begin
+          if !last_new >= 0 then begin
+            slink.(!last_new) <- !active_node;
+            last_new := -1
+          end;
+          incr active_length;
+          continue := false
+        end
+        else begin
+          let split =
+            new_node ~start:starts.(nxt) ~stop:(starts.(nxt) + !active_length)
+          in
+          set !active_node text.(!active_edge) split;
+          let leaf = new_node ~start:i ~stop:max_int in
+          set split text.(i) leaf;
+          starts.(nxt) <- starts.(nxt) + !active_length;
+          set split text.(starts.(nxt)) nxt;
+          if !last_new >= 0 then slink.(!last_new) <- split;
+          last_new := split;
+          decr remainder;
+          if !active_node = 0 && !active_length > 0 then begin
+            decr active_length;
+            active_edge := i - !remainder + 1
+          end
+          else if !active_node <> 0 then active_node := slink.(!active_node)
+        end
+      end
+    done
+  done;
+  let n_nodes = !n_nodes in
+  (* Rebuild adjacency from the live table slots (overwritten slots always
+     hold the current edge target) with a counting sort on parent ids. *)
+  let child_off = alloc 9 (n_nodes + 1) in
+  Array.fill child_off 0 (n_nodes + 1) 0;
+  for i = 0 to cap - 1 do
+    if keys.(i) >= 0 then begin
+      let parent = keys.(i) / span in
+      child_off.(parent + 1) <- child_off.(parent + 1) + 1
+    end
+  done;
+  for v = 1 to n_nodes do
+    child_off.(v) <- child_off.(v) + child_off.(v - 1)
+  done;
+  let n_edges = child_off.(n_nodes) in
+  let child_nodes = alloc 10 (max n_edges 1) in
+  let cursor = alloc 11 (n_nodes + 1) in
+  Array.blit child_off 0 cursor 0 (n_nodes + 1);
+  for i = 0 to cap - 1 do
+    if keys.(i) >= 0 then begin
+      let parent = keys.(i) / span in
+      child_nodes.(cursor.(parent)) <- vals.(i);
+      cursor.(parent) <- cursor.(parent) + 1
+    end
+  done;
+  (* One Euler-tour DFS closes leaves, assigns suffix indices, computes
+     string depths, and records every node's leaf set as a contiguous slice
+     of [leaf_order] — {!repeats} then only has to scan the node arrays.
+     Stack entries are [2*node] for enter and [2*node+1] for exit; [dstack]
+     carries the string depth above each entered node's incoming edge. *)
+  let sd = alloc 12 n_nodes in
+  let lo = alloc 13 n_nodes in
+  let hi = alloc 14 n_nodes in
+  let leaf_order = alloc 15 (max n 1) in
+  let cursor = ref 0 in
+  let stack = alloc 16 (2 * (n_nodes + 1)) in
+  let dstack = alloc 17 (2 * (n_nodes + 1)) in
+  let sp = ref 0 in
+  stack.(0) <- 0;
+  dstack.(0) <- 0;
+  incr sp;
+  while !sp > 0 do
+    decr sp;
+    let x = stack.(!sp) in
+    let nd = x lsr 1 in
+    if x land 1 = 1 then hi.(nd) <- !cursor
+    else begin
+      let depth = dstack.(!sp) in
+      lo.(nd) <- !cursor;
+      if nd <> 0 && child_off.(nd + 1) = child_off.(nd) then begin
+        (* Leaf: close the open edge and record its suffix start. *)
+        if stops.(nd) = max_int then begin
+          stops.(nd) <- n;
+          sfx.(nd) <- n - (depth + (n - starts.(nd)))
+        end;
+        sd.(nd) <- depth + (stops.(nd) - starts.(nd));
+        leaf_order.(!cursor) <- sfx.(nd);
+        incr cursor;
+        hi.(nd) <- !cursor
+      end
+      else begin
+        let d = if nd = 0 then 0 else depth + (stops.(nd) - starts.(nd)) in
+        sd.(nd) <- d;
+        stack.(!sp) <- (2 * nd) + 1;
+        incr sp;
+        for c = child_off.(nd) to child_off.(nd + 1) - 1 do
+          stack.(!sp) <- 2 * child_nodes.(c);
+          dstack.(!sp) <- d;
+          incr sp
+        done
+      end
+    end
+  done;
+  {
+    n;
+    text;
+    seq_of_pos;
+    seq_start;
+    n_nodes;
+    starts;
+    stops;
+    sfx;
+    child_off;
+    child_nodes;
+    sd;
+    lo;
+    hi;
+    leaf_order;
+  }
+
+let is_leaf t nd = t.child_off.(nd + 1) = t.child_off.(nd)
+
+let count_leaves t =
+  let c = ref 0 in
+  for nd = 1 to t.n_nodes - 1 do
+    if is_leaf t nd then incr c
+  done;
+  !c
+
+let repeats ?(min_length = 2) t =
+  if t.n = 0 then []
+  else begin
+    (* The Euler tour already ran inside {!build}: [t.sd] holds string
+       depths and [t.leaf_order].[lo, hi) each node's leaf set, so this is
+       a flat scan over the node arrays. *)
+    let out = ref [] in
+    for nd = 1 to t.n_nodes - 1 do
+      if
+        (not (is_leaf t nd))
+        && t.sd.(nd) >= min_length
+        && t.hi.(nd) - t.lo.(nd) >= 2
+      then begin
+        (* Each node sorts a copy of its slice: sorting [leaf_order] itself
+           would shuffle leaves across the sub-ranges of nodes not yet
+           visited.  The occurrence list is built straight off the sorted
+           copy, back to front. *)
+        let slice = Array.sub t.leaf_order t.lo.(nd) (t.hi.(nd) - t.lo.(nd)) in
+        Array.sort Int.compare slice;
+        let occs = ref [] in
+        for i = Array.length slice - 1 downto 0 do
+          let gpos = slice.(i) in
+          let seq = t.seq_of_pos.(gpos) in
+          occs := { Suffix_tree.seq; pos = gpos - t.seq_start.(seq) } :: !occs
+        done;
+        out := { Suffix_tree.length = t.sd.(nd); occs = !occs } :: !out
+      end
+    done;
+    !out
+  end

@@ -22,6 +22,7 @@ let mk ?(strategy = Candidate.Plain_call) ?(needs_lr_frame = false)
           {
             Candidate.func = Printf.sprintf "f%d" i;
             block = "entry";
+            block_id = i;
             start = 0;
             len;
             with_ret = strategy = Candidate.Ends_with_ret;
@@ -90,10 +91,10 @@ let test_break_even_save_lr () =
       (mk ~len:7 ~sites:2 ()) with
       Candidate.sites =
         [
-          { Candidate.func = "a"; block = "entry"; start = 0; len = 7;
-            with_ret = false; call = Candidate.Call_free };
-          { Candidate.func = "b"; block = "entry"; start = 0; len = 7;
-            with_ret = false; call = Candidate.Call_save_lr };
+          { Candidate.func = "a"; block = "entry"; block_id = 0; start = 0;
+            len = 7; with_ret = false; call = Candidate.Call_free };
+          { Candidate.func = "b"; block = "entry"; block_id = 1; start = 0;
+            len = 7; with_ret = false; call = Candidate.Call_save_lr };
         ];
     }
   in

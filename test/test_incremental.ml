@@ -1,0 +1,162 @@
+(* Tests for the incremental dirty-block outlining engine (the build-time
+   fix the paper's §VII calls for): byte-equality with the from-scratch
+   reference, whole-app determinism, stale-cache fault detection, and the
+   per-phase build profile. *)
+
+open Machine
+
+let ok_exn = function Ok x -> x | Error e -> Alcotest.fail e
+
+let source p = Asm_printer.to_source p
+
+let run_both ?(rounds = 5) p =
+  let scratch, _ = Outcore.Repeat.run ~engine:`Scratch ~rounds p in
+  let inc, _ = Outcore.Repeat.run ~engine:`Incremental ~rounds p in
+  (scratch, inc)
+
+let outlined_names (p : Program.t) =
+  List.filter_map
+    (fun (f : Mfunc.t) ->
+      if f.Mfunc.is_outlined then Some f.Mfunc.name else None)
+    p.Program.funcs
+  |> List.sort compare
+
+(* The uber_rider workload is built once and shared by the tests below. *)
+let rider_mods =
+  lazy (ok_exn (Workload.Appgen.generate_modules Workload.Appgen.uber_rider))
+
+let rider_build = lazy (ok_exn (Pipeline.build (Lazy.force rider_mods)))
+
+let test_engines_agree_random () =
+  (* Seeded machine programs through both engines at several round counts;
+     the dirty-set bookkeeping must never change the output. *)
+  for seed = 1 to 12 do
+    let p = Fuzz.Machgen.generate (Random.State.make [| seed; 11 |]) ~fuel:8 in
+    List.iter
+      (fun rounds ->
+        let scratch, inc = run_both ~rounds p in
+        if source scratch <> source inc then
+          Alcotest.failf "engines diverge on seed %d, rounds %d" seed rounds)
+      [ 1; 2; 5 ]
+  done
+
+let test_engines_agree_uber_rider () =
+  let r = Lazy.force rider_build in
+  let scratch, inc = run_both r.Pipeline.program in
+  Alcotest.(check string)
+    "engines byte-identical on an already-outlined rider image"
+    (source scratch) (source inc);
+  (* And the whole pipeline with the scratch engine matches the default. *)
+  let cfg = { Pipeline.default_config with outline_engine = `Scratch } in
+  let rs = ok_exn (Pipeline.build ~config:cfg (Lazy.force rider_mods)) in
+  Alcotest.(check string) "pipeline output independent of engine"
+    (source r.Pipeline.program)
+    (source rs.Pipeline.program)
+
+let test_uber_rider_determinism () =
+  (* Building the same module list twice must reproduce the image bit for
+     bit: same text, same outlined names, same sizes. *)
+  let r1 = Lazy.force rider_build in
+  let r2 = ok_exn (Pipeline.build (Lazy.force rider_mods)) in
+  Alcotest.(check string) "identical program text" (source r1.Pipeline.program)
+    (source r2.Pipeline.program);
+  Alcotest.(check (list string)) "identical outlined names"
+    (outlined_names r1.Pipeline.program)
+    (outlined_names r2.Pipeline.program);
+  Alcotest.(check int) "identical binary size" r1.Pipeline.binary_size
+    r2.Pipeline.binary_size
+
+let test_module_order_determinism () =
+  (* Under Module_preserving data order, permuting the module list on the
+     command line must not change what gets outlined or how big the image
+     is (the §VI determinism requirement). *)
+  let r1 = Lazy.force rider_build in
+  let cfg = { Pipeline.default_config with data_order = Link.Module_preserving } in
+  let r2 = ok_exn (Pipeline.build ~config:cfg (List.rev (Lazy.force rider_mods))) in
+  Alcotest.(check (list string)) "same outlined names under permutation"
+    (outlined_names r1.Pipeline.program)
+    (outlined_names r2.Pipeline.program);
+  Alcotest.(check int) "same binary size under permutation"
+    r1.Pipeline.binary_size r2.Pipeline.binary_size;
+  Alcotest.(check int) "same code size under permutation"
+    r1.Pipeline.code_size r2.Pipeline.code_size
+
+let test_stale_cache_fault_detected () =
+  (* Suppressing dirty-set invalidation must be observable: the incremental
+     engine either produces a different program than the reference or
+     crashes on the stale sequence table.  Either way the differential
+     catches it — this is the fuzz harness's second self-test fault. *)
+  let p = Fuzz.Machgen.generate (Random.State.make [| 1; 11 |]) ~fuel:8 in
+  let scratch, _ = Outcore.Repeat.run ~engine:`Scratch ~rounds:5 p in
+  Outcore.Outliner.fault_skip_invalidation := true;
+  let caught =
+    Fun.protect
+      ~finally:(fun () -> Outcore.Outliner.fault_skip_invalidation := false)
+      (fun () ->
+        try
+          let faulty, _ = Outcore.Repeat.run ~engine:`Incremental ~rounds:5 p in
+          source scratch <> source faulty
+        with _ -> true)
+  in
+  Alcotest.(check bool) "stale caches diverge from the reference" true caught;
+  (* The flag reset must restore byte-equality. *)
+  let scratch', inc = run_both p in
+  Alcotest.(check string) "engines agree again after fault reset"
+    (source scratch') (source inc)
+
+let test_profile_phases () =
+  let p = Fuzz.Machgen.generate (Random.State.make [| 3; 11 |]) ~fuel:8 in
+  let profile = Outcore.Profile.create () in
+  let _p', stats = Outcore.Repeat.run ~profile ~rounds:3 p in
+  let rounds = Outcore.Profile.rounds profile in
+  (* The round that outlines nothing and stops the loop is still executed
+     and profiled, so the profile may hold one more record than the stats. *)
+  let n_stats = List.length stats and n_rounds = List.length rounds in
+  Alcotest.(check bool)
+    (Printf.sprintf "profile records every executed round (%d stats, %d profiled)"
+       n_stats n_rounds)
+    true
+    (n_rounds = n_stats || n_rounds = n_stats + 1);
+  List.iteri
+    (fun i (r : Outcore.Profile.round_profile) ->
+      Alcotest.(check int) "rounds recorded in order" (i + 1) r.rp_round;
+      let nonneg x = x >= 0.0 in
+      Alcotest.(check bool) "phase times are non-negative" true
+        (nonneg r.rp_seq_build && nonneg r.rp_tree_build
+        && nonneg r.rp_enumerate && nonneg r.rp_score && nonneg r.rp_rewrite))
+    rounds;
+  Alcotest.(check bool) "totals add up" true
+    (Outcore.Profile.total profile
+    >= List.fold_left
+         (fun a r -> a +. Outcore.Profile.round_total r)
+         0.0 rounds
+       -. 1e-9);
+  Alcotest.(check bool) "json renders an array" true
+    (String.length (Outcore.Profile.to_json profile) >= 2
+    && (Outcore.Profile.to_json profile).[0] = '[')
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "engines agree on random programs" `Quick
+            test_engines_agree_random;
+          Alcotest.test_case "engines agree on uber_rider" `Slow
+            test_engines_agree_uber_rider;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "uber_rider builds reproducibly" `Slow
+            test_uber_rider_determinism;
+          Alcotest.test_case "module order does not matter" `Slow
+            test_module_order_determinism;
+        ] );
+      ( "fault-injection",
+        [
+          Alcotest.test_case "stale dirty set is caught" `Quick
+            test_stale_cache_fault_detected;
+        ] );
+      ( "profile",
+        [ Alcotest.test_case "per-phase rounds" `Quick test_profile_phases ] );
+    ]

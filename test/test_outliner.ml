@@ -683,6 +683,54 @@ let prop_fixpoint =
       let _, stats = Outcore.Repeat.run ~options:{ Outcore.Outliner.default_options with round = 100 } ~rounds:1 p' in
       stats = [])
 
+let test_overlapping_ret_patterns () =
+  (* Two ret-ending patterns whose occurrences overlap — the short one is a
+     suffix of the long one — so selecting either must consume the shared
+     body slots AND the terminator slot of its blocks.  Regression test for
+     [site_free]/[site_take] indexing the terminator as slot [n]: with an
+     [n]-slot occupancy array, probing a ret-ending site walks one past the
+     body and crashes (or, if clamped, lets both patterns claim the same
+     terminator). *)
+  let tail long =
+    let shared = "  mov x3, #3\n  mov x4, #4\n  ret\n" in
+    if long then "  mov x1, #1\n  mov x2, #2\n" ^ shared
+    else "  mov x9, #9\n" ^ shared
+  in
+  let p =
+    parse
+      ("func a1:\nentry:\n" ^ tail true ^ "func a2:\nentry:\n" ^ tail true
+     ^ "func a3:\nentry:\n" ^ tail false ^ "func a4:\nentry:\n" ^ tail false)
+  in
+  (* Candidates: [mov x1; mov x2; mov x3; mov x4; ret] (2 sites, benefit
+     2*16-20=12) and [mov x3; mov x4; ret] (4 sites, benefit 4*8-12=20).
+     Greedy takes the short one everywhere; the long one's two sites then
+     collide with already-consumed slots and it must outline nothing. *)
+  let p', stats = run p in
+  Alcotest.(check int) "one outlined function" 1 (count_outlined p');
+  (match stats with
+  | [ s ] ->
+    Alcotest.(check int) "four sites" 4 s.Outcore.Outliner.sequences_outlined;
+    Alcotest.(check int) "one function" 1 s.Outcore.Outliner.functions_created
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 round, got %d" (List.length l)));
+  let outlined =
+    List.find (fun (f : Mfunc.t) -> f.Mfunc.is_outlined) p'.Program.funcs
+  in
+  Alcotest.(check int) "outlined body is the two shared movs" 2
+    (Array.length (Mfunc.entry outlined).Block.body);
+  List.iter
+    (fun (f : Mfunc.t) ->
+      if not f.Mfunc.is_outlined then
+        match (Mfunc.entry f).Block.term with
+        | Block.Tail_call n ->
+          Alcotest.(check string)
+            (f.Mfunc.name ^ " tail-calls the outlined function")
+            outlined.Mfunc.name n
+        | t ->
+          Alcotest.fail
+            (Format.asprintf "expected tail call in %s, got %a" f.Mfunc.name
+               Block.pp_terminator t))
+    p'.Program.funcs
+
 let prop_stats_match_size_delta =
   QCheck.Test.make ~count:100 ~name:"per-round bytes_saved sums to size delta"
     arb_program (fun p ->
@@ -710,6 +758,8 @@ let () =
             test_fig11_greedy_picks_bcd;
           Alcotest.test_case "fig11 repeat beats single round" `Quick
             test_fig11_repeat_beats_single_round;
+          Alcotest.test_case "overlapping ret-ending patterns" `Quick
+            test_overlapping_ret_patterns;
           Alcotest.test_case "overlapping occurrences" `Quick
             test_overlapping_occurrences;
           Alcotest.test_case "unprofitable untouched" `Quick

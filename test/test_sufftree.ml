@@ -169,6 +169,69 @@ let prop_contains =
       in
       Sufftree.Suffix_tree.contains t needle = naive_contains)
 
+(* The arena tree must report exactly the classic tree's repeat set,
+   including when its buffers come from a reused pool.  Occurrence symbols
+   are read back from the input sequences since the arena tree has no
+   [substring_at]. *)
+let normalize_arena_repeats seqs reps =
+  let arr = Array.of_list seqs in
+  List.map
+    (fun (r : Sufftree.Suffix_tree.repeat) ->
+      let syms =
+        match r.occs with
+        | (o : Sufftree.Suffix_tree.occurrence) :: _ ->
+          Array.to_list (Array.sub arr.(o.seq) o.pos r.length)
+        | [] -> []
+      in
+      let occs =
+        List.sort
+          (fun (a : Sufftree.Suffix_tree.occurrence) b ->
+            match Int.compare a.seq b.seq with
+            | 0 -> Int.compare a.pos b.pos
+            | c -> c)
+          r.occs
+      in
+      (syms, occs))
+    reps
+  |> List.sort compare
+
+let prop_arena_matches_classic =
+  QCheck.Test.make ~count:300 ~name:"arena repeats = classic repeats"
+    arb_seqs (fun seqs ->
+      let c = Sufftree.Suffix_tree.build seqs in
+      let a = Sufftree.Arena_tree.build seqs in
+      normalize_arena_repeats seqs (Sufftree.Arena_tree.repeats ~min_length:2 a)
+      = normalize_tree_repeats c (Sufftree.Suffix_tree.repeats ~min_length:2 c))
+
+let test_arena_pool_reuse () =
+  (* Consecutive builds on one pool with growing and shrinking inputs: a
+     recycled (oversized) array that is not fully re-initialized would leak
+     the previous tree's state into this one. *)
+  let pool = Sufftree.Arena_tree.create_pool () in
+  let st = Random.State.make [| 0xa12e; 60 |] in
+  for i = 1 to 60 do
+    let n_seqs = 1 + Random.State.int st 3 in
+    let seqs =
+      List.init n_seqs (fun _ ->
+          Array.init (Random.State.int st 40) (fun _ -> Random.State.int st 6))
+    in
+    let a = Sufftree.Arena_tree.build ~pool seqs in
+    let c = Sufftree.Suffix_tree.build seqs in
+    let got =
+      normalize_arena_repeats seqs (Sufftree.Arena_tree.repeats ~min_length:2 a)
+    in
+    let want =
+      normalize_tree_repeats c (Sufftree.Suffix_tree.repeats ~min_length:2 c)
+    in
+    if got <> want then
+      Alcotest.failf "pooled build %d disagrees with the classic tree" i;
+    let suffixes =
+      List.fold_left (fun acc s -> acc + Array.length s + 1) 0 seqs
+    in
+    Alcotest.(check int) "leaf count" suffixes
+      (Sufftree.Arena_tree.count_leaves a)
+  done
+
 let prop_leaf_count =
   QCheck.Test.make ~count:200 ~name:"leaf count = number of suffixes"
     arb_seqs (fun seqs ->
@@ -194,7 +257,15 @@ let () =
           Alcotest.test_case "seeded 200-array naive agreement" `Quick
             test_seeded_matches_naive;
         ] );
+      ( "arena_tree",
+        [
+          Alcotest.test_case "pooled builds stay correct" `Quick
+            test_arena_pool_reuse;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_matches_naive; prop_contains; prop_leaf_count ] );
+          [
+            prop_matches_naive; prop_contains; prop_leaf_count;
+            prop_arena_matches_classic;
+          ] );
     ]
