@@ -2,8 +2,9 @@
    evaluation.  Run with no arguments for everything, or name experiments:
 
      dune exec bench/main.exe -- fig1 table1 fig5 fig6 fig7 fig8 fig11 fig12
-                                 table2 fig13 table3 table4 buildtime apps
-                                 foreign datalayout ablate micro
+                                 table2 fig13 table3 table4 buildtime
+                                 outline_bench layout_bench apps foreign
+                                 datalayout ablate micro
 
    Results worth keeping are also summarized in EXPERIMENTS.md. *)
 
@@ -585,6 +586,162 @@ let outline_bench () =
   if not identical then
     failwith "outline_bench: incremental and scratch outputs diverge"
 
+(* -------------------------------------------------------- layout bench *)
+
+(* Profile-guided layout comparison: Append vs caller-affinity vs the
+   lib/pgo strategies (order-file, C3, balanced partitioning) across the
+   device matrix.  Every strategy is pure reordering, so the interp
+   differential (exit value + printed output per entry) is a hard
+   assertion; on uber_rider so is the acceptance bar — some profile-guided
+   strategy must beat caller-affinity on iTLB misses while staying no
+   worse than Append on icache misses.  Emits BENCH_layout.json. *)
+let layout_bench_impl ~assert_wins app =
+  let app_name = app.Workload.Appgen.app_name in
+  title (Printf.sprintf "Layout: function-placement strategies (%s)" app_name);
+  let mods = ok_exn (Workload.Appgen.generate_modules app) in
+  let r = build mods in
+  let program = r.Pipeline.program in
+  let entries = "main" :: Workload.Appgen.span_entries in
+  let args_for e = if e = "main" then [] else [ 1 ] in
+  let profile = Pgo.Collect.collect ~args_for ~workload:app_name ~entries program in
+  let caller_affinity_order =
+    List.map
+      (fun (f : Machine.Mfunc.t) -> f.Machine.Mfunc.name)
+      (Outcore.Layout.optimize program).Machine.Program.funcs
+  in
+  let strategies =
+    [
+      ("append", None);
+      ("caller-affinity", Some caller_affinity_order);
+      ("order-file", Some (Pgo.Order.compute `Order_file profile program));
+      ("c3", Some (Pgo.Order.compute `C3 profile program));
+      ("balanced", Some (Pgo.Order.compute `Balanced profile program));
+    ]
+  in
+  (* The differential oracle: every strategy must reproduce the Append
+     run's exit value and output on every entry. *)
+  let run ?config ?order entry =
+    match Perfsim.Interp.run ?config ?order ~args:(args_for entry) ~entry program with
+    | Ok res -> res
+    | Error e ->
+      failwith
+        (Printf.sprintf "layout_bench: %s: %s" entry
+           (Perfsim.Interp.error_to_string e))
+  in
+  let reference =
+    List.map
+      (fun entry ->
+        let res = run entry in
+        (entry, (res.Perfsim.Interp.exit_value, res.output)))
+      entries
+  in
+  let measure (sname, order) =
+    List.iter
+      (fun entry ->
+        let res = run ?order entry in
+        let ev, out = List.assoc entry reference in
+        if res.Perfsim.Interp.exit_value <> ev || res.output <> out then
+          failwith
+            (Printf.sprintf
+               "layout_bench: %s diverges from append on %s (exit %d vs %d)"
+               sname entry res.Perfsim.Interp.exit_value ev))
+      entries;
+    let per_device =
+      List.map
+        (fun (device : Perfsim.Device.t) ->
+          let config = { Perfsim.Interp.default_config with device } in
+          let cycles = ref 0 and ic = ref 0 and itlb = ref 0 and pages = ref 0 in
+          List.iter
+            (fun entry ->
+              let res = run ~config ?order entry in
+              cycles := !cycles + res.Perfsim.Interp.cycles;
+              ic := !ic + res.icache_misses;
+              itlb := !itlb + res.itlb_misses;
+              pages := !pages + res.data_pages_touched)
+            entries;
+          (device.Perfsim.Device.name, !cycles, !ic, !itlb, !pages))
+        Perfsim.Device.devices
+    in
+    (sname, per_device)
+  in
+  let results = List.map measure strategies in
+  print_string
+    (table
+       ~header:[ "strategy"; "device"; "cycles"; "icache miss"; "itlb miss"; "data pages" ]
+       (List.concat_map
+          (fun (sname, per_device) ->
+            List.map
+              (fun (d, cy, ic, itlb, pg) ->
+                [ sname; d; string_of_int cy; string_of_int ic;
+                  string_of_int itlb; string_of_int pg ])
+              per_device)
+          results));
+  let total pick sname =
+    let _, per_device = List.find (fun (s, _) -> s = sname) results in
+    List.fold_left (fun a row -> a + pick row) 0 per_device
+  in
+  let cycles_of = total (fun (_, cy, _, _, _) -> cy) in
+  let icache_of = total (fun (_, _, ic, _, _) -> ic) in
+  let itlb_of = total (fun (_, _, _, itlb, _) -> itlb) in
+  title "Totals across the device matrix";
+  print_string
+    (table
+       ~header:[ "strategy"; "cycles"; "icache miss"; "itlb miss" ]
+       (List.map
+          (fun (sname, _) ->
+            [ sname; string_of_int (cycles_of sname);
+              string_of_int (icache_of sname); string_of_int (itlb_of sname) ])
+          results));
+  let append_ic = icache_of "append" in
+  let ca_itlb = itlb_of "caller-affinity" in
+  let accepted =
+    List.filter
+      (fun s -> itlb_of s < ca_itlb && icache_of s <= append_ic)
+      [ "c3"; "balanced" ]
+  in
+  Printf.printf
+    "strategies beating caller-affinity on iTLB and matching append on icache: %s\n"
+    (if accepted = [] then "(none)" else String.concat ", " accepted);
+  let json_strategy (sname, per_device) =
+    Printf.sprintf
+      "    {\"strategy\":\"%s\",\"devices\":[\n%s\n    ]}"
+      sname
+      (String.concat ",\n"
+         (List.map
+            (fun (d, cy, ic, itlb, pg) ->
+              Printf.sprintf
+                "      {\"device\":\"%s\",\"cycles\":%d,\"icache_misses\":%d,\
+                 \"itlb_misses\":%d,\"data_pages\":%d}"
+                d cy ic itlb pg)
+            per_device))
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"app\": \"%s\",\n\
+      \  \"entries\": %d,\n\
+      \  \"strategies\": [\n\
+       %s\n\
+      \  ],\n\
+      \  \"identical\": true,\n\
+      \  \"accepted\": [%s]\n\
+       }\n"
+      app_name (List.length entries)
+      (String.concat ",\n" (List.map json_strategy results))
+      (String.concat ", " (List.map (Printf.sprintf "\"%s\"") accepted))
+  in
+  let oc = open_out "BENCH_layout.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_layout.json\n";
+  if assert_wins && accepted = [] then
+    failwith
+      "layout_bench: no profile-guided strategy beats caller-affinity on \
+       iTLB while matching append on icache"
+
+let layout_bench () = layout_bench_impl ~assert_wins:true Workload.Appgen.uber_rider
+let layout_bench_small () = layout_bench_impl ~assert_wins:false Workload.Appgen.small
+
 (* ----------------------------------------------------------------- E12 *)
 
 let apps () =
@@ -823,6 +980,7 @@ let micro () =
             prog.Machine.Program.funcs));
     ]
   in
+  let rows = ref [] in
   List.iter
     (fun t ->
       let instances = [ Toolkit.Instance.monotonic_clock ] in
@@ -835,11 +993,15 @@ let micro () =
       in
       Hashtbl.iter
         (fun name result ->
-          match Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "%-42s %14.0f ns/run\n" name est
-          | Some _ | None -> Printf.printf "%-42s (no estimate)\n" name)
+          let est =
+            match Analyze.OLS.estimates result with
+            | Some [ est ] -> Printf.sprintf "%.0f" est
+            | Some _ | None -> "(no estimate)"
+          in
+          rows := [ name; est ] :: !rows)
         results)
-    tests
+    tests;
+  print_string (table ~header:[ "benchmark"; "ns/run" ] (List.rev !rows))
 
 (* ------------------------------------------------------------------ main *)
 
@@ -859,6 +1021,8 @@ let experiments =
     ("table4", table4);
     ("buildtime", buildtime);
     ("outline_bench", outline_bench);
+    ("layout_bench", layout_bench);
+    ("layout_bench_small", layout_bench_small);
     ("apps", apps);
     ("foreign", foreign);
     ("datalayout", datalayout);

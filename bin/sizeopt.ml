@@ -207,6 +207,18 @@ let app_profile = function
     prerr_endline ("unknown profile " ^ other);
     exit 1
 
+let layout_strategy_of_string = function
+  | "append" -> `Append
+  | "caller-affinity" -> `Caller_affinity
+  | "order-file" -> `Order_file
+  | "c3" -> `C3
+  | "balanced" -> `Balanced
+  | other ->
+    prerr_endline
+      ("unknown layout " ^ other
+     ^ " (want append, caller-affinity, order-file, c3 or balanced)");
+    exit 1
+
 let build_cmd =
   let dir =
     Arg.(value & pos 0 (some dir) None & info [] ~docv:"DIR"
@@ -238,7 +250,21 @@ let build_cmd =
                    build, tree build, enumerate, score, rewrite) after the \
                    coarse pipeline phase timings.")
   in
-  let run dir app week mode rounds engine profile =
+  let layout_arg =
+    Arg.(value & opt string "append"
+         & info [ "layout" ]
+             ~docv:"append|caller-affinity|order-file|c3|balanced"
+             ~doc:"Function-placement strategy.  order-file, c3 and \
+                   balanced are profile-guided: they use --profile-in, or \
+                   self-profile a main run when no profile is given.")
+  in
+  let profile_in =
+    Arg.(value & opt (some file) None
+         & info [ "profile-in" ] ~docv:"FILE.pgo"
+             ~doc:"Recorded execution profile (from sizeopt profile) \
+                   driving a profile-guided --layout.")
+  in
+  let run dir app week mode rounds engine profile layout profile_in =
     let sources =
       match (app, dir) with
       | Some name, _ ->
@@ -270,13 +296,29 @@ let build_cmd =
         prerr_endline ("unknown engine " ^ other ^ " (want incremental or scratch)");
         exit 1
     in
+    let outlined_layout = layout_strategy_of_string layout in
+    let layout_profile =
+      match profile_in with
+      | None -> None
+      | Some path -> Some (or_die (Pgo.Profile.load path))
+    in
     let config =
-      { Pipeline.default_config with mode; outline_rounds = rounds; outline_engine }
+      { Pipeline.default_config with
+        mode; outline_rounds = rounds; outline_engine; outlined_layout;
+        layout_profile }
     in
     let res = or_die (Pipeline.build_sources ~config sources) in
     Printf.printf "binary size: %d B   code size: %d B   outlined rounds: %d\n"
       res.Pipeline.binary_size res.code_size
       (List.length res.outline_stats);
+    (match res.Pipeline.function_order with
+    | Some order ->
+      Printf.printf "layout: %s placed %d functions%s\n" layout
+        (List.length order)
+        (match profile_in with
+        | Some p -> " (profile: " ^ p ^ ")"
+        | None -> " (self-profiled)")
+    | None -> ());
     List.iteri
       (fun i (s : Outcore.Outliner.round_stats) ->
         Printf.printf
@@ -298,7 +340,96 @@ let build_cmd =
          "Run the full pipeline over a module directory or synthetic app, \
           reporting sizes, phase timings and (with --profile) the per-round \
           outliner phase split.")
-    Term.(const run $ dir $ app_arg $ week $ mode $ rounds $ engine $ profile_flag)
+    Term.(const run $ dir $ app_arg $ week $ mode $ rounds $ engine
+          $ profile_flag $ layout_arg $ profile_in)
+
+(* --- profile --------------------------------------------------------------- *)
+
+let profile_cmd =
+  let dir =
+    Arg.(value & pos 0 (some dir) None & info [] ~docv:"DIR"
+           ~doc:"Directory of .swl modules (one module per file).")
+  in
+  let app_arg =
+    Arg.(value & opt (some string) None
+         & info [ "app" ] ~docv:"rider|driver|eats|small"
+             ~doc:"Profile a synthetic app instead of a directory.")
+  in
+  let week = Arg.(value & opt int 0 & info [ "week" ] ~docv:"W") in
+  let mode =
+    Arg.(value & opt string "wp" & info [ "mode" ] ~docv:"wp|pm"
+           ~doc:"Pipeline used for the instrumented build.")
+  in
+  let rounds =
+    Arg.(value & opt int 5 & info [ "rounds"; "outline-repeat-count" ] ~docv:"N")
+  in
+  let entries =
+    Arg.(value & opt_all string []
+         & info [ "entry" ] ~docv:"SYMBOL"
+             ~doc:"Entry point to trace (repeatable).  Default: main plus \
+                   every spanN utility entry, mirroring the device matrix's \
+                   startup+utility workload.")
+  in
+  let output =
+    Arg.(value & opt string "profile.pgo"
+         & info [ "o"; "output" ] ~docv:"FILE.pgo")
+  in
+  let run dir app week mode rounds entries output =
+    let sources =
+      match (app, dir) with
+      | Some name, _ ->
+        Workload.Appgen.generate_sources
+          (Workload.Appgen.at_week (app_profile name) week)
+      | None, Some d ->
+        Sys.readdir d |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".swl")
+        |> List.sort String.compare
+        |> List.map (fun f ->
+               (Filename.chop_suffix f ".swl", read_file (Filename.concat d f)))
+      | None, None ->
+        prerr_endline "error: pass a DIR of .swl modules or --app PROFILE";
+        exit 1
+    in
+    let mode =
+      match mode with
+      | "wp" -> Pipeline.Whole_program
+      | "pm" -> Pipeline.Per_module
+      | other ->
+        prerr_endline ("unknown mode " ^ other ^ " (want wp or pm)");
+        exit 1
+    in
+    let workload =
+      match (app, dir) with
+      | Some name, _ -> name
+      | None, Some d -> Filename.basename d
+      | None, None -> assert false
+    in
+    let entries =
+      if entries <> [] then entries
+      else "main" :: Workload.Appgen.span_entries
+    in
+    let config = { Pipeline.default_config with mode; outline_rounds = rounds } in
+    let res = or_die (Pipeline.build_sources ~config sources) in
+    let profile =
+      Pgo.Collect.collect
+        ~args_for:(fun e -> if e = "main" then [] else [ 1 ])
+        ~workload ~entries res.Pipeline.program
+    in
+    Pgo.Profile.save output profile;
+    Printf.printf
+      "wrote %s: %d entries, %d functions touched, %d call edges (weight %d)\n"
+      output (List.length profile.Pgo.Profile.entries)
+      (List.length profile.Pgo.Profile.first_touch)
+      (List.length profile.Pgo.Profile.edges)
+      (Pgo.Profile.total_edge_weight profile)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Build a program, trace its entry points in the simulator, and \
+          write the execution profile (dynamic call graph, per-function \
+          counts, startup first-touch order) for sizeopt build --profile-in.")
+    Term.(const run $ dir $ app_arg $ week $ mode $ rounds $ entries $ output)
 
 (* --- report --------------------------------------------------------------- *)
 
@@ -420,4 +551,4 @@ let fuzz_cmd =
 let () =
   let doc = "whole-program repeated machine outlining toolchain (CGO'21 reproduction)" in
   let info = Cmd.info "sizeopt" ~doc in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; outline_cmd; stats_cmd; run_cmd; build_cmd; appgen_cmd; report_cmd; fuzz_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; outline_cmd; stats_cmd; run_cmd; build_cmd; profile_cmd; appgen_cmd; report_cmd; fuzz_cmd ]))

@@ -36,6 +36,7 @@ let points base =
       Pipeline.flag_semantics = Link.Attributes;
       data_order = Link.Module_preserving;
       outlined_layout = `Append;
+      layout_profile = None;
     }
   in
   let modes = [ ("pm", Pipeline.Per_module); ("wp", Pipeline.Whole_program) ] in
@@ -67,6 +68,14 @@ let points base =
         } );
       ( "wp/r3/caller-affinity",
         { wp3 with Pipeline.outlined_layout = `Caller_affinity } );
+      (* Profile-guided layouts self-profile (no recorded profile in the
+         lattice): the pipeline traces a [main] run and lays functions out
+         from it.  Semantics must survive every placement. *)
+      ( "wp/r3/layout-order-file",
+        { wp3 with Pipeline.outlined_layout = `Order_file } );
+      ("wp/r3/layout-c3", { wp3 with Pipeline.outlined_layout = `C3 });
+      ( "wp/r3/layout-balanced",
+        { wp3 with Pipeline.outlined_layout = `Balanced } );
       ( "wp/r3/scratch-engine",
         { wp3 with Pipeline.outline_engine = `Scratch } );
     ]
@@ -144,8 +153,12 @@ let run_point modules (label, cfg) ~style ~ref_exit ~ref_output =
              conflict for mixed-compiler modules, but the build succeeded";
         }
     else begin
+      (* Execute under the placement the pipeline actually linked with:
+         a broken profile-guided order would surface here as a bad jump
+         or divergence. *)
       match
-        Perfsim.Interp.run ~config:interp_config ~entry:"main" res.program
+        Perfsim.Interp.run ~config:interp_config ?order:res.function_order
+          ~entry:"main" res.program
       with
       | Error e ->
         Error

@@ -2,10 +2,13 @@
 
     One generated Swiftlet program is compiled under every lattice point —
     {!Pipeline.mode} × outline rounds × each optional pass × the §VI
-    [flag_semantics]/[data_order] link axes — and every resulting machine
-    program must agree with the MIR reference interpreter on exit value and
-    printed output.  Image size must also be monotonically non-increasing
-    in the outline-round count, holding every other axis fixed.
+    [flag_semantics]/[data_order] link axes × the layout strategies
+    (caller-affinity and the self-profiled profile-guided orders) — and
+    every resulting machine program, executed under the placement it was
+    linked with, must agree with the MIR reference interpreter on exit
+    value and printed output.  Image size must also be monotonically
+    non-increasing in the outline-round count, holding every other axis
+    fixed.
 
     Legacy-semantics points are special-cased: a program whose modules
     carry {!Swiftgen.Mixed_compilers} flags is *required* to fail linking

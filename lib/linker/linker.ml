@@ -20,8 +20,34 @@ let image_overhead_default = 16_384 (* headers + load commands stand-in *)
 
 let align n a = (n + a - 1) / a * a
 
+(* Realize an explicit placement order: named functions first, in the
+   given order; everything unnamed keeps its program order at the tail.
+   Unknown and duplicate names are ignored, so any permutation source
+   (profile, heuristic, hand-written order file) is safe to pass. *)
+let ordered_funcs order (p : Program.t) =
+  match order with
+  | None -> p.funcs
+  | Some names ->
+    let by_name = Hashtbl.create (List.length p.funcs) in
+    List.iter (fun (f : Mfunc.t) -> Hashtbl.replace by_name f.name f) p.funcs;
+    let placed = Hashtbl.create (List.length names) in
+    let first =
+      List.filter_map
+        (fun n ->
+          match Hashtbl.find_opt by_name n with
+          | Some f when not (Hashtbl.mem placed n) ->
+            Hashtbl.replace placed n ();
+            Some f
+          | Some _ | None -> None)
+        names
+    in
+    let rest =
+      List.filter (fun (f : Mfunc.t) -> not (Hashtbl.mem placed f.name)) p.funcs
+    in
+    first @ rest
+
 let link ?(text_base = text_base_default)
-    ?(image_overhead = image_overhead_default) (p : Program.t) =
+    ?(image_overhead = image_overhead_default) ?order (p : Program.t) =
   let addresses = Hashtbl.create 1024 in
   let kinds = Hashtbl.create 1024 in
   let cursor = ref text_base in
@@ -30,7 +56,7 @@ let link ?(text_base = text_base_default)
       Hashtbl.replace addresses f.name !cursor;
       Hashtbl.replace kinds f.name Text;
       cursor := !cursor + Mfunc.size_bytes f)
-    p.funcs;
+    (ordered_funcs order p);
   let text_size = !cursor - text_base in
   (* Segments are page-aligned, as in Mach-O (16 KiB pages on iOS). *)
   let data_base = align !cursor 16384 in
@@ -55,6 +81,23 @@ let link ?(text_base = text_base_default)
 
 let binary_size l = l.text_size + l.data_size + l.image_overhead
 let address_of l s = Hashtbl.find l.addresses s
+
+let symbolize l addr =
+  if addr < l.text_base || addr >= l.text_base + l.text_size then None
+  else begin
+    (* Greatest Text symbol at or below [addr]. *)
+    let best = ref None in
+    Hashtbl.iter
+      (fun sym a ->
+        if a <= addr && Hashtbl.find_opt l.kinds sym = Some Text then
+          match !best with
+          | Some (_, ba) when ba >= a -> ()
+          | _ -> best := Some (sym, a))
+      l.addresses;
+    match !best with
+    | Some (sym, a) -> Some (Printf.sprintf "%s+0x%x" sym (addr - a))
+    | None -> None
+  end
 
 let duplicate_function_bodies (p : Program.t) =
   (* Key: printed body with the function name erased (labels are local). *)

@@ -20,17 +20,30 @@ type layout = {
 val text_base_default : int
 val image_overhead_default : int
 
-val link : ?text_base:int -> ?image_overhead:int -> Machine.Program.t -> layout
+val link :
+  ?text_base:int -> ?image_overhead:int -> ?order:string list ->
+  Machine.Program.t -> layout
 (** Functions are placed consecutively in program order, 4-byte aligned
     (they already are); data objects consecutively after text, 8-byte
     aligned.  Extern symbols receive distinct high addresses so indirect
-    calls to them can be recognized. *)
+    calls to them can be recognized.
+
+    [?order] overrides text placement: functions named in the list are
+    laid out first, in that order, and the remainder follow in program
+    order.  Unknown and duplicate names are ignored, so a stale profile
+    cannot break linking.  Placement is pure reordering — [text_size]
+    and every function's bytes are unchanged; only addresses move. *)
 
 val binary_size : layout -> int
 (** [text_size + data_size + image_overhead]. *)
 
 val address_of : layout -> string -> int
 (** Raises [Not_found] for undefined symbols. *)
+
+val symbolize : layout -> int -> string option
+(** ["sym+0xoff"] for an address inside the text segment: the nearest
+    Text symbol at or below it.  [None] outside text.  Used by the
+    interpreter's failure trace dump. *)
 
 val duplicate_function_bodies : Machine.Program.t -> (int * int) list
 (** Groups of functions with byte-identical bodies: returns

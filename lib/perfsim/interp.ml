@@ -1,12 +1,18 @@
 open Machine
 
+type trace_event =
+  | Ev_entry of string
+  | Ev_call of { caller : string; callee : string; tail : bool }
+  | Ev_first_touch of string
+
 type config = {
   device : Device.t;
   os : Device.os;
   max_steps : int;
   model_perf : bool;
   unknown_extern : [ `Error | `Noop ];
-  trace_ring : int;  (* >0: keep a ring of recent pc slots, dumped to stderr on errors *)
+  trace_ring : int;  (* >0: keep a ring of recent pc slots, dumped on errors *)
+  trace : (trace_event -> unit) option;
 }
 
 let default_config =
@@ -17,6 +23,7 @@ let default_config =
     model_perf = true;
     unknown_extern = `Error;
     trace_ring = 0;
+    trace = None;
   }
 
 type result = {
@@ -377,13 +384,16 @@ let exec_insn st (i : Insn.t) =
   | Insn.Nop -> ()
 
 let last_backtrace = ref []
+let last_trace_ref : string list ref = ref []
+let last_trace () = !last_trace_ref
 
-let run ?(config = default_config) ?(args = []) ~entry (p : Program.t) =
+let run ?(config = default_config) ?(args = []) ?order ~entry (p : Program.t) =
   last_backtrace := [];
+  last_trace_ref := [];
   match Program.find_func p entry with
   | None -> Error (No_entry entry)
   | Some _ -> (
-    let layout = Linker.link p in
+    let layout = Linker.link ?order p in
     let slots, addr_of_slot, slot_of_addr, extern_of_addr, func_names, slot_outlined =
       build_slots p layout
     in
@@ -441,20 +451,21 @@ let run ?(config = default_config) ?(args = []) ~entry (p : Program.t) =
         | None -> ()
         | Some r ->
           let n = Array.length r in
-          let name_of_slot s =
-            (* Find the function whose address range contains this slot. *)
-            let addr = if s >= 0 && s < Array.length st.addr_of_slot then st.addr_of_slot.(s) else -1 in
-            let best = ref ("?", -1) in
-            Hashtbl.iter
-              (fun sym a ->
-                if Hashtbl.find_opt st.layout.Linker.kinds sym = Some Linker.Text
-                   && a <= addr && a > snd !best then best := (sym, a))
-              st.layout.Linker.addresses;
-            Printf.sprintf "%s+0x%x" (fst !best) (addr - snd !best)
-          in
-          Printf.eprintf "--- trace ring (oldest first) ---\n";
+          (* Symbolize each ring slot through the linker layout: the
+             nearest Text symbol at or below the slot's address. *)
+          let lines = ref [] in
           for i = max 0 (!ring_pos - n) to !ring_pos - 1 do
             let s = r.(i mod n) in
+            let addr =
+              if s >= 0 && s < Array.length st.addr_of_slot then
+                st.addr_of_slot.(s)
+              else -1
+            in
+            let sym =
+              match Linker.symbolize st.layout addr with
+              | Some name -> name
+              | None -> "?"
+            in
             let d =
               match st.slots.(s) with
               | S_insn ins -> Insn.to_string ins
@@ -467,11 +478,32 @@ let run ?(config = default_config) ?(args = []) ~entry (p : Program.t) =
               | S_bl (_, ins) -> Insn.to_string ins
               | S_blr r' -> "blr " ^ Reg.to_string r'
             in
-            Printf.eprintf "%6d  %-24s %s\n" s (name_of_slot s) d
+            lines := Printf.sprintf "0x%06x  %-28s %s" addr sym d :: !lines
           done;
+          let lines = List.rev !lines in
+          last_trace_ref := lines;
+          Printf.eprintf "--- trace ring (oldest first) ---\n";
+          List.iter (fun l -> Printf.eprintf "%s\n" l) lines;
           Printf.eprintf "---------------------------------\n%!"
       in
       dump_hook := dump_ring;
+      (* Structured trace events (function entry / call edge / first
+         touch) for profile collection — see Pgo.Collect. *)
+      let touched = Hashtbl.create 64 in
+      let emit_enter ~caller ~tail callee =
+        match config.trace with
+        | None -> ()
+        | Some emit ->
+          (match caller with
+          | Some c -> emit (Ev_call { caller = c; callee; tail })
+          | None -> ());
+          if not (Hashtbl.mem touched callee) then begin
+            Hashtbl.replace touched callee ();
+            emit (Ev_first_touch callee)
+          end;
+          emit (Ev_entry callee)
+      in
+      emit_enter ~caller:None ~tail:false entry;
       let jump_to_address a =
         if a = exit_address then running := false
         else
@@ -518,6 +550,7 @@ let run ?(config = default_config) ?(args = []) ~entry (p : Program.t) =
           match target with
           | T_slot s ->
             st.calls <- st.calls + 1;
+            emit_enter ~caller:(Some func_names.(idx)) ~tail:false func_names.(s);
             st.shadow_stack <- func_names.(s) :: st.shadow_stack;
             pc := s
           | T_extern name -> do_extern name (idx + 1))
@@ -529,6 +562,7 @@ let run ?(config = default_config) ?(args = []) ~entry (p : Program.t) =
           match Hashtbl.find_opt st.slot_of_addr dest with
           | Some s ->
             st.calls <- st.calls + 1;
+            emit_enter ~caller:(Some func_names.(idx)) ~tail:false func_names.(s);
             st.shadow_stack <- func_names.(s) :: st.shadow_stack;
             pc := s
           | None -> (
@@ -564,6 +598,7 @@ let run ?(config = default_config) ?(args = []) ~entry (p : Program.t) =
           st.branches <- st.branches + 1;
           match t with
           | T_slot s ->
+            emit_enter ~caller:(Some func_names.(idx)) ~tail:true func_names.(s);
             (match st.shadow_stack with
             | _ :: rest -> st.shadow_stack <- func_names.(s) :: rest
             | [] -> st.shadow_stack <- [ func_names.(s) ]);
@@ -605,7 +640,7 @@ let run ?(config = default_config) ?(args = []) ~entry (p : Program.t) =
 (* The §VI-4 anecdote: a failure inside an outlined function shows
    OUTLINED_FUNCTION_* on top of the stack; the real feature code is one
    level down.  [run_with_backtrace] surfaces that stack. *)
-let run_with_backtrace ?config ?args ~entry p =
-  match run ?config ?args ~entry p with
+let run_with_backtrace ?config ?args ?order ~entry p =
+  match run ?config ?args ?order ~entry p with
   | Ok r -> Ok r
   | Error e -> Error (e, !last_backtrace)

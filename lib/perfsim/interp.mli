@@ -12,6 +12,16 @@
     [objc_retain], [objc_release], [swift_beginAccess], [swift_endAccess],
     [print_i64], [swift_bounds_fail], [memcpy8]. *)
 
+type trace_event =
+  | Ev_entry of string
+      (** a function begins executing: the initial entry, a resolved
+          [BL]/[BLR], or a tail transfer *)
+  | Ev_call of { caller : string; callee : string; tail : bool }
+      (** a resolved intra-image dynamic call edge *)
+  | Ev_first_touch of string
+      (** the first time any instruction of the function executes —
+          the startup first-touch order *)
+
 type config = {
   device : Device.t;
   os : Device.os;
@@ -22,7 +32,13 @@ type config = {
           structural tests on synthetic programs) *)
   trace_ring : int;
       (** when positive, keep a ring of the most recent program counters
-          and dump a symbolized trace to stderr if execution fails *)
+          and dump a symbolized trace (also exposed via {!last_trace})
+          if execution fails *)
+  trace : (trace_event -> unit) option;
+      (** structured observability surface: when set, every function
+          entry, resolved call edge and first touch is reported in
+          execution order.  This is what {!Pgo.Collect} hooks to build
+          layout profiles; it does not perturb the cost model. *)
 }
 
 val default_config : config
@@ -58,15 +74,20 @@ val error_to_string : error -> string
 val run :
   ?config:config ->
   ?args:int list ->
+  ?order:string list ->
   entry:string ->
   Machine.Program.t ->
   (result, error) Stdlib.result
 (** Link the program, place [args] in x0..x7, and execute [entry] to
-    completion. *)
+    completion.  [?order] is forwarded to {!Linker.link}: it changes
+    function placement (and hence icache/iTLB behaviour) without
+    touching a single code byte — the lever the profile-guided layout
+    experiments pull. *)
 
 val run_with_backtrace :
   ?config:config ->
   ?args:int list ->
+  ?order:string list ->
   entry:string ->
   Machine.Program.t ->
   (result, error * string list) Stdlib.result
@@ -74,3 +95,10 @@ val run_with_backtrace :
     first).  This reproduces the debuggability story of §VI-4: a crash
     inside outlined code reports [OUTLINED_FUNCTION_…] as the leaf frame,
     with the responsible feature function one level below. *)
+
+val last_trace : unit -> string list
+(** The symbolized trace-ring dump of the most recent failed [run] with
+    [trace_ring > 0], oldest entry first.  Each line carries the virtual
+    address, ["sym+0xoff"] resolved through the linker layout, and the
+    instruction text.  Empty if the last run succeeded or the ring was
+    off. *)

@@ -1,0 +1,64 @@
+type t = {
+  mutable entries_rev : string list;
+  counts : (string, int) Hashtbl.t;
+  edges : (string * string, int) Hashtbl.t;
+  mutable touch_rev : string list;
+  touched : (string, unit) Hashtbl.t;
+}
+
+let create () =
+  {
+    entries_rev = [];
+    counts = Hashtbl.create 256;
+    edges = Hashtbl.create 1024;
+    touch_rev = [];
+    touched = Hashtbl.create 256;
+  }
+
+let hook c (ev : Perfsim.Interp.trace_event) =
+  match ev with
+  | Perfsim.Interp.Ev_entry f ->
+    Hashtbl.replace c.counts f (1 + Option.value ~default:0 (Hashtbl.find_opt c.counts f))
+  | Perfsim.Interp.Ev_call { caller; callee; tail = _ } ->
+    let key = (caller, callee) in
+    Hashtbl.replace c.edges key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt c.edges key))
+  | Perfsim.Interp.Ev_first_touch f ->
+    (* First-touch is per run; across runs keep the earliest global order. *)
+    if not (Hashtbl.mem c.touched f) then begin
+      Hashtbl.replace c.touched f ();
+      c.touch_rev <- f :: c.touch_rev
+    end
+
+let record_entry c e = c.entries_rev <- e :: c.entries_rev
+
+let profile c ~workload =
+  Profile.make ~workload
+    ~entries:(List.rev c.entries_rev)
+    ~first_touch:(List.rev c.touch_rev)
+    ~counts:(Hashtbl.fold (fun f n acc -> (f, n) :: acc) c.counts [])
+    ~edges:(Hashtbl.fold (fun k n acc -> (k, n) :: acc) c.edges [])
+
+(* Profiling wants events, not timings: the cost model off makes the run
+   cheaper without changing a single event.  Unknown externs are no-ops so
+   partially-modelled programs still yield a usable (partial) profile. *)
+let default_config =
+  {
+    Perfsim.Interp.default_config with
+    model_perf = false;
+    unknown_extern = `Noop;
+    max_steps = 50_000_000;
+  }
+
+let collect ?(config = default_config) ?(args_for = fun _ -> []) ~workload
+    ~entries program =
+  let c = create () in
+  List.iter
+    (fun entry ->
+      record_entry c entry;
+      let cfg = { config with Perfsim.Interp.trace = Some (hook c) } in
+      (* Errors (missing entry, trap, step limit) keep the events seen so
+         far: a crashing span still contributes its prefix. *)
+      ignore (Perfsim.Interp.run ~config:cfg ~args:(args_for entry) ~entry program))
+    entries;
+  profile c ~workload

@@ -1,0 +1,46 @@
+(** Profile-guided function-ordering algorithms.
+
+    Every algorithm maps (profile, program) to a complete permutation of
+    the program's function names, suitable for [Linker.link ~order] or
+    [Perfsim.Interp.run ~order].  They are pure placement: no code byte
+    changes, and the interp differential (same exit value and output
+    under every order) is part of the test suite.
+
+    All three share the hot/cold split: functions never executed in the
+    profile are placed at the image tail in program order, so startup
+    and steady-state never page them in. *)
+
+type strategy = [ `Order_file | `C3 | `Balanced ]
+
+val strategy_name : strategy -> string
+
+val order_file : Profile.t -> Machine.Program.t -> string list
+(** Startup placement: functions in first-touch order, then everything
+    else in program order — the "order file" linkers consume. *)
+
+val c3 : ?max_cluster_bytes:int -> Profile.t -> Machine.Program.t -> string list
+(** C³-style call-chain clustering (Codestitcher-family): coalesce the
+    weighted dynamic call graph into clusters bounded by
+    [max_cluster_bytes] (default one 16 KiB page), heaviest edges first,
+    and emit clusters by startup order.  Shared outlined helpers land
+    inside their hottest caller's chain instead of next to an arbitrary
+    static caller. *)
+
+val balanced :
+  ?max_depth:int ->
+  ?passes:int ->
+  ?leaf_bytes:int ->
+  Profile.t ->
+  Machine.Program.t ->
+  string list
+(** Recursive-bisection balanced partitioning over utility sets (the
+    Hoag et al. mobile-startup algorithm): hot functions are documents,
+    their dynamic call-graph neighbours the utilities; recursive local
+    search keeps functions with shared utilities in the same half, hence
+    on nearby pages.  Unless [max_depth] overrides it, recursion stops
+    at [leaf_bytes]-sized leaves (default 4 KiB), which keep their
+    first-touch order — below a few KiB the fully-associative iTLB sees
+    no difference, while touch order still helps the icache.
+    Deterministic: ties break on function name. *)
+
+val compute : strategy -> Profile.t -> Machine.Program.t -> string list

@@ -1,0 +1,123 @@
+let current_version = 1
+
+type t = {
+  workload : string;
+  entries : string list;
+  first_touch : string list;
+  counts : (string * int) list;
+  edges : ((string * string) * int) list;
+}
+
+let compare_edge ((c1, e1), _) ((c2, e2), _) =
+  match String.compare c1 c2 with 0 -> String.compare e1 e2 | n -> n
+
+let make ~workload ~entries ~first_touch ~counts ~edges =
+  {
+    workload;
+    entries;
+    first_touch;
+    counts = List.sort (fun (a, _) (b, _) -> String.compare a b) counts;
+    edges = List.sort compare_edge edges;
+  }
+
+let empty ~workload = make ~workload ~entries:[] ~first_touch:[] ~counts:[] ~edges:[]
+
+let count p f = Option.value ~default:0 (List.assoc_opt f p.counts)
+let edge_weight p ~caller ~callee =
+  Option.value ~default:0 (List.assoc_opt (caller, callee) p.edges)
+
+let executed p f = List.mem f p.first_touch
+
+let total_edge_weight p = List.fold_left (fun a (_, w) -> a + w) 0 p.edges
+
+let equal a b =
+  a.workload = b.workload && a.entries = b.entries
+  && a.first_touch = b.first_touch && a.counts = b.counts && a.edges = b.edges
+
+(* --- serialization --------------------------------------------------------
+
+   A line-oriented versioned text format so profiles can be recorded once
+   (`sizeopt profile`) and replayed (`sizeopt build --profile-in`):
+
+     pgo-profile v1
+     workload <name>
+     entry <symbol>             # traced entry points, in run order
+     touch <func>               # first-touch order, oldest first
+     count <func> <n>           # function entry counts, sorted by name
+     edge <caller> <callee> <n> # dynamic call edges, sorted
+
+   Serialization is canonical (sorted counts/edges), so equal profiles
+   render byte-identically — the determinism property the tests pin. *)
+
+let to_string p =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "pgo-profile v%d\n" current_version);
+  Buffer.add_string buf (Printf.sprintf "workload %s\n" p.workload);
+  List.iter (fun e -> Buffer.add_string buf (Printf.sprintf "entry %s\n" e)) p.entries;
+  List.iter (fun f -> Buffer.add_string buf (Printf.sprintf "touch %s\n" f)) p.first_touch;
+  List.iter
+    (fun (f, n) -> Buffer.add_string buf (Printf.sprintf "count %s %d\n" f n))
+    p.counts;
+  List.iter
+    (fun ((c, e), n) ->
+      Buffer.add_string buf (Printf.sprintf "edge %s %s %d\n" c e n))
+    p.edges;
+  Buffer.contents buf
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  match List.filter (fun l -> String.trim l <> "") lines with
+  | [] -> Error "empty profile"
+  | header :: rest ->
+    if header <> Printf.sprintf "pgo-profile v%d" current_version then
+      Error
+        (Printf.sprintf
+           "unsupported profile header %S (expected \"pgo-profile v%d\")" header
+           current_version)
+    else begin
+      let workload = ref "" in
+      let entries = ref [] and touches = ref [] in
+      let counts = ref [] and edges = ref [] in
+      let err = ref None in
+      List.iteri
+        (fun i line ->
+          if !err = None then
+            let fail msg =
+              err := Some (Printf.sprintf "line %d: %s: %S" (i + 2) msg line)
+            in
+            match String.split_on_char ' ' line with
+            | "workload" :: rest when rest <> [] ->
+              workload := String.concat " " rest
+            | [ "entry"; e ] -> entries := e :: !entries
+            | [ "touch"; f ] -> touches := f :: !touches
+            | [ "count"; f; n ] -> (
+              match int_of_string_opt n with
+              | Some n -> counts := (f, n) :: !counts
+              | None -> fail "bad count")
+            | [ "edge"; c; e; n ] -> (
+              match int_of_string_opt n with
+              | Some n -> edges := ((c, e), n) :: !edges
+              | None -> fail "bad edge weight")
+            | _ -> fail "unknown directive")
+        rest;
+      match !err with
+      | Some e -> Error e
+      | None ->
+        Ok
+          (make ~workload:!workload ~entries:(List.rev !entries)
+             ~first_touch:(List.rev !touches) ~counts:!counts ~edges:!edges)
+    end
+
+let save path p =
+  let oc = open_out path in
+  output_string oc (to_string p);
+  close_out oc
+
+let load path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    of_string s
+  with Sys_error e -> Error e

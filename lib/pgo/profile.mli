@@ -1,0 +1,51 @@
+(** Execution profiles for profile-guided code layout.
+
+    A profile is what one deterministic simulator run (or several, one
+    per entry point) distills into: the weighted dynamic call graph,
+    per-function entry counts, and the startup first-touch order.  It is
+    the record-once / replay-many artifact of the profile→layout loop:
+    [sizeopt profile] writes it, [sizeopt build --profile-in] and the
+    {!Order} algorithms consume it. *)
+
+type t = {
+  workload : string;             (** e.g. the app profile name *)
+  entries : string list;         (** traced entry points, in run order *)
+  first_touch : string list;     (** functions in first-execution order *)
+  counts : (string * int) list;  (** function entry counts, sorted by name *)
+  edges : ((string * string) * int) list;
+      (** dynamic call edges (caller, callee) -> weight, sorted *)
+}
+
+val current_version : int
+
+val make :
+  workload:string ->
+  entries:string list ->
+  first_touch:string list ->
+  counts:(string * int) list ->
+  edges:((string * string) * int) list ->
+  t
+(** Canonicalizes: counts and edges are sorted, so {!to_string} is a
+    deterministic function of the profile's contents. *)
+
+val empty : workload:string -> t
+
+val count : t -> string -> int
+val edge_weight : t -> caller:string -> callee:string -> int
+val executed : t -> string -> bool
+(** A function is "hot" iff it was first-touched; never-executed
+    functions are what hot/cold splitting sends to the image tail. *)
+
+val total_edge_weight : t -> int
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** The versioned text serialization (header ["pgo-profile v1"]).
+    Canonical: structurally equal profiles serialize byte-identically. *)
+
+val of_string : string -> (t, string) result
+(** Rejects unknown versions and malformed directives with a line-
+    numbered error. *)
+
+val save : string -> t -> unit
+val load : string -> (t, string) result

@@ -2,6 +2,9 @@ type mode =
   | Per_module
   | Whole_program
 
+type layout_strategy =
+  [ `Append | `Caller_affinity | `Order_file | `C3 | `Balanced ]
+
 type config = {
   mode : mode;
   outline_rounds : int;
@@ -12,7 +15,8 @@ type config = {
   run_merge_functions : bool;
   run_fmsa : bool;
   no_outline_modules : string list;
-  outlined_layout : [ `Append | `Caller_affinity ];
+  outlined_layout : layout_strategy;
+  layout_profile : Pgo.Profile.t option;
   run_canonicalize : bool;
   outline_engine : [ `Incremental | `Scratch ];
 }
@@ -29,6 +33,7 @@ let default_config =
     run_fmsa = false;
     no_outline_modules = [ "system" ];
     outlined_layout = `Append;
+    layout_profile = None;
     run_canonicalize = false;
     outline_engine = `Incremental;
   }
@@ -40,6 +45,7 @@ type result = {
   layout : Linker.layout;
   binary_size : int;
   code_size : int;
+  function_order : string list option;
   timings : (string * float) list;
   outline_stats : Outcore.Outliner.round_stats list;
   outline_profile : Outcore.Profile.t;
@@ -120,7 +126,7 @@ let build ?(config = default_config) modules =
               outline_stats := stats;
               match config.outlined_layout with
               | `Caller_affinity -> Outcore.Layout.optimize p
-              | `Append -> p)
+              | `Append | `Order_file | `C3 | `Balanced -> p)
         else machine
       | Per_module ->
         (* Independent per-module compilation, then the system linker. *)
@@ -148,18 +154,47 @@ let build ?(config = default_config) modules =
             match config.outlined_layout with
             | `Caller_affinity when config.outline_rounds > 0 ->
               Outcore.Layout.optimize merged
-            | `Caller_affinity | `Append -> merged)
+            | `Caller_affinity | `Append | `Order_file | `C3 | `Balanced ->
+              merged)
     in
     (match Machine.Program.validate program with
     | Ok () -> ()
     | Error e -> failwith ("pipeline produced invalid program: " ^ e));
-    let layout = timed timings "system-linker" (fun () -> Linker.link program) in
+    (* Profile-guided strategies close the loop here: use the recorded
+       profile (--profile-in), or self-profile by tracing a [main] run of
+       the just-built program. *)
+    let function_order =
+      match config.outlined_layout with
+      | `Append | `Caller_affinity -> None
+      | (`Order_file | `C3 | `Balanced) as strategy ->
+        let profile =
+          match config.layout_profile with
+          | Some p -> p
+          | None ->
+            timed timings "pgo-collect" (fun () ->
+                Pgo.Collect.collect
+                  ~config:
+                    {
+                      Pgo.Collect.default_config with
+                      Perfsim.Interp.max_steps = 20_000_000;
+                    }
+                  ~workload:"self" ~entries:[ "main" ] program)
+        in
+        Some
+          (timed timings "pgo-layout" (fun () ->
+               Pgo.Order.compute strategy profile program))
+    in
+    let layout =
+      timed timings "system-linker" (fun () ->
+          Linker.link ?order:function_order program)
+    in
     Ok
       {
         program;
         layout;
         binary_size = Linker.binary_size layout;
         code_size = layout.Linker.text_size;
+        function_order;
         timings = List.rev !timings;
         outline_stats = !outline_stats;
         outline_profile;

@@ -15,6 +15,18 @@ type mode =
   | Per_module
   | Whole_program
 
+type layout_strategy =
+  [ `Append | `Caller_affinity | `Order_file | `C3 | `Balanced ]
+(** Where functions — outlined ones in particular — are placed:
+    - [`Append]: program order, outlined functions appended at the end in
+      one dense region (LLVM's behaviour, the default);
+    - [`Caller_affinity]: next to their dominant {e static} caller — the
+      measured negative result (see {!config.outlined_layout});
+    - [`Order_file] / [`C3] / [`Balanced]: profile-guided placement from
+      a {!Pgo.Profile.t} — startup first-touch order, C³-style call-chain
+      clustering, and recursive-bisection balanced partitioning.  All are
+      pure reordering, realized through [Linker.link ~order]. *)
+
 type config = {
   mode : mode;
   outline_rounds : int;           (** 0 disables machine outlining *)
@@ -27,15 +39,21 @@ type config = {
   no_outline_modules : string list;
       (** modules standing in for system frameworks: their machine code is
           never harvested or rewritten (default [["system"]]) *)
-  outlined_layout : [ `Append | `Caller_affinity ];
-      (** where outlined functions live: appended at the end of the image in
-          one dense region (LLVM's behaviour, the default) or placed next to
-          their dominant static caller.  Implementing the latter — the
-          paper's future-work item (3) — produced a negative result worth
-          keeping: outlined helpers are *shared*, so caller-affinity
-          placement scatters them across the image and inflates iTLB misses
-          by orders of magnitude, while the dense appended region acts as a
-          small hot page set.  See the [ablate] bench. *)
+  outlined_layout : layout_strategy;
+      (** where outlined functions live.  Caller-affinity — the paper's
+          future-work item (3) done statically — produced a negative result
+          worth keeping: outlined helpers are *shared*, so placement next to
+          one static caller scatters them across the image and inflates iTLB
+          misses by orders of magnitude, while the dense appended region
+          acts as a small hot page set.  The profile-guided strategies are
+          the related-work fix (Hoag et al., Lavaee et al.): dynamic traces
+          from {!Perfsim} decide placement.  See the [ablate] and
+          [layout_bench] benches. *)
+  layout_profile : Pgo.Profile.t option;
+      (** the recorded profile driving a profile-guided [outlined_layout]
+          ([sizeopt build --profile-in]).  [None] with a profile-guided
+          strategy self-profiles: the pipeline traces a [main] run of the
+          built program and feeds that profile straight back into layout. *)
   run_canonicalize : bool;
       (** canonicalize commutative operand order before outlining (the
           paper's future-work item 1); off by default *)
@@ -59,6 +77,10 @@ type result = {
   layout : Linker.layout;
   binary_size : int;
   code_size : int;
+  function_order : string list option;
+      (** the explicit placement the layout was linked with (profile-guided
+          strategies only); pass it to [Perfsim.Interp.run ~order] so
+          measurement sees the same addresses the linker produced *)
   timings : (string * float) list;   (** phase name, seconds, in order *)
   outline_stats : Outcore.Outliner.round_stats list;
   outline_profile : Outcore.Profile.t;

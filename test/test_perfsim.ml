@@ -350,6 +350,49 @@ entry:
     | _ -> Alcotest.fail "backtrace too short")
   | Error (e, _) -> Alcotest.fail (Perfsim.Interp.error_to_string e)
 
+let test_trace_ring_symbolized () =
+  (* A crashing program with the trace ring on must leave a symbolized
+     dump behind: every line carries "sym+0xoff" resolved through the
+     linker layout, and the crashing function appears in it. *)
+  let p =
+    parse
+      {|
+func crasher:
+entry:
+  mov x1, #0
+  nop
+  nop
+  ldr x6, [x1]
+  ret
+func main:
+entry:
+  stp fp, lr, [sp, #-16]!
+  bl crasher
+  ldp fp, lr, [sp], #16
+  ret
+|}
+  in
+  let config = { Perfsim.Interp.default_config with trace_ring = 16 } in
+  (match Perfsim.Interp.run ~config ~entry:"main" p with
+  | Ok _ -> Alcotest.fail "expected a null access"
+  | Error Perfsim.Interp.Null_access -> ()
+  | Error e -> Alcotest.fail (Perfsim.Interp.error_to_string e));
+  let trace = Perfsim.Interp.last_trace () in
+  Alcotest.(check bool) "trace non-empty" true (trace <> []);
+  let mentions sub line =
+    let n = String.length sub and ln = String.length line in
+    let rec at i = i + n <= ln && (String.sub line i n = sub || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "crashing function symbolized" true
+    (List.exists (mentions "crasher+0x") trace);
+  Alcotest.(check bool) "every line symbolized" true
+    (List.for_all (mentions "+0x") trace);
+  Alcotest.(check bool) "faulting load is the last entry" true
+    (match List.rev trace with
+    | last :: _ -> mentions "ldr" last
+    | [] -> false)
+
 (* --- Differential property: outlining preserves semantics --------------- *)
 
 let gen_function i =
@@ -501,6 +544,8 @@ let () =
           Alcotest.test_case "perf counters" `Quick test_perf_counters;
           Alcotest.test_case "backtrace through outlined code" `Quick
             test_backtrace_through_outlined_code;
+          Alcotest.test_case "trace ring dump is symbolized" `Quick
+            test_trace_ring_symbolized;
         ] );
       ( "differential",
         [ QCheck_alcotest.to_alcotest prop_outlining_preserves_semantics ] );

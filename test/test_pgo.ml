@@ -1,0 +1,283 @@
+(* Tests for the profile-guided layout subsystem (lib/pgo): profile
+   serialization, trace collection determinism, the ordering strategies'
+   permutation/hot-cold/differential properties, Linker.link ~order, and
+   the caller-affinity anchor chasing they compete against. *)
+
+open Machine
+
+let parse text =
+  match Asm_parser.parse_program text with
+  | Ok p -> p
+  | Error e -> Alcotest.fail ("parse error: " ^ e)
+
+let run_exn ?config ?args ?order p ~entry =
+  match Perfsim.Interp.run ?config ?args ?order ~entry p with
+  | Ok r -> r
+  | Error e -> Alcotest.fail ("exec error: " ^ Perfsim.Interp.error_to_string e)
+
+(* A small program with a shared helper, a call chain and a never-executed
+   function: enough shape for every strategy to disagree with program
+   order while agreeing on semantics. *)
+let sample_program () =
+  parse
+    {|
+func main:
+entry:
+  stp fp, lr, [sp, #-16]!
+  bl helper
+  bl mid
+  mov x0, #7
+  ldp fp, lr, [sp], #16
+  ret
+func cold_never:
+entry:
+  mov x0, #99
+  ret
+func mid:
+entry:
+  stp fp, lr, [sp, #-16]!
+  bl helper
+  bl leaf
+  ldp fp, lr, [sp], #16
+  ret
+func helper:
+entry:
+  mov x9, #1
+  ret
+func leaf:
+entry:
+  mov x10, #2
+  ret
+|}
+
+let collect_sample () =
+  let p = sample_program () in
+  (p, Pgo.Collect.collect ~workload:"sample" ~entries:[ "main" ] p)
+
+(* --- Profile serialization ------------------------------------------------ *)
+
+let test_profile_roundtrip () =
+  let profile =
+    Pgo.Profile.make ~workload:"w" ~entries:[ "main"; "span1" ]
+      ~first_touch:[ "main"; "b"; "a" ]
+      ~counts:[ ("b", 2); ("main", 1); ("a", 5) ]
+      ~edges:[ (("main", "b"), 2); (("b", "a"), 5) ]
+  in
+  let s = Pgo.Profile.to_string profile in
+  (match Pgo.Profile.of_string s with
+  | Ok p' ->
+    Alcotest.(check bool) "round-trip equal" true (Pgo.Profile.equal profile p');
+    Alcotest.(check string) "canonical re-serialization" s
+      (Pgo.Profile.to_string p')
+  | Error e -> Alcotest.fail ("of_string: " ^ e));
+  Alcotest.(check int) "count a" 5 (Pgo.Profile.count profile "a");
+  Alcotest.(check int) "edge b->a" 5
+    (Pgo.Profile.edge_weight profile ~caller:"b" ~callee:"a");
+  Alcotest.(check bool) "executed" true (Pgo.Profile.executed profile "b");
+  Alcotest.(check bool) "not executed" false (Pgo.Profile.executed profile "z")
+
+let test_profile_rejects_garbage () =
+  let bad v =
+    match Pgo.Profile.of_string v with
+    | Ok _ -> Alcotest.fail "accepted malformed profile"
+    | Error _ -> ()
+  in
+  bad "pgo-profile v99\nworkload w\n";
+  bad "not-a-profile\n";
+  bad "pgo-profile v1\ncount onlyonefield\n";
+  bad "pgo-profile v1\nedge a b notanumber\n"
+
+(* --- Collection ----------------------------------------------------------- *)
+
+let test_collect_events () =
+  let _, profile = collect_sample () in
+  Alcotest.(check (list string))
+    "first touch follows execution order"
+    [ "main"; "helper"; "mid"; "leaf" ]
+    profile.Pgo.Profile.first_touch;
+  (* helper entered from both main and mid. *)
+  Alcotest.(check int) "helper entries" 2 (Pgo.Profile.count profile "helper");
+  Alcotest.(check int) "main->helper" 1
+    (Pgo.Profile.edge_weight profile ~caller:"main" ~callee:"helper");
+  Alcotest.(check int) "mid->helper" 1
+    (Pgo.Profile.edge_weight profile ~caller:"mid" ~callee:"helper");
+  Alcotest.(check bool) "cold function untouched" false
+    (Pgo.Profile.executed profile "cold_never")
+
+let test_profile_determinism () =
+  (* Same program + same workload twice: byte-identical serialization. *)
+  let sources =
+    Workload.Appgen.generate_sources Workload.Appgen.small
+  in
+  let res =
+    match Pipeline.build_sources sources with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let entries = [ "main"; "span1"; "span2" ] in
+  let args_for e = if e = "main" then [] else [ 1 ] in
+  let collect () =
+    Pgo.Profile.to_string
+      (Pgo.Collect.collect ~args_for ~workload:"small" ~entries
+         res.Pipeline.program)
+  in
+  Alcotest.(check string) "byte-identical profiles" (collect ()) (collect ())
+
+(* --- Ordering strategies -------------------------------------------------- *)
+
+let strategies : Pgo.Order.strategy list = [ `Order_file; `C3; `Balanced ]
+
+let test_orders_are_permutations () =
+  let p, profile = collect_sample () in
+  let names =
+    List.sort String.compare
+      (List.map (fun (f : Mfunc.t) -> f.Mfunc.name) p.Program.funcs)
+  in
+  List.iter
+    (fun s ->
+      let order = Pgo.Order.compute s profile p in
+      Alcotest.(check (list string))
+        (Pgo.Order.strategy_name s ^ " permutes all functions")
+        names
+        (List.sort String.compare order))
+    strategies
+
+let test_hot_cold_split () =
+  let p, profile = collect_sample () in
+  List.iter
+    (fun s ->
+      let order = Pgo.Order.compute s profile p in
+      let cold_pos =
+        Option.get
+          (List.find_index (fun n -> n = "cold_never") order)
+      in
+      List.iteri
+        (fun i n ->
+          if Pgo.Profile.executed profile n then
+            Alcotest.(check bool)
+              (Pgo.Order.strategy_name s ^ ": hot " ^ n ^ " before cold tail")
+              true (i < cold_pos))
+        order)
+    strategies
+
+let test_differential_across_strategies () =
+  let p, profile = collect_sample () in
+  let reference = run_exn p ~entry:"main" in
+  let base_layout = Linker.link p in
+  List.iter
+    (fun s ->
+      let order = Pgo.Order.compute s profile p in
+      let r = run_exn ~order p ~entry:"main" in
+      Alcotest.(check int)
+        (Pgo.Order.strategy_name s ^ " exit value")
+        reference.Perfsim.Interp.exit_value r.Perfsim.Interp.exit_value;
+      Alcotest.(check (list int))
+        (Pgo.Order.strategy_name s ^ " output")
+        reference.output r.output;
+      let layout = Linker.link ~order p in
+      Alcotest.(check int)
+        (Pgo.Order.strategy_name s ^ " text size unchanged")
+        base_layout.Linker.text_size layout.Linker.text_size)
+    strategies
+
+let test_linker_explicit_order () =
+  let p = sample_program () in
+  let order = [ "leaf"; "main" ] in
+  let l = Linker.link ~order p in
+  let addr = Linker.address_of l in
+  Alcotest.(check int) "leaf placed first" l.Linker.text_base (addr "leaf");
+  Alcotest.(check bool) "main second" true (addr "main" > addr "leaf");
+  (* Unknown names are ignored; unlisted functions follow in program order. *)
+  let l2 = Linker.link ~order:[ "nosuchfunc"; "mid" ] p in
+  Alcotest.(check int) "unknown skipped" l2.Linker.text_base
+    (Linker.address_of l2 "mid");
+  Alcotest.(check int) "text size invariant" l.Linker.text_size
+    l2.Linker.text_size
+
+(* --- Caller-affinity anchor chasing (the strategy pgo competes with) ------ *)
+
+let test_static_callers_chain () =
+  let p =
+    parse
+      {|
+func anchor:
+entry:
+  stp fp, lr, [sp, #-16]!
+  bl out1
+  bl out1
+  ldp fp, lr, [sp], #16
+  ret
+func other:
+entry:
+  stp fp, lr, [sp, #-16]!
+  bl out1
+  ldp fp, lr, [sp], #16
+  ret
+func out1:
+entry:
+  stp fp, lr, [sp, #-16]!
+  bl out2
+  ldp fp, lr, [sp], #16
+  ret
+func out2:
+entry:
+  mov x9, #3
+  ret
+|}
+  in
+  let p =
+    Program.replace_funcs p
+      (List.map
+         (fun (f : Mfunc.t) ->
+           { f with Mfunc.is_outlined = String.length f.name >= 3
+                                        && String.sub f.name 0 3 = "out" })
+         p.Program.funcs)
+  in
+  let callers = Outcore.Layout.static_callers p in
+  Alcotest.(check int) "anchor calls out1 twice" 2
+    (List.assoc "anchor" (Hashtbl.find callers "out1"));
+  Alcotest.(check int) "out1 calls out2 once" 1
+    (List.assoc "out1" (Hashtbl.find callers "out2"));
+  (* out2's only caller is outlined out1, whose home is anchor: the chain
+     must chase through out1 to the concrete anchor. *)
+  let opt = Outcore.Layout.optimize p in
+  let names = List.map (fun (f : Mfunc.t) -> f.Mfunc.name) opt.Program.funcs in
+  let pos n = Option.get (List.find_index (fun x -> x = n) names) in
+  Alcotest.(check int) "out1 right after anchor" (pos "anchor" + 1) (pos "out1");
+  Alcotest.(check int) "out2 follows the same anchor chain" (pos "out1" + 1)
+    (pos "out2");
+  Alcotest.(check bool) "non-outlined order preserved" true
+    (pos "anchor" < pos "other")
+
+let () =
+  Alcotest.run "pgo"
+    [
+      ( "profile",
+        [
+          Alcotest.test_case "serialization round-trip" `Quick
+            test_profile_roundtrip;
+          Alcotest.test_case "rejects malformed input" `Quick
+            test_profile_rejects_garbage;
+        ] );
+      ( "collect",
+        [
+          Alcotest.test_case "trace events -> profile" `Quick test_collect_events;
+          Alcotest.test_case "deterministic serialized profile" `Slow
+            test_profile_determinism;
+        ] );
+      ( "order",
+        [
+          Alcotest.test_case "strategies are permutations" `Quick
+            test_orders_are_permutations;
+          Alcotest.test_case "hot/cold split" `Quick test_hot_cold_split;
+          Alcotest.test_case "interp differential across strategies" `Quick
+            test_differential_across_strategies;
+          Alcotest.test_case "linker explicit order" `Quick
+            test_linker_explicit_order;
+        ] );
+      ( "caller-affinity",
+        [
+          Alcotest.test_case "static_callers + anchor chasing" `Quick
+            test_static_callers_chain;
+        ] );
+    ]
