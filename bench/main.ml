@@ -25,11 +25,18 @@ let per_module_cfg =
 
 let build ?(config = Pipeline.default_config) mods = ok_exn (Pipeline.build ~config mods)
 
+(* Bench configurations are pipeline strings, same grammar as
+   [sizeopt build --passes]: what a row measures is what its spec says. *)
+let cfg_of_passes ?base spec = ok_exn (Pipeline.config_of_passes ?base spec)
+let build_passes ?base spec mods = build ~config:(cfg_of_passes ?base spec) mods
+
 let rider_baseline = lazy (build ~config:per_module_cfg (Lazy.force rider_modules))
 let rider_wpo = lazy (build (Lazy.force rider_modules))
 
-let rider_unoutlined =
-  lazy (build ~config:{ Pipeline.default_config with outline_rounds = 0 } (Lazy.force rider_modules))
+let rider_unoutlined = lazy (build_passes "dce" (Lazy.force rider_modules))
+
+let passes_for_rounds rounds =
+  if rounds = 0 then "dce" else Printf.sprintf "dce,outline(rounds=%d)" rounds
 
 let rider_report =
   lazy (Outcore.Analysis.analyze (Lazy.force rider_unoutlined).Pipeline.program)
@@ -77,8 +84,8 @@ let table1 () =
   title "Table I: the landscape of binary-size savings, level by level";
   let mods = Lazy.force rider_modules in
   let base = (Lazy.force rider_unoutlined).Pipeline.code_size in
-  let with_pass name config =
-    let r = build ~config mods in
+  let with_passes name spec =
+    let r = build_passes spec mods in
     (name, r.Pipeline.code_size)
   in
   (* AST-level clone detection on the generated sources. *)
@@ -92,18 +99,17 @@ let table1 () =
       sources
   in
   let clones = Swiftlet.Clone_detect.analyze asts in
-  let rounds0 = { Pipeline.default_config with outline_rounds = 0 } in
   let rows =
     [
       [ "AST"; "source clone detection (PMD)";
         Printf.sprintf "%.2f%% function replication" (100. *. clones.clone_fraction);
         "<1% replication" ];
     ]
-    @ (let name, sz = with_pass "SIL outlining" { rounds0 with run_sil_outline = true } in
+    @ (let name, sz = with_passes "SIL outlining" "dce,sil-outline(min=8)" in
        [ [ "SIL"; name; Printf.sprintf "%.2f%% size saving" (pct base sz); "0.41%" ] ])
-    @ (let name, sz = with_pass "MergeFunction" { rounds0 with run_merge_functions = true } in
+    @ (let name, sz = with_passes "MergeFunction" "dce,merge-functions" in
        [ [ "LLVM-IR"; name; Printf.sprintf "%.2f%% size saving" (pct base sz); "0.9%" ] ])
-    @ (let name, sz = with_pass "FMSA" { rounds0 with run_fmsa = true } in
+    @ (let name, sz = with_passes "FMSA" "dce,fmsa" in
        [ [ "LLVM-IR"; name; Printf.sprintf "%.2f%% size saving" (pct base sz); "2%" ] ])
     @
     let wpo = Lazy.force rider_wpo in
@@ -272,8 +278,8 @@ let fig12 () =
   let mods = Lazy.force rider_modules in
   let rows = ref [] in
   for rounds = 0 to 6 do
-    let pm = build ~config:{ per_module_cfg with outline_rounds = rounds } mods in
-    let wp = build ~config:{ Pipeline.default_config with outline_rounds = rounds } mods in
+    let pm = build_passes ~base:per_module_cfg (passes_for_rounds rounds) mods in
+    let wp = build_passes (passes_for_rounds rounds) mods in
     rows :=
       [
         string_of_int rounds;
@@ -427,7 +433,7 @@ let buildtime () =
   let rows = ref [] in
   List.iter
     (fun rounds ->
-      let r = build ~config:{ Pipeline.default_config with outline_rounds = rounds } mods in
+      let r = build_passes (passes_for_rounds rounds) mods in
       let phase name =
         match List.assoc_opt name r.Pipeline.timings with
         | Some t -> Printf.sprintf "%.2f" t

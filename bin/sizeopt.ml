@@ -264,7 +264,36 @@ let build_cmd =
              ~doc:"Recorded execution profile (from sizeopt profile) \
                    driving a profile-guided --layout.")
   in
-  let run dir app week mode rounds engine profile layout profile_in =
+  let passes_arg =
+    Arg.(value & opt (some string) None
+         & info [ "passes" ] ~docv:"SPEC"
+             ~doc:"Explicit pass pipeline, e.g. \
+                   'dce,merge-functions,outline(rounds=5)'.  Overrides the \
+                   individual pass flags; passes run in the given order.")
+  in
+  let verify_each =
+    Arg.(value & flag
+         & info [ "verify-each" ]
+             ~doc:"Check IR / machine-program well-formedness after every \
+                   pass (and every outline round), not just at the end.")
+  in
+  let print_after =
+    Arg.(value & opt_all string []
+         & info [ "print-after" ] ~docv:"PASS"
+             ~doc:"Dump the IR after the named pass (repeatable).")
+  in
+  let print_after_all =
+    Arg.(value & flag
+         & info [ "print-after-all" ] ~doc:"Dump the IR after every pass.")
+  in
+  let bisect_arg =
+    Arg.(value & opt (some int) None
+         & info [ "opt-bisect-limit" ] ~docv:"N"
+             ~doc:"Stop applying passes (and individual outline rounds) \
+                   after N steps, and print the step table.")
+  in
+  let run dir app week mode rounds engine profile layout profile_in passes
+      verify_each print_after print_after_all bisect_limit =
     let sources =
       match (app, dir) with
       | Some name, _ ->
@@ -302,10 +331,20 @@ let build_cmd =
       | None -> None
       | Some path -> Some (or_die (Pgo.Profile.load path))
     in
+    let print_after =
+      if print_after_all then `All
+      else if print_after = [] then `Never
+      else `Passes print_after
+    in
     let config =
       { Pipeline.default_config with
         mode; outline_rounds = rounds; outline_engine; outlined_layout;
-        layout_profile }
+        layout_profile; verify_each; print_after; bisect_limit }
+    in
+    let config =
+      match passes with
+      | None -> config
+      | Some spec -> or_die (Pipeline.config_of_passes ~base:config spec)
     in
     let res = or_die (Pipeline.build_sources ~config sources) in
     Printf.printf "binary size: %d B   code size: %d B   outlined rounds: %d\n"
@@ -330,9 +369,27 @@ let build_cmd =
       (fun (name, t) -> Printf.printf "  %-22s %8.4fs\n" name t)
       res.timings;
     if profile then begin
-      Printf.printf "\noutline round profile (%s engine):\n%s" engine
-        (Outcore.Profile.render res.outline_profile)
-    end
+      Printf.printf "\npass profile (%s engine):\n%s" engine
+        (Passman.render_tree res.timing_tree)
+    end;
+    (match bisect_limit with
+    | None -> ()
+    | Some limit ->
+      Printf.printf "\npass steps (opt-bisect-limit %d):\n" limit;
+      List.iteri
+        (fun i (s : Passman.step) ->
+          let name =
+            if s.Passman.st_detail = "" then s.Passman.st_pass
+            else s.Passman.st_pass ^ " " ^ s.Passman.st_detail
+          in
+          let name =
+            if s.Passman.st_unit = "" then name
+            else name ^ " @" ^ s.Passman.st_unit
+          in
+          Printf.printf "  %3d %s %-40s %8d -> %8d B\n" (i + 1)
+            (if s.Passman.st_applied then "run " else "skip") name
+            s.Passman.st_before s.Passman.st_after)
+        res.pass_steps)
   in
   Cmd.v
     (Cmd.info "build"
@@ -341,7 +398,8 @@ let build_cmd =
           reporting sizes, phase timings and (with --profile) the per-round \
           outliner phase split.")
     Term.(const run $ dir $ app_arg $ week $ mode $ rounds $ engine
-          $ profile_flag $ layout_arg $ profile_in)
+          $ profile_flag $ layout_arg $ profile_in $ passes_arg $ verify_each
+          $ print_after $ print_after_all $ bisect_arg)
 
 (* --- profile --------------------------------------------------------------- *)
 
@@ -516,7 +574,13 @@ let fuzz_cmd =
     Arg.(value & flag & info [ "list-points" ]
            ~doc:"Print the lattice point labels and exit.")
   in
-  let run seed count fuel verbose self_test list_points =
+  let verify_each =
+    Arg.(value & flag
+         & info [ "verify-each" ]
+             ~doc:"Run every Swiftlet lattice point with per-pass invariant \
+                   checking (--verify-each) turned on.")
+  in
+  let run seed count fuel verbose self_test list_points verify_each =
     let log = if verbose then prerr_endline else fun _ -> () in
     if list_points then
       List.iter
@@ -530,7 +594,7 @@ let fuzz_cmd =
         exit 1
     end
     else begin
-      match Fuzz.Driver.fuzz ~log ~seed ~count ~fuel () with
+      match Fuzz.Driver.fuzz ~log ~verify_each ~seed ~count ~fuel () with
       | Ok s ->
         Printf.printf
           "fuzz OK: %d programs (%d skipped), %d lattice points checked, 0 \
@@ -546,7 +610,8 @@ let fuzz_cmd =
        ~doc:
          "Differential fuzzing: random Swiftlet and machine programs, every \
           pipeline-config lattice point checked against the MIR oracle.")
-    Term.(const run $ seed $ count $ fuel $ verbose $ self_test $ list_points)
+    Term.(const run $ seed $ count $ fuel $ verbose $ self_test $ list_points
+          $ verify_each)
 
 let () =
   let doc = "whole-program repeated machine outlining toolchain (CGO'21 reproduction)" in

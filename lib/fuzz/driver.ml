@@ -38,7 +38,7 @@ let machine_report ~seed ~index p (f : Lattice.failure) =
   Printf.bprintf buf "--- reduced program (%d lines) ---\n%s" lines src;
   Buffer.contents buf
 
-let fuzz ?(log = null_log) ~seed ~count ~fuel () =
+let fuzz ?(log = null_log) ?(verify_each = false) ~seed ~count ~fuel () =
   let skipped = ref 0 and points = ref 0 in
   let failure = ref None in
   let i = ref 0 in
@@ -61,14 +61,14 @@ let fuzz ?(log = null_log) ~seed ~count ~fuel () =
     end
     else begin
       let p = Swiftgen.generate st ~fuel in
-      match Lattice.check p with
+      match Lattice.check ~verify_each p with
       | Lattice.Pass n -> points := !points + n
       | Lattice.Skip reason ->
         incr skipped;
         log (Printf.sprintf "#%d skipped: %s" index reason)
       | Lattice.Fail f ->
         log (Printf.sprintf "#%d FAILED at %s; shrinking..." index f.point);
-        let p', f' = Shrink.swiftlet p f in
+        let p', f' = Shrink.swiftlet ~verify_each p f in
         failure := Some (swiftlet_report ~seed ~index p' f')
     end;
     incr i

@@ -8,6 +8,7 @@ type stats = {
 
 val fuzz :
   ?log:(string -> unit) ->
+  ?verify_each:bool ->
   seed:int ->
   count:int ->
   fuel:int ->
@@ -17,7 +18,9 @@ val fuzz :
     machine program) and sweep each across its lattice.  On the first
     divergence the failing case is shrunk and [Error report] returns the
     reduced source, the offending lattice point and both traces — the
-    report's seed line reproduces the run bit-for-bit. *)
+    report's seed line reproduces the run bit-for-bit.  [verify_each]
+    turns on per-pass invariant checking at every Swiftlet lattice
+    point. *)
 
 val self_test : ?log:(string -> unit) -> seed:int -> unit -> (string, string) result
 (** Prove the harness catches real outliner bugs, one injected fault at a

@@ -129,30 +129,98 @@ let contains_substring hay needle =
   let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
   nn = 0 || go 0
 
-let run_point modules (label, cfg) ~style ~ref_exit ~ref_output =
-  match Pipeline.build ~config:cfg modules with
-  | Error msg ->
-    if expect_conflict cfg style (List.length modules) then
-      if contains_substring msg "module flag conflict" then Ok None
+(* The pipeline-string differential: every config point has a twin
+   expressed as a parsed-back pipeline spec, and the two must build
+   byte-identical programs (or fail identically).  This checks the
+   spec_of_config/parse/print round-trip and the spec-driven manager
+   against the flag-driven lowering at every lattice point. *)
+let spec_twin (cfg : Pipeline.config) =
+  let specs = Pipeline.spec_of_config cfg in
+  if specs = [] then Ok { cfg with Pipeline.passes = Some [] }
+  else
+    match Passman.parse (Passman.print specs) with
+    | Error e -> Error ("pipeline-spec round-trip failed to parse: " ^ e)
+    | Ok specs' ->
+      if specs' <> specs then
+        Error
+          (Printf.sprintf "pipeline-spec round-trip not identity: %S vs %S"
+             (Passman.print specs) (Passman.print specs'))
+      else Ok { cfg with Pipeline.passes = Some specs' }
+
+let run_spec_twin modules (label, cfg)
+    (flag_result : (Pipeline.result, string) result) =
+  let label = label ^ "/spec" in
+  match spec_twin cfg with
+  | Error reason -> Error { point = label; reason }
+  | Ok spec_cfg -> (
+    match (Pipeline.build ~config:spec_cfg modules, flag_result) with
+    | Ok s, Ok f ->
+      if
+        Machine.Asm_printer.to_source s.Pipeline.program
+        <> Machine.Asm_printer.to_source f.Pipeline.program
+      then
+        Error
+          {
+            point = label;
+            reason =
+              Printf.sprintf
+                "spec-driven build diverged from the flag-driven build \
+                 (passes %S)"
+                (Passman.print (Pipeline.spec_of_config spec_cfg));
+          }
+      else Ok ()
+    | Error es, Error ef ->
+      if es = ef then Ok ()
       else
         Error
           {
             point = label;
             reason =
-              "expected a module flag conflict under Legacy semantics, got \
-               a different failure: " ^ msg;
+              Printf.sprintf
+                "spec-driven build failed differently: %S vs flag-driven %S"
+                es ef;
           }
-    else Error { point = label; reason = "pipeline failed: " ^ msg }
-  | Ok res ->
-    if expect_conflict cfg style (List.length modules) then
+    | Ok _, Error ef ->
       Error
         {
           point = label;
-          reason =
-            "Legacy flag semantics should have reported a module flag \
-             conflict for mixed-compiler modules, but the build succeeded";
+          reason = "spec-driven build succeeded where flags failed: " ^ ef;
         }
-    else begin
+    | Error es, Ok _ ->
+      Error
+        {
+          point = label;
+          reason = "spec-driven build failed where flags succeeded: " ^ es;
+        })
+
+let run_point modules (label, cfg) ~style ~ref_exit ~ref_output =
+  let flag_result = Pipeline.build ~config:cfg modules in
+  match run_spec_twin modules (label, cfg) flag_result with
+  | Error f -> Error f
+  | Ok () -> (
+    match flag_result with
+    | Error msg ->
+      if expect_conflict cfg style (List.length modules) then
+        if contains_substring msg "module flag conflict" then Ok None
+        else
+          Error
+            {
+              point = label;
+              reason =
+                "expected a module flag conflict under Legacy semantics, got \
+                 a different failure: " ^ msg;
+            }
+      else Error { point = label; reason = "pipeline failed: " ^ msg }
+    | Ok res ->
+      if expect_conflict cfg style (List.length modules) then
+        Error
+          {
+            point = label;
+            reason =
+              "Legacy flag semantics should have reported a module flag \
+               conflict for mixed-compiler modules, but the build succeeded";
+          }
+      else begin
       (* Execute under the placement the pipeline actually linked with:
          a broken profile-guided order would surface here as a bad jump
          or divergence. *)
@@ -180,7 +248,7 @@ let run_point modules (label, cfg) ~style ~ref_exit ~ref_output =
                   (render_run r.exit_value r.output);
             }
         else Ok (Some res)
-    end
+      end)
 
 (* Strip the round count out of a label so results can be grouped into
    monotonicity chains: same mode, same passes, same link axes. *)
@@ -229,7 +297,63 @@ let check_monotone results =
 
 (* --- the Swiftlet check ------------------------------------------------------ *)
 
-let check (p : Swiftgen.program) =
+(* The transition differential: the pass-manager pipeline must be
+   observationally exact, so default-config builds are compared
+   byte-for-byte against the preserved pre-refactor sequencing
+   (Pipeline.build_reference) in both modes. *)
+let transition_differential modules =
+  let one name cfg =
+    match
+      ( Pipeline.build ~config:cfg modules,
+        Pipeline.build_reference ~config:cfg modules )
+    with
+    | Ok a, Ok b ->
+      if
+        Machine.Asm_printer.to_source a.Pipeline.program
+        <> Machine.Asm_printer.to_source b.Pipeline.program
+      then
+        Some
+          {
+            point = name;
+            reason =
+              "pass manager diverged from the pre-refactor sequencing \
+               (default config must be byte-identical)";
+          }
+      else None
+    | Error ea, Error eb ->
+      if ea = eb then None
+      else
+        Some
+          {
+            point = name;
+            reason =
+              Printf.sprintf
+                "pass manager failed differently from the pre-refactor \
+                 sequencing: %S vs %S"
+                ea eb;
+          }
+    | Ok _, Error e ->
+      Some
+        {
+          point = name;
+          reason =
+            "pre-refactor sequencing failed where the pass manager \
+             succeeded: " ^ e;
+        }
+    | Error e, Ok _ ->
+      Some
+        {
+          point = name;
+          reason =
+            "pass manager failed where the pre-refactor sequencing \
+             succeeded: " ^ e;
+        }
+  in
+  match one "transition/wp-default" Pipeline.default_config with
+  | Some f -> Some f
+  | None -> one "transition/pm-default" Pipeline.default_ios_config
+
+let check ?(verify_each = false) (p : Swiftgen.program) =
   match Swiftlet.Compile.compile_program (Swiftgen.to_sources p) with
   | Error msg -> Skip ("front-end: " ^ msg)
   | Ok modules -> (
@@ -244,8 +368,10 @@ let check (p : Swiftgen.program) =
       | Error e -> Skip ("reference eval: " ^ Eval.error_to_string e)
       | Ok ref_res -> (
         let ref_exit = ref_res.exit_value and ref_output = ref_res.output in
-        let pts = points Pipeline.default_config in
-        let failure = ref None in
+        let pts =
+          points { Pipeline.default_config with Pipeline.verify_each }
+        in
+        let failure = ref (transition_differential modules) in
         let sizes = ref [] in
         List.iter
           (fun ((label, cfg) as pt) ->
@@ -265,7 +391,9 @@ let check (p : Swiftgen.program) =
         | None -> (
           match check_monotone (List.rev !sizes) with
           | Some f -> Fail f
-          | None -> Pass (List.length pts)))))
+          (* every point also ran its /spec twin, plus the two
+             transition-differential points *)
+          | None -> Pass ((2 * List.length pts) + 2)))))
 
 (* --- the machine check ------------------------------------------------------- *)
 

@@ -13,7 +13,17 @@
     Legacy-semantics points are special-cased: a program whose modules
     carry {!Swiftgen.Mixed_compilers} flags is *required* to fail linking
     with a module-flag conflict there (and only there) — reproducing the
-    §VI-2 spurious-conflict behaviour is part of the oracle. *)
+    §VI-2 spurious-conflict behaviour is part of the oracle.
+
+    Two pass-manager differentials ride on every checked program:
+    - each config point has a [/spec] twin whose config is the point's
+      pipeline spec printed and parsed back ([Pipeline.spec_of_config] →
+      [Passman.print] → [Passman.parse]); the twin build must be
+      byte-identical to the flag-driven build (or fail identically);
+    - the default configs (both modes) are built through the pass manager
+      {e and} the preserved pre-refactor sequencing
+      ([Pipeline.build_reference]) and must agree byte-for-byte — the
+      transitional proof that the refactor is observationally exact. *)
 
 type failure = {
   point : string;  (** label of the offending lattice point *)
@@ -33,8 +43,11 @@ val points : Pipeline.config -> (string * Pipeline.config) list
 val attach_flags : Swiftgen.flag_style -> Ir.modul list -> Ir.modul list
 (** Give each module an ["objc_gc"] flag in the requested style. *)
 
-val check : Swiftgen.program -> verdict
-(** Compile, run the reference oracle, sweep the lattice. *)
+val check : ?verify_each:bool -> Swiftgen.program -> verdict
+(** Compile, run the reference oracle, sweep the lattice (spec twins and
+    the transition differential included).  [verify_each] additionally
+    runs the stage invariants after every pass application at every
+    point ([sizeopt fuzz --verify-each], the CI smoke configuration). *)
 
 val check_machine : Machine.Program.t -> verdict
 (** Direct outliner stress for generated machine programs: the

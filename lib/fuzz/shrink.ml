@@ -27,9 +27,11 @@ let fixpoint ~max_checks ~candidates ~still_fails p0 f0 =
 
 (* --- Swiftlet -------------------------------------------------------------- *)
 
-let swiftlet ?(max_checks = 400) p f0 =
+let swiftlet ?(max_checks = 400) ?(verify_each = false) p f0 =
   let still_fails q =
-    match Lattice.check q with Lattice.Fail f -> Some f | _ -> None
+    match Lattice.check ~verify_each q with
+    | Lattice.Fail f -> Some f
+    | _ -> None
   in
   let candidates (p : Swiftgen.program) =
     (* Delete from the back first: later nodes are more often leaves, and

@@ -10,11 +10,13 @@
 
 val swiftlet :
   ?max_checks:int ->
+  ?verify_each:bool ->
   Swiftgen.program ->
   Lattice.failure ->
   Swiftgen.program * Lattice.failure
 (** [swiftlet p f] assumes [Lattice.check p = Fail f] and returns a minimal
-    still-failing program with its (possibly different) failure. *)
+    still-failing program with its (possibly different) failure.
+    [verify_each] must match the flag the failure was found under. *)
 
 val machine :
   ?max_checks:int ->

@@ -1,0 +1,528 @@
+(* The unified pass manager: pipeline-spec grammar, the shared pass
+   context (bisect gating, per-pass timings and size deltas, verify-each,
+   print-after), the generic runner, and the concrete MIR/machine pass
+   registries.  See passman.mli for the overview. *)
+
+(* --- pipeline specs -------------------------------------------------------- *)
+
+type spec = {
+  sp_name : string;
+  sp_params : (string * string) list;
+}
+
+let is_name_char c = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-'
+
+let is_value_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '-' || c = '_' || c = '.' || c = ':'
+
+let valid_name s = s <> "" && String.for_all is_name_char s
+let valid_value s = s <> "" && String.for_all is_value_char s
+
+(* Split on commas that sit outside parentheses. *)
+let split_top s =
+  let segs = ref [] and buf = Buffer.create 16 and depth = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' ->
+        incr depth;
+        Buffer.add_char buf c
+      | ')' ->
+        decr depth;
+        Buffer.add_char buf c
+      | ',' when !depth = 0 ->
+        segs := Buffer.contents buf :: !segs;
+        Buffer.clear buf
+      | c -> Buffer.add_char buf c)
+    s;
+  segs := Buffer.contents buf :: !segs;
+  if !depth <> 0 then Error "unbalanced parentheses"
+  else Ok (List.rev_map String.trim !segs)
+
+let parse_param seg =
+  match String.index_opt seg '=' with
+  | None -> Error (Printf.sprintf "parameter %S is not key=value" seg)
+  | Some i ->
+    let key = String.trim (String.sub seg 0 i) in
+    let value = String.trim (String.sub seg (i + 1) (String.length seg - i - 1)) in
+    if not (valid_name key) then Error (Printf.sprintf "bad parameter key %S" key)
+    else if not (valid_value value) then
+      Error (Printf.sprintf "bad parameter value %S for key %S" value key)
+    else Ok (key, value)
+
+let parse_pass seg =
+  match String.index_opt seg '(' with
+  | None ->
+    if valid_name seg then Ok { sp_name = seg; sp_params = [] }
+    else Error (Printf.sprintf "bad pass name %S" seg)
+  | Some i ->
+    let name = String.trim (String.sub seg 0 i) in
+    if not (valid_name name) then Error (Printf.sprintf "bad pass name %S" name)
+    else if seg.[String.length seg - 1] <> ')' then
+      Error (Printf.sprintf "missing ) in %S" seg)
+    else begin
+      let inside = String.sub seg (i + 1) (String.length seg - i - 2) in
+      let rec params = function
+        | [] -> Ok []
+        | seg :: rest -> (
+          match parse_param (String.trim seg) with
+          | Error _ as e -> e
+          | Ok p -> (
+            match params rest with Error _ as e -> e | Ok ps -> Ok (p :: ps)))
+      in
+      if String.trim inside = "" then
+        Error (Printf.sprintf "empty parameter list in %S" seg)
+      else
+        match params (String.split_on_char ',' inside) with
+        | Error _ as e -> e
+        | Ok ps -> Ok { sp_name = name; sp_params = ps }
+    end
+
+let parse s =
+  match split_top s with
+  | Error _ as e -> e
+  | Ok segs -> (
+    if List.for_all (fun s -> s = "") segs then Error "empty pipeline spec"
+    else if List.exists (fun s -> s = "") segs then
+      Error "empty pass name in pipeline spec"
+    else
+      let rec go = function
+        | [] -> Ok []
+        | seg :: rest -> (
+          match parse_pass seg with
+          | Error _ as e -> e
+          | Ok sp -> (
+            match go rest with Error _ as e -> e | Ok sps -> Ok (sp :: sps)))
+      in
+      go segs)
+
+let print_spec sp =
+  if sp.sp_params = [] then sp.sp_name
+  else
+    sp.sp_name ^ "("
+    ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) sp.sp_params)
+    ^ ")"
+
+let print specs = String.concat "," (List.map print_spec specs)
+
+let int_param sp key ~default =
+  match List.assoc_opt key sp.sp_params with
+  | None -> default
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some n -> n
+    | None ->
+      failwith
+        (Printf.sprintf "pass %s: parameter %s=%s is not an integer" sp.sp_name
+           key v))
+
+(* --- the pass context ------------------------------------------------------ *)
+
+type print_after = [ `Never | `All | `Passes of string list ]
+
+type step = {
+  st_pass : string;
+  st_detail : string;
+  st_unit : string;
+  st_applied : bool;
+  st_seconds : float;
+  st_before : int;
+  st_after : int;
+}
+
+let step_label st =
+  let name =
+    if st.st_detail = "" then st.st_pass else st.st_pass ^ " " ^ st.st_detail
+  in
+  if st.st_unit = "" then name else st.st_unit ^ "/" ^ name
+
+type ctx = {
+  cx_verify_each : bool;
+  cx_print_after : print_after;
+  cx_bisect_limit : int option;
+  cx_dump : string -> string -> unit;
+  mutable cx_counter : int;          (* bisect steps counted so far *)
+  mutable cx_rev_steps : step list;
+}
+
+let default_dump label text =
+  Printf.eprintf "*** IR Dump After %s ***\n%s%s" label text
+    (if String.length text > 0 && text.[String.length text - 1] = '\n' then ""
+     else "\n")
+
+let create_ctx ?(verify_each = false) ?(print_after = `Never) ?bisect_limit
+    ?(dump = default_dump) () =
+  {
+    cx_verify_each = verify_each;
+    cx_print_after = print_after;
+    cx_bisect_limit = bisect_limit;
+    cx_dump = dump;
+    cx_counter = 0;
+    cx_rev_steps = [];
+  }
+
+let gate ctx ~pass:_ ~detail:_ =
+  ctx.cx_counter <- ctx.cx_counter + 1;
+  match ctx.cx_bisect_limit with
+  | None -> true
+  | Some limit -> ctx.cx_counter <= limit
+
+let record ctx st = ctx.cx_rev_steps <- st :: ctx.cx_rev_steps
+let steps ctx = List.rev ctx.cx_rev_steps
+
+let steps_applied ctx =
+  List.fold_left
+    (fun n st -> if st.st_applied then n + 1 else n)
+    0 ctx.cx_rev_steps
+
+let verify_each ctx = ctx.cx_verify_each
+
+let should_print_after ctx name =
+  match ctx.cx_print_after with
+  | `Never -> false
+  | `All -> true
+  | `Passes names -> List.mem name names
+
+let dump ctx label text = ctx.cx_dump label text
+
+(* --- stages and passes ----------------------------------------------------- *)
+
+type 'ir stage = {
+  stage_name : string;
+  stage_verify : 'ir -> (unit, string) result;
+  stage_print : 'ir -> string;
+  stage_size : 'ir -> int;
+}
+
+type 'ir pass = {
+  p_name : string;
+  p_params : string list;
+  p_self_gated : bool;
+  p_linked : bool;
+  p_run : ctx -> spec -> 'ir -> 'ir;
+}
+
+let find_pass passes name = List.find_opt (fun p -> p.p_name = name) passes
+
+let validate_specs ~known specs =
+  let rec go = function
+    | [] -> Ok ()
+    | sp :: rest -> (
+      match known sp.sp_name with
+      | None -> Error (Printf.sprintf "unknown pass %S" sp.sp_name)
+      | Some keys -> (
+        match
+          List.find_opt (fun (k, _) -> not (List.mem k keys)) sp.sp_params
+        with
+        | Some (k, _) ->
+          Error
+            (Printf.sprintf "pass %s: unknown parameter %S (accepts: %s)"
+               sp.sp_name k
+               (if keys = [] then "none" else String.concat ", " keys))
+        | None -> go rest))
+  in
+  go specs
+
+let check_params pass sp =
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem k pass.p_params) then
+        failwith
+          (Printf.sprintf "pass %s: unknown parameter %S" pass.p_name k))
+    sp.sp_params
+
+let unit_label unit_name name =
+  if unit_name = "" then name else unit_name ^ "/" ^ name
+
+let run_passes ctx stage passes ?(unit_name = "") specs ir =
+  List.fold_left
+    (fun ir sp ->
+      match find_pass passes sp.sp_name with
+      | None ->
+        failwith
+          (Printf.sprintf "%s pipeline: unknown pass %S" stage.stage_name
+             sp.sp_name)
+      | Some pass ->
+        check_params pass sp;
+        let finish ir' =
+          if verify_each ctx && not pass.p_self_gated then begin
+            match stage.stage_verify ir' with
+            | Error e ->
+              failwith
+                (Printf.sprintf "verify-each after %s: %s"
+                   (unit_label unit_name pass.p_name)
+                   e)
+            | Ok () -> ()
+          end;
+          if should_print_after ctx pass.p_name then
+            dump ctx (unit_label unit_name pass.p_name) (stage.stage_print ir');
+          ir'
+        in
+        if pass.p_self_gated then finish (pass.p_run ctx sp ir)
+        else if gate ctx ~pass:pass.p_name ~detail:"" then begin
+          let before = stage.stage_size ir in
+          let t0 = Unix.gettimeofday () in
+          let ir' = pass.p_run ctx sp ir in
+          record ctx
+            {
+              st_pass = pass.p_name;
+              st_detail = "";
+              st_unit = unit_name;
+              st_applied = true;
+              st_seconds = Unix.gettimeofday () -. t0;
+              st_before = before;
+              st_after = stage.stage_size ir';
+            };
+          finish ir'
+        end
+        else begin
+          let size = stage.stage_size ir in
+          record ctx
+            {
+              st_pass = pass.p_name;
+              st_detail = "";
+              st_unit = unit_name;
+              st_applied = false;
+              st_seconds = 0.;
+              st_before = size;
+              st_after = size;
+            };
+          ir
+        end)
+    ir specs
+
+(* --- opt-bisect ------------------------------------------------------------ *)
+
+let bisect ~hi ~fails =
+  if hi < 1 || not (fails hi) then None
+  else
+    (* invariant: fails hi; the answer lies in [lo..hi] *)
+    let rec go lo hi =
+      if lo >= hi then Some hi
+      else
+        let mid = (lo + hi) / 2 in
+        if fails mid then go lo mid else go (mid + 1) hi
+    in
+    go 1 hi
+
+(* --- timing tree ----------------------------------------------------------- *)
+
+type timing = {
+  t_name : string;
+  t_seconds : float;
+  t_note : string;
+  t_children : timing list;
+}
+
+let leaf ?(note = "") name seconds =
+  { t_name = name; t_seconds = seconds; t_note = note; t_children = [] }
+
+let node ?(note = "") ?seconds name children =
+  let seconds =
+    match seconds with
+    | Some s -> s
+    | None -> List.fold_left (fun a c -> a +. c.t_seconds) 0. children
+  in
+  { t_name = name; t_seconds = seconds; t_note = note; t_children = children }
+
+let render_tree ts =
+  let buf = Buffer.create 1024 in
+  let rec go depth t =
+    let name = String.make (2 * depth) ' ' ^ t.t_name in
+    Buffer.add_string buf
+      (Printf.sprintf "%-34s %9.4fs%s\n" name t.t_seconds
+         (if t.t_note = "" then "" else "  " ^ t.t_note));
+    List.iter (go (depth + 1)) t.t_children
+  in
+  List.iter (go 0) ts;
+  Buffer.contents buf
+
+(* --- the concrete registries ----------------------------------------------- *)
+
+let mir_stage =
+  {
+    stage_name = "mir";
+    stage_verify = (fun m -> Ir.validate m);
+    stage_print = (fun m -> Format.asprintf "%a" Ir.pp_modul m);
+    stage_size = Ir.module_instr_count;
+  }
+
+let machine_stage =
+  {
+    stage_name = "machine";
+    stage_verify = Machine.Program.validate;
+    stage_print = Machine.Asm_printer.to_source;
+    stage_size = Machine.Program.code_size_bytes;
+  }
+
+let mir_passes ~keep =
+  [
+    {
+      p_name = "dce";
+      p_params = [];
+      p_self_gated = false;
+      p_linked = false;
+      p_run = (fun _ _ m -> fst (Dce.run m));
+    };
+    {
+      p_name = "sil-outline";
+      p_params = [ "min" ];
+      p_self_gated = false;
+      p_linked = false;
+      p_run =
+        (fun _ sp m ->
+          let min_occurrences = int_param sp "min" ~default:8 in
+          fst (Swiftlet.Sil_outline.run ~min_occurrences m));
+    };
+    {
+      p_name = "merge-functions";
+      p_params = [];
+      p_self_gated = false;
+      p_linked = false;
+      p_run = (fun _ _ m -> fst (Merge_functions.run ~keep m));
+    };
+    {
+      p_name = "fmsa";
+      p_params = [];
+      p_self_gated = false;
+      p_linked = false;
+      p_run = (fun _ _ m -> fst (Fmsa.run ~keep m));
+    };
+  ]
+
+type machine_env = {
+  me_engine : [ `Incremental | `Scratch ];
+  me_scope : string;
+  me_profile : Outcore.Profile.t;
+  me_on_stats : Outcore.Outliner.round_stats list -> unit;
+}
+
+(* The repeated outliner as a self-gated pass: every round is one bisect
+   step, so --opt-bisect-limit can cut the repetition mid-way and
+   localization lands on a single round.  The loop mirrors
+   Outcore.Repeat.run exactly (same options, same early stop discarding a
+   round that outlined nothing) — the fuzz lattice's byte-identity
+   differential depends on it. *)
+let outline_pass env unit_name =
+  {
+    p_name = "outline";
+    p_params = [ "rounds" ];
+    p_self_gated = true;
+    p_linked = false;
+    p_run =
+      (fun ctx sp p ->
+        let rounds = int_param sp "rounds" ~default:5 in
+        let eng =
+          match env.me_engine with
+          | `Incremental -> Some (Outcore.Outliner.create_engine ())
+          | `Scratch -> None
+        in
+        let options =
+          { Outcore.Outliner.default_options with scope_name = env.me_scope }
+        in
+        let stats_acc = ref [] in
+        let rec go round p =
+          if round > rounds then p
+          else begin
+            let detail = Printf.sprintf "round %d" round in
+            if not (gate ctx ~pass:"outline" ~detail) then begin
+              let size = Machine.Program.code_size_bytes p in
+              record ctx
+                {
+                  st_pass = "outline";
+                  st_detail = detail;
+                  st_unit = unit_name;
+                  st_applied = false;
+                  st_seconds = 0.;
+                  st_before = size;
+                  st_after = size;
+                };
+              p
+            end
+            else begin
+              let before = Machine.Program.code_size_bytes p in
+              let t0 = Unix.gettimeofday () in
+              let opts =
+                {
+                  options with
+                  Outcore.Outliner.round =
+                    options.Outcore.Outliner.round + round - 1;
+                }
+              in
+              let p', stats, _dirty =
+                match eng with
+                | Some e ->
+                  Outcore.Outliner.run_round_incremental ~profile:env.me_profile
+                    e opts p
+                | None ->
+                  Outcore.Outliner.run_round ~profile:env.me_profile opts p
+              in
+              (* A round that outlines nothing ends the repetition with the
+                 pre-round program, as Repeat.run does. *)
+              let result =
+                if stats.Outcore.Outliner.sequences_outlined = 0 then p else p'
+              in
+              record ctx
+                {
+                  st_pass = "outline";
+                  st_detail = detail;
+                  st_unit = unit_name;
+                  st_applied = true;
+                  st_seconds = Unix.gettimeofday () -. t0;
+                  st_before = before;
+                  st_after = Machine.Program.code_size_bytes result;
+                };
+              if verify_each ctx then begin
+                match Machine.Program.validate result with
+                | Error e ->
+                  failwith
+                    (Printf.sprintf "verify-each after %s: %s"
+                       (unit_label unit_name ("outline " ^ detail))
+                       e)
+                | Ok () -> ()
+              end;
+              if stats.Outcore.Outliner.sequences_outlined = 0 then p
+              else begin
+                stats_acc := stats :: !stats_acc;
+                go (round + 1) p'
+              end
+            end
+          end
+        in
+        let final = go 1 p in
+        env.me_on_stats (List.rev !stats_acc);
+        final);
+  }
+
+let machine_passes env =
+  [
+    {
+      p_name = "canonicalize";
+      p_params = [];
+      p_self_gated = false;
+      p_linked = false;
+      p_run = (fun _ _ p -> fst (Outcore.Canonicalize.run p));
+    };
+    outline_pass env env.me_scope;
+    {
+      p_name = "caller-affinity-layout";
+      p_params = [];
+      p_self_gated = false;
+      p_linked = true;
+      p_run = (fun _ _ p -> Outcore.Layout.optimize p);
+    };
+  ]
+
+let registered_names =
+  [
+    "dce";
+    "sil-outline";
+    "merge-functions";
+    "fmsa";
+    "canonicalize";
+    "outline";
+    "caller-affinity-layout";
+  ]

@@ -1,0 +1,177 @@
+(** The unified pass manager.
+
+    LLVM's pipeline gives every transformation a name, a parameter list,
+    per-pass timing, [-verify-each], [-print-after], a textual pipeline
+    spec, and [-opt-bisect-limit] for free; our reproduction hardcoded the
+    same sequencing as ad-hoc control flow in [Pipeline.build].  This
+    module is the generic framework that replaces it: a uniform pass
+    signature over each IR stage (MIR modules and machine programs), a
+    shared context that owns bisect gating, per-pass timings, size deltas
+    and diagnostics, and a textual pipeline-spec grammar
+
+    {v pipeline := pass ("," pass)*
+   pass     := name | name "(" param ("," param)* ")"
+   param    := key "=" value v}
+
+    e.g. ["dce,sil-outline(min=8),merge-functions,outline(rounds=5)"].
+    The concrete pass registries (the passes named above plus
+    [canonicalize], [fmsa] and [caller-affinity-layout]) live at the
+    bottom of this module; [Pipeline.config] lowers onto specs via
+    [Pipeline.spec_of_config]. *)
+
+(* --- pipeline specs -------------------------------------------------------- *)
+
+type spec = {
+  sp_name : string;                       (** pass name, e.g. ["outline"] *)
+  sp_params : (string * string) list;     (** ordered [key=value] pairs *)
+}
+
+val parse : string -> (spec list, string) result
+(** Parse a pipeline string.  Pass names are [[a-z0-9-]+]; parameters are
+    [key=value] with non-empty alphanumeric keys.  Whitespace around
+    separators is tolerated; [print] emits the canonical form. *)
+
+val print : spec list -> string
+(** Canonical rendering; [parse (print s) = Ok s] for any well-formed [s]. *)
+
+val int_param : spec -> string -> default:int -> int
+(** Look up an integer parameter; raises [Failure] (caught by
+    [Pipeline.build]'s error wrapper) when the value is not an integer. *)
+
+(* --- the pass context ------------------------------------------------------ *)
+
+type print_after = [ `Never | `All | `Passes of string list ]
+
+type step = {
+  st_pass : string;    (** registered pass name *)
+  st_detail : string;  (** sub-step, e.g. ["round 3"] of the outliner; [""] *)
+  st_unit : string;    (** compilation unit ([""] = whole program) *)
+  st_applied : bool;   (** false: skipped by the bisect limit *)
+  st_seconds : float;
+  st_before : int;     (** stage size metric before the step *)
+  st_after : int;      (** … and after (instrs for MIR, bytes for machine) *)
+}
+
+val step_label : step -> string
+(** ["unit/pass detail"], unit and detail omitted when empty. *)
+
+type ctx
+(** One per pipeline run, shared by every stage so the bisect counter and
+    the step log span MIR and machine passes. *)
+
+val create_ctx :
+  ?verify_each:bool ->
+  ?print_after:print_after ->
+  ?bisect_limit:int ->
+  ?dump:(string -> string -> unit) ->
+  unit ->
+  ctx
+(** [dump label text] receives [--print-after] output; the default prints
+    an LLVM-style ["*** IR Dump After <label> ***"] banner to stderr. *)
+
+val gate : ctx -> pass:string -> detail:string -> bool
+(** Count one bisect step and say whether it may run: step index starts at
+    1 and steps numbered beyond the limit are skipped (LLVM's
+    [-opt-bisect-limit] contract; no limit means run everything).
+    Self-gated passes call this once per sub-step. *)
+
+val record : ctx -> step -> unit
+
+val steps : ctx -> step list
+(** Chronological. *)
+
+val steps_applied : ctx -> int
+(** Bisect steps that actually ran. *)
+
+val verify_each : ctx -> bool
+val should_print_after : ctx -> string -> bool
+val dump : ctx -> string -> string -> unit
+
+(* --- stages and passes ----------------------------------------------------- *)
+
+type 'ir stage = {
+  stage_name : string;                       (** ["mir"] or ["machine"] *)
+  stage_verify : 'ir -> (unit, string) result;
+  stage_print : 'ir -> string;
+  stage_size : 'ir -> int;
+}
+
+type 'ir pass = {
+  p_name : string;
+  p_params : string list;  (** accepted parameter keys; others are errors *)
+  p_self_gated : bool;
+      (** the pass calls {!gate} itself, once per internal step (the
+          outliner gates each round); the manager then neither gates nor
+          records it as a single step *)
+  p_linked : bool;
+      (** machine pass that needs the merged program: in the per-module
+          pipeline it runs after the system-linker merge, not per unit *)
+  p_run : ctx -> spec -> 'ir -> 'ir;
+}
+
+val find_pass : 'ir pass list -> string -> 'ir pass option
+
+val validate_specs :
+  known:(string -> string list option) -> spec list -> (unit, string) result
+(** [known name] returns the accepted parameter keys of a registered pass,
+    or [None] for an unknown name.  Checks every spec's name, parameter
+    keys, and that integer-looking values parse. *)
+
+val run_passes :
+  ctx -> 'ir stage -> 'ir pass list -> ?unit_name:string -> spec list -> 'ir -> 'ir
+(** Run the named passes in order through the shared context: bisect-gate
+    each (non-self-gated) application, time it, record the size delta,
+    then — per the context — verify the stage invariants and dump the IR.
+    Raises [Failure] on an unknown pass/parameter or a [--verify-each]
+    violation (naming the offending pass). *)
+
+(* --- opt-bisect ------------------------------------------------------------ *)
+
+val bisect : hi:int -> fails:(int -> bool) -> int option
+(** Smallest [n] in [1..hi] with [fails n], by binary search, assuming
+    monotonicity ([fails] true stays true as [n] grows); [None] when even
+    [fails hi] is false.  [fails n] typically rebuilds with
+    [bisect_limit = n] and compares against a reference, so the returned
+    [n] indexes the first faulty step in {!steps}. *)
+
+(* --- timing tree ----------------------------------------------------------- *)
+
+type timing = {
+  t_name : string;
+  t_seconds : float;
+  t_note : string;             (** e.g. a size delta; [""] for none *)
+  t_children : timing list;
+}
+
+val leaf : ?note:string -> string -> float -> timing
+val node : ?note:string -> ?seconds:float -> string -> timing list -> timing
+(** [node] sums its children's seconds unless [seconds] (the measured wall
+    time of the enclosing phase) is given. *)
+
+val render_tree : timing list -> string
+(** Indented table: name, seconds, note. *)
+
+(* --- the concrete registries ----------------------------------------------- *)
+
+val mir_stage : Ir.modul stage
+val machine_stage : Machine.Program.t stage
+
+val mir_passes : keep:(Ir.func -> bool) -> Ir.modul pass list
+(** [dce], [sil-outline(min=N)] (helper threshold, the old hardcoded 8),
+    [merge-functions], [fmsa].  [keep] exempts entry points from being
+    thunked by the two merging baselines. *)
+
+type machine_env = {
+  me_engine : [ `Incremental | `Scratch ];
+  me_scope : string;  (** outlined-symbol scope: module name or [""] *)
+  me_profile : Outcore.Profile.t;
+  me_on_stats : Outcore.Outliner.round_stats list -> unit;
+}
+
+val machine_passes : machine_env -> Machine.Program.t pass list
+(** [canonicalize], [outline(rounds=N)] (self-gated: every round is one
+    bisect step, recorded as ["round K"] details), and the linked
+    [caller-affinity-layout]. *)
+
+val registered_names : string list
+(** Every pass name in both registries, for completeness checks. *)

@@ -12,13 +12,19 @@ type config = {
   data_order : Link.data_order;
   run_dce : bool;
   run_sil_outline : bool;
+  sil_outline_min : int;
   run_merge_functions : bool;
   run_fmsa : bool;
+  entry_points : string list;
   no_outline_modules : string list;
   outlined_layout : layout_strategy;
   layout_profile : Pgo.Profile.t option;
   run_canonicalize : bool;
   outline_engine : [ `Incremental | `Scratch ];
+  passes : Passman.spec list option;
+  verify_each : bool;
+  print_after : Passman.print_after;
+  bisect_limit : int option;
 }
 
 let default_config =
@@ -29,13 +35,19 @@ let default_config =
     data_order = Link.Module_preserving;
     run_dce = true;
     run_sil_outline = false;
+    sil_outline_min = 8;
     run_merge_functions = false;
     run_fmsa = false;
+    entry_points = [ "main" ];
     no_outline_modules = [ "system" ];
     outlined_layout = `Append;
     layout_profile = None;
     run_canonicalize = false;
     outline_engine = `Incremental;
+    passes = None;
+    verify_each = false;
+    print_after = `Never;
+    bisect_limit = None;
   }
 
 let default_ios_config = { default_config with mode = Per_module }
@@ -47,32 +59,106 @@ type result = {
   code_size : int;
   function_order : string list option;
   timings : (string * float) list;
+  timing_tree : Passman.timing list;
+  pass_steps : Passman.step list;
   outline_stats : Outcore.Outliner.round_stats list;
   outline_profile : Outcore.Profile.t;
 }
 
-let timed timings name f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  timings := (name, Unix.gettimeofday () -. t0) :: !timings;
-  r
+(* --- pipeline specs -------------------------------------------------------- *)
 
-(* The "opt" stage: IR-level passes in a fixed order. *)
-let opt_module config (m : Ir.modul) =
-  let m = if config.run_dce then fst (Dce.run m) else m in
-  let m =
-    if config.run_sil_outline then fst (Swiftlet.Sil_outline.run ~min_occurrences:8 m)
-    else m
-  in
-  let keep (f : Ir.func) = String.equal f.Ir.name "main" in
-  let m =
-    if config.run_merge_functions then fst (Merge_functions.run ~keep m) else m
-  in
-  let m = if config.run_fmsa then fst (Fmsa.run ~keep m) else m in
-  m
+let mk name = { Passman.sp_name = name; sp_params = [] }
+let mk1 name key v = { Passman.sp_name = name; sp_params = [ (key, string_of_int v) ] }
 
-let outline_options ~scope =
-  { Outcore.Outliner.default_options with scope_name = scope }
+(* Lower the config's pass flags onto the spec the manager runs.  This is
+   the old hardcoded sequencing made explicit: the "opt" passes in their
+   fixed order, then the machine passes — canonicalization and layout only
+   ever ran together with outlining, so they stay tied to rounds > 0. *)
+let lowered_spec (c : config) =
+  (if c.run_dce then [ mk "dce" ] else [])
+  @ (if c.run_sil_outline then [ mk1 "sil-outline" "min" c.sil_outline_min ]
+     else [])
+  @ (if c.run_merge_functions then [ mk "merge-functions" ] else [])
+  @ (if c.run_fmsa then [ mk "fmsa" ] else [])
+  @
+  if c.outline_rounds <= 0 then []
+  else
+    (if c.run_canonicalize then [ mk "canonicalize" ] else [])
+    @ [ mk1 "outline" "rounds" c.outline_rounds ]
+    @
+    match c.outlined_layout with
+    | `Caller_affinity -> [ mk "caller-affinity-layout" ]
+    | `Append | `Order_file | `C3 | `Balanced -> []
+
+let spec_of_config c =
+  match c.passes with
+  | Some specs -> specs
+  | None -> lowered_spec c
+
+(* Registries instantiated with inert environments, used only to resolve
+   names, parameter lists and stage membership. *)
+let template_mir = Passman.mir_passes ~keep:(fun _ -> false)
+
+let template_machine =
+  Passman.machine_passes
+    {
+      Passman.me_engine = `Scratch;
+      me_scope = "";
+      me_profile = Outcore.Profile.create ();
+      me_on_stats = (fun _ -> ());
+    }
+
+let known_pass name =
+  match Passman.find_pass template_mir name with
+  | Some p -> Some p.Passman.p_params
+  | None -> (
+    match Passman.find_pass template_machine name with
+    | Some p -> Some p.Passman.p_params
+    | None -> None)
+
+let config_of_passes ?(base = default_config) s =
+  match Passman.parse s with
+  | Error e -> Error ("bad pass pipeline: " ^ e)
+  | Ok specs -> (
+    match Passman.validate_specs ~known:known_pass specs with
+    | Error e -> Error ("bad pass pipeline: " ^ e)
+    | Ok () -> (
+      try
+        let find n =
+          List.find_opt (fun sp -> sp.Passman.sp_name = n) specs
+        in
+        let has n = find n <> None in
+        let outline_rounds =
+          match find "outline" with
+          | Some sp -> Passman.int_param sp "rounds" ~default:5
+          | None -> 0
+        in
+        let sil_outline_min =
+          match find "sil-outline" with
+          | Some sp -> Passman.int_param sp "min" ~default:8
+          | None -> base.sil_outline_min
+        in
+        Ok
+          {
+            base with
+            run_dce = has "dce";
+            run_sil_outline = has "sil-outline";
+            sil_outline_min;
+            run_merge_functions = has "merge-functions";
+            run_fmsa = has "fmsa";
+            run_canonicalize = has "canonicalize";
+            outline_rounds;
+            outlined_layout =
+              (if has "caller-affinity-layout" then `Caller_affinity
+               else
+                 match base.outlined_layout with
+                 | `Caller_affinity -> `Append
+                 | l -> l);
+            passes = Some specs;
+          }
+      with Failure e -> Error ("bad pass pipeline: " ^ e)))
+
+(* --- shared helpers -------------------------------------------------------- *)
 
 (* System-framework modules ship outside the app binary on a real device;
    marking them no_outline keeps the outliner away, as §VII-B's execution
@@ -88,17 +174,140 @@ let mark_no_outline config (p : Machine.Program.t) =
            else f)
          p.Machine.Program.funcs)
 
-let build ?(config = default_config) modules =
+(* --- the timing tree ------------------------------------------------------- *)
+
+let delta_note (st : Passman.step) =
+  if not st.Passman.st_applied then "skipped (opt-bisect)"
+  else if st.Passman.st_before = st.Passman.st_after then
+    Printf.sprintf "%d" st.Passman.st_after
+  else Printf.sprintf "%d -> %d" st.Passman.st_before st.Passman.st_after
+
+(* One tree: coarse phases at the root, the pass steps of each phase as
+   children, outline rounds as children of the outline pass, and the
+   outliner's per-phase split (from Outcore.Profile) as grandchildren. *)
+let build_timing_tree phases steps profile =
+  let steps = Array.of_list steps in
+  let prof = ref (Outcore.Profile.rounds profile) in
+  let next_prof () =
+    match !prof with
+    | [] -> None
+    | r :: rest ->
+      prof := rest;
+      Some r
+  in
+  let step_name (st : Passman.step) =
+    if st.Passman.st_unit = "" then st.Passman.st_pass
+    else st.Passman.st_unit ^ "/" ^ st.Passman.st_pass
+  in
+  let children lo hi =
+    let out = ref [] in
+    let i = ref lo in
+    while !i < hi do
+      let st = steps.(!i) in
+      if st.Passman.st_detail = "" then begin
+        out :=
+          Passman.leaf ~note:(delta_note st) (step_name st)
+            st.Passman.st_seconds
+          :: !out;
+        incr i
+      end
+      else begin
+        (* a run of sub-steps of one pass instance (e.g. outline rounds) *)
+        let kids = ref [] in
+        let j = ref !i in
+        while
+          !j < hi
+          && steps.(!j).Passman.st_pass = st.Passman.st_pass
+          && steps.(!j).Passman.st_unit = st.Passman.st_unit
+          && steps.(!j).Passman.st_detail <> ""
+        do
+          let s = steps.(!j) in
+          let grand =
+            if s.Passman.st_pass = "outline" && s.Passman.st_applied then
+              match next_prof () with
+              | Some rp ->
+                [
+                  Passman.leaf "seq-build" rp.Outcore.Profile.rp_seq_build;
+                  Passman.leaf "tree-build" rp.Outcore.Profile.rp_tree_build;
+                  Passman.leaf "enumerate" rp.Outcore.Profile.rp_enumerate;
+                  Passman.leaf "score" rp.Outcore.Profile.rp_score;
+                  Passman.leaf "rewrite" rp.Outcore.Profile.rp_rewrite;
+                ]
+              | None -> []
+            else []
+          in
+          kids :=
+            Passman.node ~note:(delta_note s) ~seconds:s.Passman.st_seconds
+              s.Passman.st_detail grand
+            :: !kids;
+          incr j
+        done;
+        out := Passman.node (step_name st) (List.rev !kids) :: !out;
+        i := !j
+      end
+    done;
+    List.rev !out
+  in
+  List.map
+    (fun (name, dt, lo, hi) -> Passman.node ~seconds:dt name (children lo hi))
+    phases
+
+(* --- the pass-manager pipeline --------------------------------------------- *)
+
+let build ?dump ?(config = default_config) modules =
   let timings = ref [] in
+  let phases = ref [] in
   let outline_stats = ref [] in
   let outline_profile = Outcore.Profile.create () in
+  let ctx =
+    Passman.create_ctx ~verify_each:config.verify_each
+      ~print_after:config.print_after ?bisect_limit:config.bisect_limit ?dump
+      ()
+  in
+  let timed name f =
+    let steps_before = List.length (Passman.steps ctx) in
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    timings := (name, dt) :: !timings;
+    phases := (name, dt, steps_before, List.length (Passman.steps ctx)) :: !phases;
+    r
+  in
   try
+    let specs = spec_of_config config in
+    (match Passman.validate_specs ~known:known_pass specs with
+    | Ok () -> ()
+    | Error e -> failwith e);
+    let keep (f : Ir.func) = List.mem f.Ir.name config.entry_points in
+    let mir_registry = Passman.mir_passes ~keep in
+    let machine_registry scope =
+      Passman.machine_passes
+        {
+          Passman.me_engine = config.outline_engine;
+          me_scope = scope;
+          me_profile = outline_profile;
+          me_on_stats = (fun s -> outline_stats := !outline_stats @ s);
+        }
+    in
+    let mir_specs, machine_specs =
+      List.partition
+        (fun sp -> Passman.find_pass template_mir sp.Passman.sp_name <> None)
+        specs
+    in
+    let machine_unit_specs, machine_linked_specs =
+      List.partition
+        (fun sp ->
+          match Passman.find_pass template_machine sp.Passman.sp_name with
+          | Some p -> not p.Passman.p_linked
+          | None -> true)
+        machine_specs
+    in
     let program =
       match config.mode with
       | Whole_program ->
-        (* llvm-link -> opt -> llc(+outliner over everything). *)
+        (* llvm-link -> opt -> llc(+machine passes over everything). *)
         let merged =
-          timed timings "llvm-link" (fun () ->
+          timed "llvm-link" (fun () ->
               match
                 Link.link ~flag_semantics:config.flag_semantics
                   ~data_order:config.data_order ~name:"whole" modules
@@ -106,56 +315,48 @@ let build ?(config = default_config) modules =
               | Ok m -> m
               | Error e -> failwith (Link.error_to_string e))
         in
-        let optimized = timed timings "opt" (fun () -> opt_module config merged) in
+        let optimized =
+          timed "opt" (fun () ->
+              Passman.run_passes ctx Passman.mir_stage mir_registry mir_specs
+                merged)
+        in
         let machine =
-          timed timings "llc" (fun () ->
+          timed "llc" (fun () ->
               mark_no_outline config (Codegen.compile_modul optimized))
         in
-        if config.outline_rounds > 0 then
-          timed timings "machine-outliner" (fun () ->
-              let machine =
-                if config.run_canonicalize then fst (Outcore.Canonicalize.run machine)
-                else machine
-              in
-              let p, stats =
-                Outcore.Repeat.run
-                  ~options:(outline_options ~scope:"")
-                  ~profile:outline_profile ~engine:config.outline_engine
-                  ~rounds:config.outline_rounds machine
-              in
-              outline_stats := stats;
-              match config.outlined_layout with
-              | `Caller_affinity -> Outcore.Layout.optimize p
-              | `Append | `Order_file | `C3 | `Balanced -> p)
+        if machine_specs <> [] then
+          timed "machine-outliner" (fun () ->
+              Passman.run_passes ctx Passman.machine_stage
+                (machine_registry "") machine_specs machine)
         else machine
       | Per_module ->
-        (* Independent per-module compilation, then the system linker. *)
+        (* Independent per-module compilation, then the system linker.
+           The same registered passes run, per compilation unit; linked
+           passes (layout) wait for the merge. *)
         let units =
-          timed timings "compile-modules" (fun () ->
+          timed "compile-modules" (fun () ->
               List.map
                 (fun (m : Ir.modul) ->
-                  let optimized = opt_module config m in
-                  let machine = mark_no_outline config (Codegen.compile_modul optimized) in
-                  if config.outline_rounds > 0 then begin
-                    let p, stats =
-                      Outcore.Repeat.run
-                        ~options:(outline_options ~scope:m.Ir.m_name)
-                        ~profile:outline_profile ~engine:config.outline_engine
-                        ~rounds:config.outline_rounds machine
-                    in
-                    outline_stats := !outline_stats @ stats;
-                    p
-                  end
+                  let optimized =
+                    Passman.run_passes ctx Passman.mir_stage mir_registry
+                      ~unit_name:m.Ir.m_name mir_specs m
+                  in
+                  let machine =
+                    mark_no_outline config (Codegen.compile_modul optimized)
+                  in
+                  if machine_unit_specs <> [] then
+                    Passman.run_passes ctx Passman.machine_stage
+                      (machine_registry m.Ir.m_name) ~unit_name:m.Ir.m_name
+                      machine_unit_specs machine
                   else machine)
                 modules)
         in
-        timed timings "system-linker-merge" (fun () ->
+        timed "system-linker-merge" (fun () ->
             let merged = Machine.Program.concat units in
-            match config.outlined_layout with
-            | `Caller_affinity when config.outline_rounds > 0 ->
-              Outcore.Layout.optimize merged
-            | `Caller_affinity | `Append | `Order_file | `C3 | `Balanced ->
-              merged)
+            if machine_linked_specs <> [] then
+              Passman.run_passes ctx Passman.machine_stage
+                (machine_registry "") machine_linked_specs merged
+            else merged)
     in
     (match Machine.Program.validate program with
     | Ok () -> ()
@@ -171,7 +372,7 @@ let build ?(config = default_config) modules =
           match config.layout_profile with
           | Some p -> p
           | None ->
-            timed timings "pgo-collect" (fun () ->
+            timed "pgo-collect" (fun () ->
                 Pgo.Collect.collect
                   ~config:
                     {
@@ -181,11 +382,11 @@ let build ?(config = default_config) modules =
                   ~workload:"self" ~entries:[ "main" ] program)
         in
         Some
-          (timed timings "pgo-layout" (fun () ->
+          (timed "pgo-layout" (fun () ->
                Pgo.Order.compute strategy profile program))
     in
     let layout =
-      timed timings "system-linker" (fun () ->
+      timed "system-linker" (fun () ->
           Linker.link ?order:function_order program)
     in
     Ok
@@ -196,12 +397,162 @@ let build ?(config = default_config) modules =
         code_size = layout.Linker.text_size;
         function_order;
         timings = List.rev !timings;
+        timing_tree =
+          build_timing_tree (List.rev !phases) (Passman.steps ctx)
+            outline_profile;
+        pass_steps = Passman.steps ctx;
         outline_stats = !outline_stats;
         outline_profile;
       }
   with Failure e -> Error e
 
-let build_sources ?config sources =
+let build_sources ?dump ?config sources =
   match Swiftlet.Compile.compile_program sources with
   | Error e -> Error e
-  | Ok modules -> build ?config modules
+  | Ok modules -> build ?dump ?config modules
+
+(* --- the pre-refactor sequencing (transitional reference) ------------------ *)
+
+(* The hardcoded pipeline exactly as it was before the pass-manager
+   refactor, kept so the fuzz lattice can assert the refactor is
+   observationally exact: the default config must produce byte-identical
+   programs through both paths.  Delete once the differential has soaked. *)
+
+let reference_timed timings name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  timings := (name, Unix.gettimeofday () -. t0) :: !timings;
+  r
+
+let reference_opt_module config (m : Ir.modul) =
+  let m = if config.run_dce then fst (Dce.run m) else m in
+  let m =
+    if config.run_sil_outline then
+      fst (Swiftlet.Sil_outline.run ~min_occurrences:config.sil_outline_min m)
+    else m
+  in
+  let keep (f : Ir.func) = List.mem f.Ir.name config.entry_points in
+  let m =
+    if config.run_merge_functions then fst (Merge_functions.run ~keep m) else m
+  in
+  let m = if config.run_fmsa then fst (Fmsa.run ~keep m) else m in
+  m
+
+let reference_outline_options ~scope =
+  { Outcore.Outliner.default_options with scope_name = scope }
+
+let build_reference ?(config = default_config) modules =
+  let timings = ref [] in
+  let outline_stats = ref [] in
+  let outline_profile = Outcore.Profile.create () in
+  try
+    let program =
+      match config.mode with
+      | Whole_program ->
+        let merged =
+          reference_timed timings "llvm-link" (fun () ->
+              match
+                Link.link ~flag_semantics:config.flag_semantics
+                  ~data_order:config.data_order ~name:"whole" modules
+              with
+              | Ok m -> m
+              | Error e -> failwith (Link.error_to_string e))
+        in
+        let optimized =
+          reference_timed timings "opt" (fun () ->
+              reference_opt_module config merged)
+        in
+        let machine =
+          reference_timed timings "llc" (fun () ->
+              mark_no_outline config (Codegen.compile_modul optimized))
+        in
+        if config.outline_rounds > 0 then
+          reference_timed timings "machine-outliner" (fun () ->
+              let machine =
+                if config.run_canonicalize then
+                  fst (Outcore.Canonicalize.run machine)
+                else machine
+              in
+              let p, stats =
+                Outcore.Repeat.run
+                  ~options:(reference_outline_options ~scope:"")
+                  ~profile:outline_profile ~engine:config.outline_engine
+                  ~rounds:config.outline_rounds machine
+              in
+              outline_stats := stats;
+              match config.outlined_layout with
+              | `Caller_affinity -> Outcore.Layout.optimize p
+              | `Append | `Order_file | `C3 | `Balanced -> p)
+        else machine
+      | Per_module ->
+        let units =
+          reference_timed timings "compile-modules" (fun () ->
+              List.map
+                (fun (m : Ir.modul) ->
+                  let optimized = reference_opt_module config m in
+                  let machine =
+                    mark_no_outline config (Codegen.compile_modul optimized)
+                  in
+                  if config.outline_rounds > 0 then begin
+                    let p, stats =
+                      Outcore.Repeat.run
+                        ~options:(reference_outline_options ~scope:m.Ir.m_name)
+                        ~profile:outline_profile ~engine:config.outline_engine
+                        ~rounds:config.outline_rounds machine
+                    in
+                    outline_stats := !outline_stats @ stats;
+                    p
+                  end
+                  else machine)
+                modules)
+        in
+        reference_timed timings "system-linker-merge" (fun () ->
+            let merged = Machine.Program.concat units in
+            match config.outlined_layout with
+            | `Caller_affinity when config.outline_rounds > 0 ->
+              Outcore.Layout.optimize merged
+            | `Caller_affinity | `Append | `Order_file | `C3 | `Balanced ->
+              merged)
+    in
+    (match Machine.Program.validate program with
+    | Ok () -> ()
+    | Error e -> failwith ("pipeline produced invalid program: " ^ e));
+    let function_order =
+      match config.outlined_layout with
+      | `Append | `Caller_affinity -> None
+      | (`Order_file | `C3 | `Balanced) as strategy ->
+        let profile =
+          match config.layout_profile with
+          | Some p -> p
+          | None ->
+            reference_timed timings "pgo-collect" (fun () ->
+                Pgo.Collect.collect
+                  ~config:
+                    {
+                      Pgo.Collect.default_config with
+                      Perfsim.Interp.max_steps = 20_000_000;
+                    }
+                  ~workload:"self" ~entries:[ "main" ] program)
+        in
+        Some
+          (reference_timed timings "pgo-layout" (fun () ->
+               Pgo.Order.compute strategy profile program))
+    in
+    let layout =
+      reference_timed timings "system-linker" (fun () ->
+          Linker.link ?order:function_order program)
+    in
+    Ok
+      {
+        program;
+        layout;
+        binary_size = Linker.binary_size layout;
+        code_size = layout.Linker.text_size;
+        function_order;
+        timings = List.rev !timings;
+        timing_tree = [];
+        pass_steps = [];
+        outline_stats = !outline_stats;
+        outline_profile;
+      }
+  with Failure e -> Error e

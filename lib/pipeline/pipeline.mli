@@ -1,4 +1,5 @@
-(** The two build pipelines of the paper.
+(** The two build pipelines of the paper, run through the unified pass
+    manager ({!Passman}).
 
     - {b Default iOS pipeline} (Figure 2): every module is optimized and
       lowered to machine code independently; machine outlining, if enabled,
@@ -9,7 +10,13 @@
     - {b New whole-program pipeline} (Figure 10): all modules' IR is merged
       by the llvm-link equivalent (with the metadata-flag semantics and
       data-ordering mode of §VI), optimized once, lowered once, and machine
-      outlining sees the entire program. *)
+      outlining sees the entire program.
+
+    Both modes run the {e same} registered passes: the config's pass flags
+    are lowered onto a textual pipeline spec ({!spec_of_config}, grammar in
+    {!Passman}), and one shared pass context owns per-pass timings, size
+    deltas, [--verify-each], [--print-after] and [--opt-bisect-limit]
+    across the MIR and machine stages. *)
 
 type mode =
   | Per_module
@@ -34,8 +41,14 @@ type config = {
   data_order : Link.data_order;
   run_dce : bool;
   run_sil_outline : bool;         (** the SIL-level outlining baseline *)
+  sil_outline_min : int;
+      (** helper threshold for [sil-outline] ([sil-outline(min=N)] in the
+          spec; default 8, the value the old pipeline hardcoded) *)
   run_merge_functions : bool;     (** the MergeFunction baseline *)
   run_fmsa : bool;                (** the FMSA baseline *)
+  entry_points : string list;
+      (** functions the merging baselines must never turn into thunks
+          (default [["main"]]) *)
   no_outline_modules : string list;
       (** modules standing in for system frameworks: their machine code is
           never harvested or rewritten (default [["system"]]) *)
@@ -58,10 +71,25 @@ type config = {
       (** canonicalize commutative operand order before outlining (the
           paper's future-work item 1); off by default *)
   outline_engine : [ `Incremental | `Scratch ];
-      (** which outliner engine drives {!Outcore.Repeat.run}: the default
+      (** which outliner engine drives the [outline] pass: the default
           incremental engine (dirty-block caches across rounds) or the
           from-scratch reference.  Both produce byte-identical programs —
           the fuzz lattice checks exactly that. *)
+  passes : Passman.spec list option;
+      (** an explicit pass pipeline ([sizeopt build --passes]); [None]
+          lowers the flags above onto the default sequencing.  Use
+          {!config_of_passes} to parse a spec string and keep the flags
+          consistent with it. *)
+  verify_each : bool;
+      (** run the stage invariants ({!Ir.validate} /
+          [Machine.Program.validate]) after every pass application — and
+          after every outline round — instead of only once at the end *)
+  print_after : Passman.print_after;
+      (** dump the IR (via the stage printers) after the named passes *)
+  bisect_limit : int option;
+      (** LLVM-style opt-bisect: stop applying passes — and individual
+          outline rounds — after this many steps; see {!result.pass_steps}
+          and {!Passman.bisect} *)
 }
 
 val default_config : config
@@ -72,6 +100,21 @@ val default_ios_config : config
 (** Per-module with per-module outlining (Swift 5.2's [-Osize] behaviour,
     §VII-A's baseline). *)
 
+val spec_of_config : config -> Passman.spec list
+(** The pipeline spec the manager will run: [config.passes] when set,
+    otherwise the flags lowered onto the default order ([dce],
+    [sil-outline(min=N)], [merge-functions], [fmsa], [canonicalize],
+    [outline(rounds=N)], [caller-affinity-layout]; each present only when
+    its flag asks for it). *)
+
+val config_of_passes : ?base:config -> string -> (config, string) result
+(** Parse a pipeline string ([--passes "dce,outline(rounds=5)"]) and raise
+    it back onto a config: pass flags and parameters are set from the spec
+    (a missing [outline] means 0 rounds), every other axis (mode, link
+    semantics, engine, profile-guided layout) keeps [base]'s value, and the
+    exact spec — order included — is pinned in [passes].  Errors on
+    unknown pass names, unknown parameters, or malformed syntax. *)
+
 type result = {
   program : Machine.Program.t;
   layout : Linker.layout;
@@ -81,16 +124,41 @@ type result = {
       (** the explicit placement the layout was linked with (profile-guided
           strategies only); pass it to [Perfsim.Interp.run ~order] so
           measurement sees the same addresses the linker produced *)
-  timings : (string * float) list;   (** phase name, seconds, in order *)
+  timings : (string * float) list;   (** coarse phase name, seconds, in order *)
+  timing_tree : Passman.timing list;
+      (** the same phases as a tree: per-pass children with size-delta
+          notes, outline rounds under the [outline] pass, and the
+          outliner's per-phase split (sequence build, tree build,
+          enumerate, score, rewrite) under each round — rendered by
+          [sizeopt build --profile] *)
+  pass_steps : Passman.step list;
+      (** every pass application (and outline round) in order, with bisect
+          skips marked — the index a {!Passman.bisect} result points at *)
   outline_stats : Outcore.Outliner.round_stats list;
   outline_profile : Outcore.Profile.t;
-      (** per-outline-round phase split (sequence build, tree build,
-          enumerate, score, rewrite); rendered by [sizeopt build --profile] *)
+      (** per-outline-round phase split, also woven into [timing_tree] *)
 }
 
-val build : ?config:config -> Ir.modul list -> (result, string) Stdlib.result
-(** Run the configured pipeline over already-compiled modules. *)
+val build :
+  ?dump:(string -> string -> unit) ->
+  ?config:config ->
+  Ir.modul list ->
+  (result, string) Stdlib.result
+(** Run the configured pipeline over already-compiled modules.  [dump]
+    receives [print_after] output (default: stderr with an LLVM-style
+    banner). *)
 
 val build_sources :
-  ?config:config -> (string * string) list -> (result, string) Stdlib.result
+  ?dump:(string -> string -> unit) ->
+  ?config:config ->
+  (string * string) list ->
+  (result, string) Stdlib.result
 (** Front-end included: (module name, Swiftlet source) pairs. *)
+
+val build_reference :
+  ?config:config -> Ir.modul list -> (result, string) Stdlib.result
+(** The pre-refactor hardcoded sequencing, kept verbatim during the
+    pass-manager transition so the fuzz lattice can assert the refactor is
+    observationally exact (default-config builds must be byte-identical
+    through both paths).  Ignores [passes], [verify_each], [print_after]
+    and [bisect_limit]; returns empty [timing_tree]/[pass_steps]. *)

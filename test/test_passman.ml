@@ -1,0 +1,231 @@
+(* The unified pass manager: spec grammar, registry completeness,
+   --verify-each, and opt-bisect fault localization. *)
+
+let ok_exn = function Ok x -> x | Error e -> failwith e
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+(* --- spec parse/print ------------------------------------------------------ *)
+
+let test_parse_print () =
+  let canon s = Passman.print (ok_exn (Passman.parse s)) in
+  Alcotest.(check string) "canonical form is stable"
+    "dce,sil-outline(min=8),outline(rounds=5)"
+    (canon "dce,sil-outline(min=8),outline(rounds=5)");
+  Alcotest.(check string) "whitespace tolerated" "dce,outline(rounds=3)"
+    (canon "  dce ,  outline( rounds = 3 ) ");
+  let s = ok_exn (Passman.parse "a-b(x=1,y=z2),c") in
+  Alcotest.(check bool) "parse (print s) = s" true
+    (Passman.parse (Passman.print s) = Ok s)
+
+let test_parse_errors () =
+  List.iter
+    (fun s ->
+      match Passman.parse s with
+      | Ok _ -> Alcotest.failf "expected a parse error for %S" s
+      | Error _ -> ())
+    [
+      "";
+      "dce,,fmsa";
+      "outline(rounds=5";
+      "outline rounds=5)";
+      "Bad";
+      "dce,outline(=3)";
+      "outline(rounds)";
+    ]
+
+(* --- registry completeness -------------------------------------------------- *)
+
+(* Every pass the config flags can request must be registered, and every
+   registered pass must be reachable from a pipeline string — the two
+   descriptions of the pipeline may never drift apart. *)
+let test_registry () =
+  List.iter
+    (fun name ->
+      match Pipeline.config_of_passes name with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "pass %s not reachable from a spec: %s" name e)
+    Passman.registered_names;
+  let check_roundtrip c =
+    let s = Passman.print (Pipeline.spec_of_config c) in
+    let c' = ok_exn (Pipeline.config_of_passes ~base:c s) in
+    Alcotest.(check bool)
+      ("flags recovered through " ^ s)
+      true
+      (c'.Pipeline.run_dce = c.Pipeline.run_dce
+      && c'.Pipeline.run_sil_outline = c.Pipeline.run_sil_outline
+      && c'.Pipeline.sil_outline_min = c.Pipeline.sil_outline_min
+      && c'.Pipeline.run_merge_functions = c.Pipeline.run_merge_functions
+      && c'.Pipeline.run_fmsa = c.Pipeline.run_fmsa
+      && c'.Pipeline.run_canonicalize = c.Pipeline.run_canonicalize
+      && c'.Pipeline.outline_rounds = c.Pipeline.outline_rounds
+      && c'.Pipeline.outlined_layout = c.Pipeline.outlined_layout)
+  in
+  check_roundtrip Pipeline.default_config;
+  check_roundtrip
+    { Pipeline.default_config with
+      run_sil_outline = true; sil_outline_min = 12; run_merge_functions = true };
+  check_roundtrip
+    { Pipeline.default_config with
+      run_fmsa = true; run_canonicalize = true;
+      outlined_layout = `Caller_affinity };
+  let all_on =
+    { Pipeline.default_config with
+      run_sil_outline = true; run_merge_functions = true; run_fmsa = true;
+      run_canonicalize = true; outlined_layout = `Caller_affinity }
+  in
+  let spec = Pipeline.spec_of_config all_on in
+  List.iter
+    (fun sp ->
+      Alcotest.(check bool)
+        ("registered: " ^ sp.Passman.sp_name)
+        true
+        (List.mem sp.Passman.sp_name Passman.registered_names))
+    spec;
+  Alcotest.(check int) "the all-on config exercises the whole registry"
+    (List.length Passman.registered_names)
+    (List.length spec)
+
+(* --- verify-each ------------------------------------------------------------ *)
+
+(* A deliberately broken pass: duplicating a function leaves the program
+   structurally invalid (duplicate symbol), which only
+   Machine.Program.validate notices. *)
+let broken_pass =
+  {
+    Passman.p_name = "break";
+    p_params = [];
+    p_self_gated = false;
+    p_linked = false;
+    p_run =
+      (fun _ _ (p : Machine.Program.t) ->
+        { p with Machine.Program.funcs = p.funcs @ [ List.hd p.funcs ] });
+  }
+
+let break_spec = [ { Passman.sp_name = "break"; sp_params = [] } ]
+
+let test_verify_each_catches () =
+  let p = Fuzz.Machgen.generate (Random.State.make [| 5; 1 |]) ~fuel:6 in
+  (* Without verify-each the corruption sails through the manager... *)
+  let ctx = Passman.create_ctx () in
+  let (_ : Machine.Program.t) =
+    Passman.run_passes ctx Passman.machine_stage [ broken_pass ] break_spec p
+  in
+  (* ...with it, the violation is caught and attributed to the pass. *)
+  let ctx = Passman.create_ctx ~verify_each:true () in
+  match Passman.run_passes ctx Passman.machine_stage [ broken_pass ] break_spec p with
+  | (_ : Machine.Program.t) ->
+    Alcotest.fail "verify-each did not flag the broken pass"
+  | exception Failure msg ->
+    Alcotest.(check bool) ("failure names the pass: " ^ msg) true
+      (contains msg "break")
+
+(* --- opt-bisect ------------------------------------------------------------- *)
+
+let outline_spec =
+  [ { Passman.sp_name = "outline"; sp_params = [ ("rounds", "5") ] } ]
+
+(* A stale cache can crash the rewrite outright, not just diverge, so the
+   run is trapped and an exception counts as disagreement — the same
+   policy as the fuzz lattice's incremental/scratch differential. *)
+let run_outline ?bisect_limit ~engine p =
+  let ctx = Passman.create_ctx ?bisect_limit () in
+  let env =
+    {
+      Passman.me_engine = engine;
+      me_scope = "";
+      me_profile = Outcore.Profile.create ();
+      me_on_stats = (fun _ -> ());
+    }
+  in
+  let q =
+    try
+      Ok
+        (Passman.run_passes ctx Passman.machine_stage
+           (Passman.machine_passes env) outline_spec p)
+    with e -> Error (Printexc.to_string e)
+  in
+  (q, ctx)
+
+let engines_agree ?bisect_limit p =
+  let qi, _ = run_outline ?bisect_limit ~engine:`Incremental p in
+  let qs, _ = run_outline ?bisect_limit ~engine:`Scratch p in
+  match (qi, qs) with
+  | Ok a, Ok b ->
+    Machine.Asm_printer.to_source a = Machine.Asm_printer.to_source b
+  | Error _, _ | _, Error _ -> false
+
+(* Inject the stale-dirty-set fault, find a program where the incremental
+   engine diverges from scratch at 5 rounds, then let opt-bisect localize
+   the first faulty step.  The fault corrupts cached sequences reused
+   across rounds, so the culprit can never be round 1 (whose cache is
+   fresh) — bisect must land on a later round. *)
+let test_bisect_localizes () =
+  Outcore.Outliner.fault_skip_invalidation := true;
+  Fun.protect
+    ~finally:(fun () -> Outcore.Outliner.fault_skip_invalidation := false)
+    (fun () ->
+      let found = ref None and attempt = ref 0 in
+      while !found = None && !attempt < 100 do
+        let st = Random.State.make [| 1 + 104729; !attempt |] in
+        let p = Fuzz.Machgen.generate st ~fuel:8 in
+        if Machine.Program.validate p = Ok () && not (engines_agree p) then
+          found := Some p;
+        incr attempt
+      done;
+      match !found with
+      | None ->
+        Alcotest.fail "stale-cache fault not reachable in 100 random programs"
+      | Some p -> (
+        match
+          Passman.bisect ~hi:5 ~fails:(fun n ->
+              not (engines_agree ~bisect_limit:n p))
+        with
+        | None -> Alcotest.fail "bisect found no failing step"
+        | Some n ->
+          Alcotest.(check bool)
+            (Printf.sprintf "stale cache localized past round 1 (step %d)" n)
+            true (n >= 2);
+          let res, ctx = run_outline ~bisect_limit:n ~engine:`Incremental p in
+          let steps = Passman.steps ctx in
+          List.iteri
+            (fun i (st : Passman.step) ->
+              Alcotest.(check string) "every step is an outline round"
+                "outline" st.Passman.st_pass;
+              Alcotest.(check string) "rounds recorded in order"
+                (Printf.sprintf "round %d" (i + 1))
+                st.Passman.st_detail)
+            steps;
+          (match res with
+          | Error _ ->
+            (* the faulty round crashed before its step was recorded *)
+            Alcotest.(check int) "crash happened in the bisected step" (n - 1)
+              (List.length steps)
+          | Ok _ ->
+            if List.length steps >= n then
+              Alcotest.(check bool) "the bisected step ran" true
+                (List.nth steps (n - 1)).Passman.st_applied)))
+
+let () =
+  Alcotest.run "passman"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "parse/print round-trip" `Quick test_parse_print;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        ] );
+      ("registry", [ Alcotest.test_case "completeness" `Quick test_registry ]);
+      ( "verify-each",
+        [
+          Alcotest.test_case "catches a broken pass" `Quick
+            test_verify_each_catches;
+        ] );
+      ( "opt-bisect",
+        [
+          Alcotest.test_case "localizes the stale-cache fault" `Quick
+            test_bisect_localizes;
+        ] );
+    ]
