@@ -592,6 +592,150 @@ let outline_bench () =
   if not identical then
     failwith "outline_bench: incremental and scratch outputs diverge"
 
+(* ------------------------------------------------------- thin-WPO bench *)
+
+(* Thin-WPO worker sweep on a scaled appgen app, against the full
+   whole-program build: byte-identity across worker counts, image within
+   1% of full WPO, and the parallel speedup.  CI containers are often
+   single-core, so the headline speedup is Amdahl-modeled from the
+   workers=1 run's measured per-shard timings — the engine's serial part
+   is the global decision rounds, the parallel part the per-shard
+   discovery and rewrite, and T(w) = serial + parallel/w — while measured
+   wall-clock for every sweep point is recorded alongside (it only means
+   anything on a >= 4-core host; the JSON records the core count).
+   Emits BENCH_thinwpo.json. *)
+let thinwpo_impl ~profile ~mult ~workers_list ~min_speedup () =
+  let prof = Workload.Appgen.scaled ~mult profile in
+  title
+    (Printf.sprintf "Thin-WPO worker sweep: %s (%d modules)"
+       prof.Workload.Appgen.app_name prof.Workload.Appgen.n_modules);
+  let mods = ok_exn (Workload.Appgen.generate_modules prof) in
+  let timed_build config =
+    let t0 = Unix.gettimeofday () in
+    let r = build ~config mods in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let full_wall, full = timed_build Pipeline.default_config in
+  let runs =
+    List.map
+      (fun w ->
+        let wall, r =
+          timed_build
+            { Pipeline.default_config with mode = Pipeline.Thin_wpo { workers = w } }
+        in
+        (w, wall, r))
+      workers_list
+  in
+  let src (r : Pipeline.result) = Machine.Asm_printer.to_source r.program in
+  let identical =
+    match runs with
+    | [] -> true
+    | (_, _, first) :: rest ->
+      List.for_all (fun (_, _, r) -> src r = src first) rest
+  in
+  (* Amdahl split from the workers=1 report (every report is identical in
+     shape; workers=1 keeps the shard timings uninflated by contention). *)
+  let _, _, thin1 =
+    List.find (fun (w, _, _) -> w = List.hd workers_list) runs
+  in
+  let serial_s, parallel_s =
+    List.fold_left
+      (fun (ser, par) (rd : Thinwpo.Engine.Report.round) ->
+        let shard_t =
+          List.fold_left
+            (fun a (s : Thinwpo.Engine.Report.shard) ->
+              a +. s.rs_discover +. s.rs_rewrite)
+            0. rd.rr_shards
+        in
+        (ser +. rd.rr_decide, par +. shard_t))
+      (0., 0.)
+      (Thinwpo.Engine.Report.rounds thin1.Pipeline.thin_profile)
+  in
+  let modeled w = (serial_s +. parallel_s) /. (serial_s +. (parallel_s /. float_of_int w)) in
+  let thin_size = (fun (_, _, r) -> r.Pipeline.binary_size) (List.hd runs) in
+  print_string
+    (table
+       ~header:[ "build"; "wall s"; "binary B"; "modeled speedup" ]
+       (( [ "full wp"; Printf.sprintf "%.2f" full_wall;
+            string_of_int full.Pipeline.binary_size; "-" ] )
+       :: List.map
+            (fun (w, wall, r) ->
+              [
+                Printf.sprintf "thin w=%d" w;
+                Printf.sprintf "%.2f" wall;
+                string_of_int r.Pipeline.binary_size;
+                Printf.sprintf "%.2fx" (modeled w);
+              ])
+            runs));
+  Printf.printf
+    "identical across workers: %b   engine serial %.3fs / parallel %.3fs   \
+     size vs full: %+.2f%%   (host cores: %d)\n"
+    identical serial_s parallel_s
+    (-.pct full.Pipeline.binary_size thin_size)
+    (Domain.recommended_domain_count ());
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"app\": \"%s\",\n\
+      \  \"modules\": %d,\n\
+      \  \"rounds\": %d,\n\
+      \  \"host_cores\": %d,\n\
+      \  \"full_wpo\": {\"wall_s\":%.6f,\"binary_size\":%d},\n\
+      \  \"sweep\": [\n\
+       %s\n\
+      \  ],\n\
+      \  \"modeled\": {\"serial_s\":%.6f,\"parallel_s\":%.6f,\
+       \"speedup_at_4\":%.3f},\n\
+      \  \"identical\": %b,\n\
+      \  \"thin_rounds_profile\": %s\n\
+       }\n"
+      prof.Workload.Appgen.app_name prof.Workload.Appgen.n_modules
+      Pipeline.default_config.outline_rounds
+      (Domain.recommended_domain_count ())
+      full_wall full.Pipeline.binary_size
+      (String.concat ",\n"
+         (List.map
+            (fun (w, wall, r) ->
+              Printf.sprintf
+                "    {\"workers\":%d,\"wall_s\":%.6f,\"binary_size\":%d,\
+                 \"modeled_speedup\":%.3f}"
+                w wall r.Pipeline.binary_size (modeled w))
+            runs))
+      serial_s parallel_s (modeled 4) identical
+      (Thinwpo.Engine.Report.to_json thin1.Pipeline.thin_profile)
+  in
+  let oc = open_out "BENCH_thinwpo.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_thinwpo.json\n";
+  if not identical then
+    failwith "thinwpo: output depends on the worker count";
+  if thin_size * 100 > full.Pipeline.binary_size * 101 then
+    failwith
+      (Printf.sprintf "thinwpo: thin image %d B is over 1%% past full WPO %d B"
+         thin_size full.Pipeline.binary_size);
+  match min_speedup with
+  | Some bar ->
+    if modeled 4 < bar then
+      failwith
+        (Printf.sprintf
+           "thinwpo: modeled speedup at 4 workers %.2fx is below the %.1fx bar"
+           (modeled 4) bar)
+    else
+      Printf.printf "modeled speedup at 4 workers %.2fx clears the %.1fx bar\n"
+        (modeled 4) bar
+  | None -> ()
+
+let thinwpo () =
+  thinwpo_impl ~profile:Workload.Appgen.small ~mult:10
+    ~workers_list:[ 1; 2; 4; 8 ] ~min_speedup:(Some 2.5) ()
+
+(* CI smoke: a 2x app and a two-point sweep, identity and size assertions
+   only — small enough for every push. *)
+let thinwpo_smoke () =
+  thinwpo_impl ~profile:Workload.Appgen.small ~mult:2 ~workers_list:[ 1; 2 ]
+    ~min_speedup:None ()
+
 (* -------------------------------------------------------- layout bench *)
 
 (* Profile-guided layout comparison: Append vs caller-affinity vs the
@@ -1027,6 +1171,8 @@ let experiments =
     ("table4", table4);
     ("buildtime", buildtime);
     ("outline_bench", outline_bench);
+    ("thinwpo", thinwpo);
+    ("thinwpo_smoke", thinwpo_smoke);
     ("layout_bench", layout_bench);
     ("layout_bench_small", layout_bench_small);
     ("apps", apps);

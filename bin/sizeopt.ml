@@ -231,8 +231,15 @@ let build_cmd =
   in
   let week = Arg.(value & opt int 0 & info [ "week" ] ~docv:"W") in
   let mode =
-    Arg.(value & opt string "wp" & info [ "mode" ] ~docv:"wp|pm"
-           ~doc:"Whole-program or per-module pipeline.")
+    Arg.(value & opt string "wp" & info [ "mode" ] ~docv:"wp|pm|thin"
+           ~doc:"Whole-program, per-module, or thin (sharded parallel \
+                 whole-program) pipeline.")
+  in
+  let workers =
+    Arg.(value & opt int 0
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Worker domains for --mode thin (0 auto-detects the \
+                   machine's recommended domain count).")
   in
   let rounds =
     Arg.(value & opt int 5 & info [ "rounds"; "outline-repeat-count" ] ~docv:"N")
@@ -292,8 +299,8 @@ let build_cmd =
              ~doc:"Stop applying passes (and individual outline rounds) \
                    after N steps, and print the step table.")
   in
-  let run dir app week mode rounds engine profile layout profile_in passes
-      verify_each print_after print_after_all bisect_limit =
+  let run dir app week mode workers rounds engine profile layout profile_in
+      passes verify_each print_after print_after_all bisect_limit =
     let sources =
       match (app, dir) with
       | Some name, _ ->
@@ -313,8 +320,9 @@ let build_cmd =
       match mode with
       | "wp" -> Pipeline.Whole_program
       | "pm" -> Pipeline.Per_module
+      | "thin" -> Pipeline.Thin_wpo { workers }
       | other ->
-        prerr_endline ("unknown mode " ^ other ^ " (want wp or pm)");
+        prerr_endline ("unknown mode " ^ other ^ " (want wp, pm or thin)");
         exit 1
     in
     let outline_engine =
@@ -397,7 +405,7 @@ let build_cmd =
          "Run the full pipeline over a module directory or synthetic app, \
           reporting sizes, phase timings and (with --profile) the per-round \
           outliner phase split.")
-    Term.(const run $ dir $ app_arg $ week $ mode $ rounds $ engine
+    Term.(const run $ dir $ app_arg $ week $ mode $ workers $ rounds $ engine
           $ profile_flag $ layout_arg $ profile_in $ passes_arg $ verify_each
           $ print_after $ print_after_all $ bisect_arg)
 

@@ -23,6 +23,7 @@ type t = {
   strategy : strategy;
   sites : site list;
   needs_lr_frame : bool;
+  touches_sp : bool;
 }
 
 let site_cost_bytes = function

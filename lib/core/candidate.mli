@@ -48,6 +48,12 @@ type t = {
       (** the body performs a call before its end, so the outlined function
           must spill LR around its body (adds 8 bytes); only legal for
           SP-free bodies *)
+  touches_sp : bool;
+      (** the body is SP-relevant (directly, or through a call to an
+          outlined frame fragment): the outlined function is not an
+          SP-neutral callee, which forbids LR-spilling call sites and — in
+          thin-WPO — must travel in the module summary so other shards
+          treat cross-shard calls to it correctly *)
 }
 
 val site_cost_bytes : site_call -> int

@@ -85,7 +85,7 @@ let fold_pruned occs len f acc =
    function.  Strategies that spill LR around such a call would reload from
    the wrong slot.  Compute, transitively, which outlined functions a call
    must be treated as SP-modifying. *)
-let sp_unsafe_callees (p : Program.t) =
+let sp_unsafe_callees ?(extern = fun _ -> false) (p : Program.t) =
   let unsafe : (string, unit) Hashtbl.t = Hashtbl.create 64 in
   let outlined =
     List.filter (fun (f : Mfunc.t) -> f.is_outlined) p.funcs
@@ -114,13 +114,17 @@ let sp_unsafe_callees (p : Program.t) =
     List.iter
       (fun (f : Mfunc.t) ->
         if not (Hashtbl.mem unsafe f.name) then
-          if List.exists (Hashtbl.mem unsafe) (body_calls f) then begin
+          if
+            List.exists
+              (fun callee -> Hashtbl.mem unsafe callee || extern callee)
+              (body_calls f)
+          then begin
             Hashtbl.replace unsafe f.name ();
             changed := true
           end)
       outlined
   done;
-  fun name -> Hashtbl.mem unsafe name
+  fun name -> Hashtbl.mem unsafe name || extern name
 
 (* Per-point LR liveness, memoized per sequence id.  All occurrences of a
    sequence share one block, so the label-keyed table lookup inside
@@ -142,10 +146,16 @@ let lr_live_memo metas liveness_of =
     in
     Regset.mem Reg.lr arr.(pos)
 
-let candidate_of_repeat options ~callee_sp_unsafe metas lr_live
+(* [lax] is thin-WPO's discovery mode: keep singleton occurrence lists and
+   skip the local site-count and profitability bars.  A pattern seen once
+   (or unprofitably often) in this shard may be seen in ten others — the
+   global decision round applies the same two filters to the {e summed}
+   counts instead. *)
+let candidate_of_repeat ?(lax = false) options ~callee_sp_unsafe metas lr_live
     (r : Sufftree.Suffix_tree.repeat) : Candidate.t option =
   match r.occs with
-  | [] | [ _ ] -> None
+  | [] -> None
+  | [ _ ] when not lax -> None
   (* Pruning always keeps the first occurrence, so [first] is the head of
      the pruned walk too. *)
   | first :: _ ->
@@ -216,11 +226,13 @@ let candidate_of_repeat options ~callee_sp_unsafe metas lr_live
             | Some Candidate.Call_save_lr -> incr n_save
             | None -> ())
           ();
-        if !n_free + !n_save < 2 then None
+        if !n_free + !n_save = 0 then None
         else if
-          Cost_model.benefit_of_counts strategy ~needs_lr_frame
-            ~pattern_len:r.length ~n_free:!n_free ~n_save:!n_save
-          < 1
+          (not lax)
+          && (!n_free + !n_save < 2
+             || Cost_model.benefit_of_counts strategy ~needs_lr_frame
+                  ~pattern_len:r.length ~n_free:!n_free ~n_save:!n_save
+                < 1)
         then None
         else
           let rev_sites =
@@ -244,10 +256,19 @@ let candidate_of_repeat options ~callee_sp_unsafe metas lr_live
           in
           let sites = List.rev rev_sites in
           let insns = Array.to_list (Array.sub body first.pos insn_len) in
-          Some { Candidate.insns; length = r.length; strategy; sites; needs_lr_frame }
+          Some
+            {
+              Candidate.insns;
+              length = r.length;
+              strategy;
+              sites;
+              needs_lr_frame;
+              touches_sp;
+            }
     end
 
-let enumerate ?min_length ?(options = default_options) (p : Program.t) =
+let enumerate ?min_length ?(options = default_options) ?(all = false)
+    ?extern_sp_unsafe ?pool (p : Program.t) =
   let min_length =
     match min_length with Some m -> m | None -> options.min_length
   in
@@ -264,15 +285,87 @@ let enumerate ?min_length ?(options = default_options) (p : Program.t) =
         Hashtbl.replace liveness_cache f.name lv;
         lv
     in
-    let tree = Sufftree.Suffix_tree.build seqs in
-    let reps = Sufftree.Suffix_tree.repeats ~min_length tree in
-    let callee_sp_unsafe = sp_unsafe_callees p in
+    let reps =
+      match pool with
+      | None ->
+        let tree = Sufftree.Suffix_tree.build seqs in
+        Sufftree.Suffix_tree.repeats ~min_length tree
+      | Some pool ->
+        let tree = Sufftree.Arena_tree.build ~pool seqs in
+        Sufftree.Arena_tree.repeats ~min_length tree
+    in
+    let callee_sp_unsafe = sp_unsafe_callees ?extern:extern_sp_unsafe p in
     ignore imap;
     let lr_live = lr_live_memo metas liveness_of in
     List.filter_map
-      (candidate_of_repeat options ~callee_sp_unsafe metas lr_live)
+      (candidate_of_repeat ~lax:all options ~callee_sp_unsafe metas lr_live)
       reps
   end
+
+let probe_windows ?(options = default_options) ?extern_sp_unsafe ~lengths
+    (p : Program.t) =
+  match
+    List.sort_uniq Int.compare (List.filter (fun l -> l >= 2) lengths)
+  with
+  | [] -> []
+  | lengths ->
+    let imap = Instr_map.create () in
+    let seqs, metas = build_sequences imap p in
+    if seqs = [] then []
+    else begin
+      let liveness_cache : (string, Liveness.t) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      let liveness_of (f : Mfunc.t) =
+        match Hashtbl.find_opt liveness_cache f.name with
+        | Some lv -> lv
+        | None ->
+          let lv = Liveness.compute f in
+          Hashtbl.replace liveness_cache f.name lv;
+          lv
+      in
+      let callee_sp_unsafe = sp_unsafe_callees ?extern:extern_sp_unsafe p in
+      let lr_live = lr_live_memo metas liveness_of in
+      let out = ref [] in
+      Array.iteri
+        (fun s (m : seq_meta) ->
+          let body = m.sm_block.Block.body in
+          let n = Array.length body in
+          let seq_len = n + if m.sm_has_ret then 1 else 0 in
+          (* The suffix-tree path enforces per-instruction legality through
+             the alphabet — illegal instructions get unique symbols and can
+             never be part of a repeat.  Raw windows see the body directly,
+             so the same rule must be applied by hand: [bad.(i)] counts
+             illegal instructions in [body[0..i)], and any window touching
+             one is skipped.  The virtual ret slot at [n] is always legal. *)
+          let bad = Array.make (n + 1) 0 in
+          for i = 0 to n - 1 do
+            bad.(i + 1) <-
+              bad.(i)
+              + (match Legality.classify body.(i) with
+                | Legality.Illegal -> 1
+                | Legality.Legal -> 0)
+          done;
+          List.iter
+            (fun len ->
+              for pos = 0 to seq_len - len do
+                let hi = min (pos + len) n in
+                if bad.(hi) - bad.(pos) = 0 then
+                  match
+                    candidate_of_repeat ~lax:true options ~callee_sp_unsafe
+                      metas lr_live
+                      {
+                        Sufftree.Suffix_tree.length = len;
+                        occs = [ { Sufftree.Suffix_tree.seq = s; pos } ];
+                      }
+                  with
+                  | Some c -> out := c :: !out
+                  | None -> ()
+              done)
+            lengths)
+        metas;
+      List.rev !out
+    end
 
 (* --- Greedy selection order ------------------------------------------- *)
 
@@ -496,6 +589,151 @@ let select_and_rewrite options (metas : seq_meta array) sorted (p : Program.t) =
     }
   in
   (p', !stats, dirty)
+
+(* --- Decision-table application (thin-WPO phase 3) ---------------------- *)
+
+(* Thin-WPO decides globally but rewrites per shard: the serial decision
+   round hands every shard the same ranked assignment list, and each shard
+   applies the assignments that name candidates it discovered locally.  The
+   greedy overlap resolution is the same as [select_and_rewrite]'s, but the
+   priority order and the outlined-symbol names are fixed by the caller
+   (they come from the decision table, so they are identical whatever the
+   worker count), and profitability is *not* re-checked against the
+   locally surviving sites: the global decision is optimistic — other
+   shards have already been rewritten against it, and the host must emit
+   the body even if every local site was lost to overlap. *)
+
+type assignment = {
+  asg_cand : Candidate.t;
+  asg_name : string;        (** decision-table symbol, stable across workers *)
+  asg_rank : int;           (** global priority order of the decision *)
+  asg_host : string option; (** [Some m]: this shard emits the body, with
+                                [from_module = m] *)
+}
+
+(* Occupancy per (func, block label): thin-WPO phases work without the
+   sequence table that [select_and_rewrite]'s int-indexed occupancy needs,
+   and per-round site counts are small enough for string-keyed probes. *)
+let make_occupancy (p : Program.t) =
+  let block_len : (string * string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Mfunc.t) ->
+      List.iter
+        (fun (b : Block.t) ->
+          Hashtbl.replace block_len (f.name, b.Block.label)
+            (Array.length b.body))
+        f.blocks)
+    p.funcs;
+  let consumed : (string * string, bool array) Hashtbl.t = Hashtbl.create 64 in
+  let slots (s : Candidate.site) =
+    let key = (s.Candidate.func, s.Candidate.block) in
+    match Hashtbl.find_opt consumed key with
+    | Some a -> a
+    | None ->
+      let n =
+        match Hashtbl.find_opt block_len key with Some n -> n | None -> 0
+      in
+      let a = Array.make (n + 1) false in
+      Hashtbl.replace consumed key a;
+      a
+  in
+  let site_hi (s : Candidate.site) =
+    if s.with_ret then s.start + s.len else s.start + s.len - 1
+  in
+  let site_free (s : Candidate.site) =
+    let a = slots s in
+    let free = ref true in
+    for i = s.start to site_hi s do
+      if a.(i) then free := false
+    done;
+    !free
+  in
+  let site_take (s : Candidate.site) =
+    let a = slots s in
+    for i = s.start to site_hi s do
+      a.(i) <- true
+    done
+  in
+  (site_free, site_take)
+
+let apply_assignments (p : Program.t) (assignments : assignment list) =
+  let site_free, site_take = make_occupancy p in
+  let func_plans : (string, (string * plan_entry list) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let add_plan (s : Candidate.site) name =
+    let cell =
+      match Hashtbl.find_opt func_plans s.Candidate.func with
+      | Some c -> c
+      | None ->
+        let c = ref [] in
+        Hashtbl.replace func_plans s.Candidate.func c;
+        c
+    in
+    let entry = { pe_site = s; pe_name = name } in
+    match List.assoc_opt s.Candidate.block !cell with
+    | Some _ ->
+      cell :=
+        List.map
+          (fun (label, entries) ->
+            if label = s.Candidate.block then (label, entry :: entries)
+            else (label, entries))
+          !cell
+    | None -> cell := (s.Candidate.block, [ entry ]) :: !cell
+  in
+  let hosted = ref [] in
+  let stats =
+    ref
+      {
+        sequences_outlined = 0;
+        functions_created = 0;
+        outlined_bytes = 0;
+        bytes_saved = 0;
+      }
+  in
+  List.iter
+    (fun a ->
+      let c = a.asg_cand in
+      let sites = List.filter site_free c.Candidate.sites in
+      List.iter site_take sites;
+      List.iter (fun s -> add_plan s a.asg_name) sites;
+      let site_gain =
+        List.fold_left
+          (fun acc (s : Candidate.site) ->
+            acc + Candidate.pattern_bytes c - Candidate.site_cost_bytes s.call)
+          0 sites
+      in
+      let hosted_bytes =
+        match a.asg_host with
+        | None -> 0
+        | Some from_module ->
+          let f = make_outlined_function ~name:a.asg_name ~from_module c in
+          hosted := (a.asg_rank, f) :: !hosted;
+          Mfunc.size_bytes f
+      in
+      stats :=
+        {
+          sequences_outlined = !stats.sequences_outlined + List.length sites;
+          functions_created =
+            (!stats.functions_created
+            + match a.asg_host with Some _ -> 1 | None -> 0);
+          outlined_bytes = !stats.outlined_bytes + hosted_bytes;
+          bytes_saved = !stats.bytes_saved + site_gain - hosted_bytes;
+        })
+    assignments;
+  let rewrite_func (f : Mfunc.t) =
+    match Hashtbl.find_opt func_plans f.name with
+    | None -> f
+    | Some blocks ->
+      Mfunc.map_blocks
+        (fun b ->
+          match List.assoc_opt b.Block.label !blocks with
+          | None -> b
+          | Some entries -> rewrite_block entries b)
+        f
+  in
+  let p' = Program.replace_funcs p (List.map rewrite_func p.funcs) in
+  (p', List.rev !hosted, !stats)
 
 (* --- Per-phase timing hooks -------------------------------------------- *)
 

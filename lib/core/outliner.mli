@@ -36,10 +36,78 @@ type dirty = {
   dirty_new_funcs : string list;  (** outlined functions the round created *)
 }
 
-val enumerate : ?min_length:int -> ?options:options -> Machine.Program.t -> Candidate.t list
+val enumerate :
+  ?min_length:int ->
+  ?options:options ->
+  ?all:bool ->
+  ?extern_sp_unsafe:(string -> bool) ->
+  ?pool:Sufftree.Arena_tree.pool ->
+  Machine.Program.t ->
+  Candidate.t list
 (** All legal candidates with their sites and strategies, self-overlaps
     pruned, unsorted, not yet filtered for profitability.  Shared with the
-    statistics pass of §IV. *)
+    statistics pass of §IV and with thin-WPO's per-shard discovery:
+    [all] keeps candidates whose {e local} counts fall below the site or
+    profitability bars (thin-WPO filters on globally summed counts
+    instead), [extern_sp_unsafe] extends the SP-unsafe-callee analysis to
+    symbols defined outside [p] (outlined frame fragments hosted in other
+    shards), and [pool] switches the suffix tree to the arena
+    implementation so a worker can recycle its backing store across the
+    shards it processes. *)
+
+val probe_windows :
+  ?options:options ->
+  ?extern_sp_unsafe:(string -> bool) ->
+  lengths:int list ->
+  Machine.Program.t ->
+  Candidate.t list
+(** Every legal single-site candidate over every instruction window of the
+    given lengths — thin-WPO's answer to patterns this shard contains only
+    {e once}: the suffix tree reports local repeats only, so after the
+    provisional global ranking a shard probes its own windows for
+    advertised pattern lengths and matches them to foreign discoveries by
+    content hash.  No filtering beyond legality; the caller intersects the
+    result with the hashes it wants. *)
+
+val sp_unsafe_callees :
+  ?extern:(string -> bool) -> Machine.Program.t -> string -> bool
+(** Which function symbols a call must treat as SP-modifying: outlined
+    frame fragments (bodies with unbalanced SP effects), transitively
+    through calls, seeded with the [extern] facts for callees not defined
+    in [p]. *)
+
+val make_occupancy :
+  Machine.Program.t ->
+  (Candidate.site -> bool) * (Candidate.site -> unit)
+(** [(site_free, site_take)] over lazily allocated per-block slot arrays —
+    the greedy overlap-resolution primitive shared by thin-WPO's ranked
+    local site assignment (phase 2's parallel step) and
+    {!apply_assignments}.  The serial selector keeps its faster
+    int-indexed variant, which needs the sequence table thin-WPO shards
+    don't build. *)
+
+type assignment = {
+  asg_cand : Candidate.t;
+  asg_name : string;        (** decision-table symbol, stable across workers *)
+  asg_rank : int;           (** global priority order of the decision *)
+  asg_host : string option;
+      (** [Some m]: this shard emits the outlined body, [from_module = m] *)
+}
+
+val apply_assignments :
+  Machine.Program.t ->
+  assignment list ->
+  Machine.Program.t * (int * Machine.Mfunc.t) list * round_stats
+(** Thin-WPO phase 3: rewrite one shard against a globally decided,
+    rank-ordered assignment list.  Sites lost to overlap with
+    higher-ranked assignments are skipped (same greedy occupancy rule as
+    the serial selector), profitability is {e not} re-checked — the global
+    decision is optimistic and other shards already depend on it — and the
+    host emits the outlined body unconditionally.  Returns the rewritten
+    shard (nothing appended), the hosted functions tagged with their rank
+    so the caller can append them in one deterministic global order, and
+    the shard's stats ([bytes_saved] nets each hosted body against the
+    shard's own site gains, so summing across shards is exact). *)
 
 val run_round :
   ?profile:Profile.t ->

@@ -146,6 +146,75 @@ let fault_phase ?(log = null_log) ~seed ~salt ~flag ~fault_name
                   shrink)"
                  fault_name)))
 
+(* The thin-WPO fault needs front-end programs (the engine shards by
+   module) and dies in the thin differentials, so its phase generates
+   Swiftlet programs and checks only the thin slice of the lattice —
+   [Lattice.check_thin] — both while hunting and while shrinking; a full
+   lattice sweep per deletion attempt would dominate the self-test. *)
+let swiftlet_fault_phase ?(log = null_log) ~seed ~salt ~flag ~fault_name
+    ~max_reproducer_lines () =
+  let max_attempts = 100 in
+  flag := true;
+  Fun.protect
+    ~finally:(fun () -> flag := false)
+    (fun () ->
+      let found = ref None in
+      let attempt = ref 0 in
+      while !found = None && !attempt < max_attempts do
+        let index = !attempt in
+        let st = rng_for ~seed:(seed + salt) ~index in
+        let p = Swiftgen.generate st ~fuel:10 in
+        (match Lattice.check_thin p with
+        | Lattice.Fail f ->
+          log
+            (Printf.sprintf
+               "injected %s bug caught on attempt %d at %s; shrinking..."
+               fault_name index f.point);
+          found := Some (p, f)
+        | Lattice.Pass _ | Lattice.Skip _ -> ());
+        incr attempt
+      done;
+      match !found with
+      | None ->
+        Error
+          (Printf.sprintf
+             "self-test: the injected %s bug was NOT caught in %d random \
+              Swiftlet programs"
+             fault_name max_attempts)
+      | Some (p, f) -> (
+        (* Each thin check builds the program seven times, so a full
+           400-check shrink budget would cost minutes; 150 checks reaches
+           the same one-screen reproducer on tiny fuel-10 programs. *)
+        let p', f' =
+          Shrink.swiftlet_against ~max_checks:150 ~check:Lattice.check_thin p f
+        in
+        let lines = Swiftgen.source_lines p' in
+        if lines > max_reproducer_lines then
+          Error
+            (Printf.sprintf
+               "self-test: %s reproducer still %d lines after shrinking \
+                (want <= %d)\n--- program ---\n%s"
+               fault_name lines max_reproducer_lines
+               (Swiftgen.print_source p'))
+        else
+          match Lattice.check_thin p' with
+          | Lattice.Fail _ ->
+            Ok
+              (Printf.sprintf
+                 "injected %s bug caught and shrunk to %d lines\n\
+                  offending point: %s\n\
+                  %s\n\
+                  --- reproducer ---\n\
+                  %s"
+                 fault_name lines f'.point f'.reason
+                 (Swiftgen.print_source p'))
+          | _ ->
+            Error
+              (Printf.sprintf
+                 "self-test: shrunk %s reproducer no longer fails (unsound \
+                  shrink)"
+                 fault_name)))
+
 let self_test ?(log = null_log) ~seed () =
   (* Phase 1: the LR-legality fault — execution-oracle divergence. *)
   match
@@ -164,4 +233,15 @@ let self_test ?(log = null_log) ~seed () =
         ~fault_name:"stale-dirty-set" ~max_reproducer_lines:40 ()
     with
     | Error _ as e -> e
-    | Ok report2 -> Ok (report1 ^ "\n\n" ^ report2))
+    | Ok report2 -> (
+      (* Phase 3: truncate thin-WPO's summary content hashes to six bits
+         so unrelated patterns collide in the global decision table and
+         shards rewrite call sites against the wrong hosted body; the
+         thin lattice differentials must catch the corruption. *)
+      match
+        swiftlet_fault_phase ~log ~seed ~salt:224737
+          ~flag:Thinwpo.Summary.fault_truncate_hash
+          ~fault_name:"summary-hash-truncation" ~max_reproducer_lines:60 ()
+      with
+      | Error _ as e -> e
+      | Ok report3 -> Ok (report1 ^ "\n\n" ^ report2 ^ "\n\n" ^ report3)))

@@ -28,7 +28,10 @@ val self_test : ?log:(string -> unit) -> seed:int -> unit -> (string, string) re
     programs until the corrupted-LR divergence appears, then flip
     {!Outcore.Outliner.fault_skip_invalidation} so the incremental engine
     keeps stale dirty-block caches and require the incremental-vs-scratch
-    differential to flag the divergence.  Each failure is shrunk and must
-    fit in a small reproducer.  [Ok report] carries both shrunk
-    reproducers; [Error] means the harness failed to catch or shrink a
-    bug. *)
+    differential to flag the divergence, then flip
+    {!Thinwpo.Summary.fault_truncate_hash} so thin-WPO's decision table
+    merges colliding patterns and require the thin lattice differentials
+    ({!Lattice.check_thin}) to flag the corrupted rewrite.  Each failure
+    is shrunk and must fit in a small reproducer.  [Ok report] carries
+    all three shrunk reproducers; [Error] means the harness failed to
+    catch or shrink a bug. *)

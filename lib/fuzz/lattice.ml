@@ -55,6 +55,18 @@ let points base =
       modes
   in
   let wp3 = { base with Pipeline.mode = Whole_program; outline_rounds = 3 } in
+  let thin_axes =
+    (* Thin-WPO config points: the sharded summary-exchange engine must
+       agree with the reference oracle at every worker count.  The
+       byte-identity across these points and the size bound against the
+       full whole-program build are checked by [thin_differential]. *)
+    List.map
+      (fun w ->
+        ( Printf.sprintf "thin/r3/w%d" w,
+          { base with Pipeline.mode = Thin_wpo { workers = w }; outline_rounds = 3 }
+        ))
+      [ 1; 2; 4 ]
+  in
   let link_axes =
     [
       ("wp/r3/legacy-flags", { wp3 with Pipeline.flag_semantics = Link.Legacy });
@@ -80,7 +92,7 @@ let points base =
         { wp3 with Pipeline.outline_engine = `Scratch } );
     ]
   in
-  main @ link_axes
+  main @ link_axes @ thin_axes
 
 (* --- flags ------------------------------------------------------------------ *)
 
@@ -115,6 +127,12 @@ let interp_config =
     model_perf = false;
     max_steps = 20_000_000;
   }
+
+(* Tighter budget for the machine and thin-only checks: generated machine
+   programs and fuel-10 thin reproducers finish in thousands of steps, and
+   fault-corrupted variants routinely loop to whatever cap they get. *)
+let machine_interp_config =
+  { Perfsim.Interp.default_config with model_perf = false; max_steps = 2_000_000 }
 
 (* A Legacy-semantics point over Mixed_compilers modules must die in
    llvm-link with the spurious flag conflict. *)
@@ -193,7 +211,8 @@ let run_spec_twin modules (label, cfg)
           reason = "spec-driven build failed where flags succeeded: " ^ es;
         })
 
-let run_point modules (label, cfg) ~style ~ref_exit ~ref_output =
+let run_point ?(interp = interp_config) modules (label, cfg) ~style ~ref_exit
+    ~ref_output =
   let flag_result = Pipeline.build ~config:cfg modules in
   match run_spec_twin modules (label, cfg) flag_result with
   | Error f -> Error f
@@ -225,7 +244,7 @@ let run_point modules (label, cfg) ~style ~ref_exit ~ref_output =
          a broken profile-guided order would surface here as a bad jump
          or divergence. *)
       match
-        Perfsim.Interp.run ~config:interp_config ?order:res.function_order
+        Perfsim.Interp.run ~config:interp ?order:res.function_order
           ~entry:"main" res.program
       with
       | Error e ->
@@ -353,6 +372,49 @@ let transition_differential modules =
   | Some f -> Some f
   | None -> one "transition/pm-default" Pipeline.default_ios_config
 
+(* The thin-WPO differentials.  Two properties ride on the thin points:
+
+   - the worker count must never reach the image: every [thin/*] point
+     builds a byte-identical program (ThinLTO's determinism contract,
+     and the property a corrupted decision table breaks first);
+   - the optimistic summary join must stay close to the full
+     whole-program oracle — summaries carry counts, not bodies, so exact
+     equality is not the contract, but a thin image more than 5% + 256
+     bytes past the wp/r3 image means the exchange lost real patterns. *)
+let thin_size_slack full = (full * 5 / 100) + 256
+
+let thin_differential thins full_wpo =
+  match thins with
+  | [] -> None
+  | (l0, src0, sz0) :: rest -> (
+    match List.find_opt (fun (_, src, _) -> src <> src0) rest with
+    | Some (l, _, _) ->
+      Some
+        {
+          point = l;
+          reason =
+            Printf.sprintf
+              "thin-WPO output depends on the worker count: %s and %s built \
+               different programs"
+              l0 l;
+        }
+    | None -> (
+      match full_wpo with
+      | None -> None
+      | Some full ->
+        let bound = full + thin_size_slack full in
+        if sz0 > bound then
+          Some
+            {
+              point = l0;
+              reason =
+                Printf.sprintf
+                  "thin-WPO image strayed too far from full whole-program: \
+                   %d bytes vs %d (bound %d)"
+                  sz0 full bound;
+            }
+        else None))
+
 let check ?(verify_each = false) (p : Swiftgen.program) =
   match Swiftlet.Compile.compile_program (Swiftgen.to_sources p) with
   | Error msg -> Skip ("front-end: " ^ msg)
@@ -373,6 +435,8 @@ let check ?(verify_each = false) (p : Swiftgen.program) =
         in
         let failure = ref (transition_differential modules) in
         let sizes = ref [] in
+        let thins = ref [] in
+        let full_wpo = ref None in
         List.iter
           (fun ((label, cfg) as pt) ->
             if !failure = None then
@@ -384,21 +448,107 @@ let check ?(verify_each = false) (p : Swiftgen.program) =
               | Ok (Some res) ->
                 sizes :=
                   (label, cfg, cfg.Pipeline.outline_rounds, res.binary_size)
-                  :: !sizes)
+                  :: !sizes;
+                if label = "wp/r3/plain" then
+                  full_wpo := Some res.binary_size;
+                (match cfg.Pipeline.mode with
+                | Pipeline.Thin_wpo _ ->
+                  thins :=
+                    ( label,
+                      Machine.Asm_printer.to_source res.Pipeline.program,
+                      res.binary_size )
+                    :: !thins
+                | _ -> ()))
           pts;
         match !failure with
         | Some f -> Fail f
         | None -> (
           match check_monotone (List.rev !sizes) with
           | Some f -> Fail f
-          (* every point also ran its /spec twin, plus the two
-             transition-differential points *)
+          | None -> (
+            match thin_differential (List.rev !thins) !full_wpo with
+            | Some f -> Fail f
+            (* every point also ran its /spec twin, plus the two
+               transition-differential points and the two thin-WPO
+               differentials *)
+            | None -> Pass ((2 * List.length pts) + 4))))))
+
+(* The thin-only check: reference oracle, the three thin points (spec
+   twins included), and both thin differentials — nothing else.  This is
+   what the self-test's fault phase and its shrink loop run: a full
+   [check] sweeps fifty-odd points per program, which the greedy shrinker
+   would multiply by hundreds of deletion attempts. *)
+let check_thin (p : Swiftgen.program) =
+  match Swiftlet.Compile.compile_program (Swiftgen.to_sources p) with
+  | Error msg -> Skip ("front-end: " ^ msg)
+  | Ok modules -> (
+    let modules = attach_flags p.flag_style modules in
+    match
+      Link.link ~flag_semantics:Link.Attributes
+        ~data_order:Link.Module_preserving ~name:"whole" modules
+    with
+    | Error e -> Skip ("reference link: " ^ Link.error_to_string e)
+    | Ok whole -> (
+      match Eval.run ~max_steps:5_000_000 ~entry:"main" whole with
+      | Error e -> Skip ("reference eval: " ^ Eval.error_to_string e)
+      | Ok ref_res -> (
+        let ref_exit = ref_res.exit_value and ref_output = ref_res.output in
+        let pts =
+          List.filter
+            (fun (_, (cfg : Pipeline.config)) ->
+              match cfg.Pipeline.mode with
+              | Pipeline.Thin_wpo _ -> true
+              | _ -> false)
+            (points Pipeline.default_config)
+        in
+        let wp3 =
+          match
+            Pipeline.build
+              ~config:
+                {
+                  Pipeline.default_config with
+                  Pipeline.mode = Whole_program;
+                  outline_rounds = 3;
+                  flag_semantics = Link.Attributes;
+                  data_order = Link.Module_preserving;
+                  outlined_layout = `Append;
+                  layout_profile = None;
+                }
+              modules
+          with
+          | Ok res -> Some res.Pipeline.binary_size
+          | Error _ -> None
+        in
+        let failure = ref None in
+        let thins = ref [] in
+        List.iter
+          (fun ((label, _) as pt) ->
+            if !failure = None then
+              (* The corrupted programs this check hunts often loop until
+                 the step budget; the full 20M-step allowance would make
+                 the shrink loop crawl, and honest fuel-10 programs finish
+                 within the machine check's 2M budget anyway. *)
+              match
+                run_point ~interp:machine_interp_config modules pt
+                  ~style:p.flag_style ~ref_exit ~ref_output
+              with
+              | Error f -> failure := Some f
+              | Ok None -> ()
+              | Ok (Some res) ->
+                thins :=
+                  ( label,
+                    Machine.Asm_printer.to_source res.Pipeline.program,
+                    res.binary_size )
+                  :: !thins)
+          pts;
+        match !failure with
+        | Some f -> Fail f
+        | None -> (
+          match thin_differential (List.rev !thins) wp3 with
+          | Some f -> Fail f
           | None -> Pass ((2 * List.length pts) + 2)))))
 
 (* --- the machine check ------------------------------------------------------- *)
-
-let machine_interp_config =
-  { Perfsim.Interp.default_config with model_perf = false; max_steps = 2_000_000 }
 
 let machine_points = [ ("r1", 1, false); ("r3", 3, false); ("r5", 5, false);
                        ("canon-r3", 3, true) ]

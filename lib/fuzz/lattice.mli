@@ -15,6 +15,13 @@
     with a module-flag conflict there (and only there) — reproducing the
     §VI-2 spurious-conflict behaviour is part of the oracle.
 
+    Thin-WPO rides on the same lattice: three [thin/r3/wN] points
+    (workers 1, 2 and 4) run the sharded summary-exchange pipeline
+    through the oracle, and two dedicated differentials check that the
+    worker count never reaches the image (byte-identity across the three
+    points) and that the thin image stays within a fixed bound of the
+    full whole-program build (5% + 256 bytes of wp/r3).
+
     Two pass-manager differentials ride on every checked program:
     - each config point has a [/spec] twin whose config is the point's
       pipeline spec printed and parsed back ([Pipeline.spec_of_config] →
@@ -48,6 +55,13 @@ val check : ?verify_each:bool -> Swiftgen.program -> verdict
     the transition differential included).  [verify_each] additionally
     runs the stage invariants after every pass application at every
     point ([sizeopt fuzz --verify-each], the CI smoke configuration). *)
+
+val check_thin : Swiftgen.program -> verdict
+(** The thin-WPO slice of {!check}: reference oracle, the three
+    [thin/r3/wN] points with their spec twins, and the two thin
+    differentials — nothing else.  Cheap enough for the self-test's
+    fault-injection loop, where the shrinker re-checks the program
+    after every deletion attempt. *)
 
 val check_machine : Machine.Program.t -> verdict
 (** Direct outliner stress for generated machine programs: the

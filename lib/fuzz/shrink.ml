@@ -27,9 +27,9 @@ let fixpoint ~max_checks ~candidates ~still_fails p0 f0 =
 
 (* --- Swiftlet -------------------------------------------------------------- *)
 
-let swiftlet ?(max_checks = 400) ?(verify_each = false) p f0 =
+let swiftlet_against ?(max_checks = 400) ~check p f0 =
   let still_fails q =
-    match Lattice.check ~verify_each q with
+    match check q with
     | Lattice.Fail f -> Some f
     | _ -> None
   in
@@ -42,6 +42,9 @@ let swiftlet ?(max_checks = 400) ?(verify_each = false) p f0 =
         Swiftgen.delete_node q (Swiftgen.count_nodes q - 1 - i))
   in
   fixpoint ~max_checks ~candidates ~still_fails p f0
+
+let swiftlet ?max_checks ?(verify_each = false) p f0 =
+  swiftlet_against ?max_checks ~check:(Lattice.check ~verify_each) p f0
 
 (* --- machine --------------------------------------------------------------- *)
 

@@ -18,6 +18,17 @@ val swiftlet :
     still-failing program with its (possibly different) failure.
     [verify_each] must match the flag the failure was found under. *)
 
+val swiftlet_against :
+  ?max_checks:int ->
+  check:(Swiftgen.program -> Lattice.verdict) ->
+  Swiftgen.program ->
+  Lattice.failure ->
+  Swiftgen.program * Lattice.failure
+(** {!swiftlet} against an arbitrary check — the self-test shrinks its
+    thin-WPO fault reproducer against {!Lattice.check_thin}, which is two
+    orders of magnitude cheaper per deletion attempt than the full
+    lattice sweep. *)
+
 val machine :
   ?max_checks:int ->
   Machine.Program.t ->

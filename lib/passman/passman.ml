@@ -146,6 +146,9 @@ type ctx = {
   cx_dump : string -> string -> unit;
   mutable cx_counter : int;          (* bisect steps counted so far *)
   mutable cx_rev_steps : step list;
+  cx_forked : (string * string) list ref option;
+      (* a forked shard context buffers its print-after dumps here so the
+         parent can replay them in shard order at [join] *)
 }
 
 let default_dump label text =
@@ -162,7 +165,50 @@ let create_ctx ?(verify_each = false) ?(print_after = `Never) ?bisect_limit
     cx_dump = dump;
     cx_counter = 0;
     cx_rev_steps = [];
+    cx_forked = None;
   }
+
+(* --- sharded contexts (thin-WPO's parallel per-module phase) --------------- *)
+
+(* Bisect-step numbering must be a function of the pipeline alone, not of
+   domain scheduling, so a parallel phase cannot share the parent's mutable
+   counter.  Instead each shard forks a context whose counter starts at a
+   precomputed offset ([reserved_steps] per preceding shard); the parent
+   then joins the shards in deterministic order, appending their step logs
+   and replaying their buffered dumps, and advances its own counter by the
+   whole reservation — whether or not the shards used every reserved step
+   (a self-gated pass that stops early leaves its remaining step numbers
+   unused, exactly like a skipped round under a bisect limit). *)
+
+let reserved_steps specs =
+  List.fold_left
+    (fun acc sp ->
+      acc
+      +
+      match sp.sp_name with
+      | "outline" | "thin-outline" -> int_param sp "rounds" ~default:5
+      | _ -> 1)
+    0 specs
+
+let fork ctx ~offset =
+  let buf = ref [] in
+  {
+    ctx with
+    cx_dump = (fun label text -> buf := (label, text) :: !buf);
+    cx_counter = ctx.cx_counter + offset;
+    cx_rev_steps = [];
+    cx_forked = Some buf;
+  }
+
+let join ctx ~advance children =
+  List.iter
+    (fun child ->
+      (match child.cx_forked with
+      | Some buf -> List.iter (fun (l, t) -> ctx.cx_dump l t) (List.rev !buf)
+      | None -> ());
+      ctx.cx_rev_steps <- child.cx_rev_steps @ ctx.cx_rev_steps)
+    children;
+  ctx.cx_counter <- ctx.cx_counter + advance
 
 let gate ctx ~pass:_ ~detail:_ =
   ctx.cx_counter <- ctx.cx_counter + 1;
@@ -398,6 +444,8 @@ type machine_env = {
   me_scope : string;
   me_profile : Outcore.Profile.t;
   me_on_stats : Outcore.Outliner.round_stats list -> unit;
+  me_thin_workers : int;
+  me_thin_report : Thinwpo.Engine.Report.t;
 }
 
 (* The repeated outliner as a self-gated pass: every round is one bisect
@@ -497,6 +545,95 @@ let outline_pass env unit_name =
         final);
   }
 
+(* Thin-WPO as a self-gated linked pass: it wants the system-linker-merged
+   program (it re-shards it by originating module itself), and every
+   three-phase round is one bisect step — the serial global decision is the
+   natural gating unit, since cutting inside a round would leave shards
+   rewritten against half a decision table.  Round bookkeeping mirrors
+   [outline_pass]: a round that rewrites nothing ends the repetition with
+   the pre-round program. *)
+let thin_outline_pass env =
+  {
+    p_name = "thin-outline";
+    p_params = [ "workers"; "rounds"; "min" ];
+    p_self_gated = true;
+    p_linked = true;
+    p_run =
+      (fun ctx sp p ->
+        let workers =
+          Thinwpo.Pool.resolve_workers
+            (int_param sp "workers" ~default:env.me_thin_workers)
+        in
+        let rounds = int_param sp "rounds" ~default:5 in
+        let min_length = int_param sp "min" ~default:2 in
+        let facts = Thinwpo.Engine.create_facts () in
+        let stats_acc = ref [] in
+        let rec go round p =
+          if round > rounds then p
+          else begin
+            let detail = Printf.sprintf "round %d" round in
+            if not (gate ctx ~pass:"thin-outline" ~detail) then begin
+              let size = Machine.Program.code_size_bytes p in
+              record ctx
+                {
+                  st_pass = "thin-outline";
+                  st_detail = detail;
+                  st_unit = "";
+                  st_applied = false;
+                  st_seconds = 0.;
+                  st_before = size;
+                  st_after = size;
+                };
+              p
+            end
+            else begin
+              let before = Machine.Program.code_size_bytes p in
+              let t0 = Unix.gettimeofday () in
+              let options =
+                {
+                  Outcore.Outliner.default_options with
+                  round;
+                  min_length;
+                }
+              in
+              let p', stats =
+                Thinwpo.Engine.run_round ~report:env.me_thin_report ~workers
+                  ~facts ~options p
+              in
+              let result =
+                if stats.Outcore.Outliner.sequences_outlined = 0 then p else p'
+              in
+              record ctx
+                {
+                  st_pass = "thin-outline";
+                  st_detail = detail;
+                  st_unit = "";
+                  st_applied = true;
+                  st_seconds = Unix.gettimeofday () -. t0;
+                  st_before = before;
+                  st_after = Machine.Program.code_size_bytes result;
+                };
+              if verify_each ctx then begin
+                match Machine.Program.validate result with
+                | Error e ->
+                  failwith
+                    (Printf.sprintf "verify-each after thin-outline %s: %s"
+                       detail e)
+                | Ok () -> ()
+              end;
+              if stats.Outcore.Outliner.sequences_outlined = 0 then p
+              else begin
+                stats_acc := stats :: !stats_acc;
+                go (round + 1) p'
+              end
+            end
+          end
+        in
+        let final = go 1 p in
+        env.me_on_stats (List.rev !stats_acc);
+        final);
+  }
+
 let machine_passes env =
   [
     {
@@ -507,6 +644,7 @@ let machine_passes env =
       p_run = (fun _ _ p -> fst (Outcore.Canonicalize.run p));
     };
     outline_pass env env.me_scope;
+    thin_outline_pass env;
     {
       p_name = "caller-affinity-layout";
       p_params = [];
@@ -524,5 +662,6 @@ let registered_names =
     "fmsa";
     "canonicalize";
     "outline";
+    "thin-outline";
     "caller-affinity-layout";
   ]

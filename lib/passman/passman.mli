@@ -87,6 +87,27 @@ val verify_each : ctx -> bool
 val should_print_after : ctx -> string -> bool
 val dump : ctx -> string -> string -> unit
 
+(* --- sharded contexts (thin-WPO's parallel per-module phase) --------------- *)
+
+val reserved_steps : spec list -> int
+(** How many bisect steps one unit running [specs] may consume: 1 per pass,
+    except the self-gated outliners, which reserve their [rounds] (they may
+    stop early, leaving step numbers unused — harmless, and the price of a
+    numbering that is a function of the pipeline alone). *)
+
+val fork : ctx -> offset:int -> ctx
+(** A shard context for one unit of a parallel phase: same configuration,
+    private step log, bisect counter pre-advanced [offset] steps past the
+    parent's, print-after dumps buffered for deterministic replay.  Shards
+    of one phase must receive disjoint reservations
+    ([offset = i * reserved_steps unit_specs] for the i-th unit). *)
+
+val join : ctx -> advance:int -> ctx list -> unit
+(** Merge forked shard contexts back in list order (append their steps,
+    replay their dumps through the parent's sink) and advance the parent's
+    bisect counter by [advance] — the phase's whole reservation, however
+    many steps the shards actually used. *)
+
 (* --- stages and passes ----------------------------------------------------- *)
 
 type 'ir stage = {
@@ -166,12 +187,20 @@ type machine_env = {
   me_scope : string;  (** outlined-symbol scope: module name or [""] *)
   me_profile : Outcore.Profile.t;
   me_on_stats : Outcore.Outliner.round_stats list -> unit;
+  me_thin_workers : int;
+      (** default worker count for [thin-outline] when the spec does not
+          say ([workers=N] wins); [<= 0] auto-detects *)
+  me_thin_report : Thinwpo.Engine.Report.t;
+      (** per-shard/per-round wall-time split of every [thin-outline] run,
+          woven into the [--profile] tree by [Pipeline.build] *)
 }
 
 val machine_passes : machine_env -> Machine.Program.t pass list
 (** [canonicalize], [outline(rounds=N)] (self-gated: every round is one
-    bisect step, recorded as ["round K"] details), and the linked
-    [caller-affinity-layout]. *)
+    bisect step, recorded as ["round K"] details), the linked self-gated
+    [thin-outline(workers=N,rounds=N,min=N)] (sharded parallel
+    whole-program outlining; each three-phase round is one bisect step),
+    and the linked [caller-affinity-layout]. *)
 
 val registered_names : string list
 (** Every pass name in both registries, for completeness checks. *)

@@ -1,6 +1,7 @@
 type mode =
   | Per_module
   | Whole_program
+  | Thin_wpo of { workers : int }
 
 type layout_strategy =
   [ `Append | `Caller_affinity | `Order_file | `C3 | `Balanced ]
@@ -63,6 +64,7 @@ type result = {
   pass_steps : Passman.step list;
   outline_stats : Outcore.Outliner.round_stats list;
   outline_profile : Outcore.Profile.t;
+  thin_profile : Thinwpo.Engine.Report.t;
 }
 
 (* --- pipeline specs -------------------------------------------------------- *)
@@ -84,7 +86,20 @@ let lowered_spec (c : config) =
   if c.outline_rounds <= 0 then []
   else
     (if c.run_canonicalize then [ mk "canonicalize" ] else [])
-    @ [ mk1 "outline" "rounds" c.outline_rounds ]
+    @ (match c.mode with
+      | Thin_wpo { workers } ->
+        [
+          {
+            Passman.sp_name = "thin-outline";
+            sp_params =
+              [
+                ("workers", string_of_int workers);
+                ("rounds", string_of_int c.outline_rounds);
+              ];
+          };
+        ]
+      | Per_module | Whole_program ->
+        [ mk1 "outline" "rounds" c.outline_rounds ])
     @
     match c.outlined_layout with
     | `Caller_affinity -> [ mk "caller-affinity-layout" ]
@@ -106,6 +121,8 @@ let template_machine =
       me_scope = "";
       me_profile = Outcore.Profile.create ();
       me_on_stats = (fun _ -> ());
+      me_thin_workers = 1;
+      me_thin_report = Thinwpo.Engine.Report.create ();
     }
 
 let known_pass name =
@@ -131,7 +148,10 @@ let config_of_passes ?(base = default_config) s =
         let outline_rounds =
           match find "outline" with
           | Some sp -> Passman.int_param sp "rounds" ~default:5
-          | None -> 0
+          | None -> (
+            match find "thin-outline" with
+            | Some sp -> Passman.int_param sp "rounds" ~default:5
+            | None -> 0)
         in
         let sil_outline_min =
           match find "sil-outline" with
@@ -184,8 +204,10 @@ let delta_note (st : Passman.step) =
 
 (* One tree: coarse phases at the root, the pass steps of each phase as
    children, outline rounds as children of the outline pass, and the
-   outliner's per-phase split (from Outcore.Profile) as grandchildren. *)
-let build_timing_tree phases steps profile =
+   outliner's per-phase split (from Outcore.Profile) — or, for thin-outline
+   rounds, the per-shard timing subtree plus the global decision round
+   (from the thin report) — as grandchildren. *)
+let build_timing_tree phases steps profile thin_report =
   let steps = Array.of_list steps in
   let prof = ref (Outcore.Profile.rounds profile) in
   let next_prof () =
@@ -193,6 +215,14 @@ let build_timing_tree phases steps profile =
     | [] -> None
     | r :: rest ->
       prof := rest;
+      Some r
+  in
+  let tprof = ref (Thinwpo.Engine.Report.rounds thin_report) in
+  let next_tprof () =
+    match !tprof with
+    | [] -> None
+    | r :: rest ->
+      tprof := rest;
       Some r
   in
   let step_name (st : Passman.step) =
@@ -234,6 +264,25 @@ let build_timing_tree phases steps profile =
                   Passman.leaf "rewrite" rp.Outcore.Profile.rp_rewrite;
                 ]
               | None -> []
+            else if s.Passman.st_pass = "thin-outline" && s.Passman.st_applied
+            then
+              match next_tprof () with
+              | Some tr ->
+                List.map
+                  (fun (sh : Thinwpo.Engine.Report.shard) ->
+                    Passman.leaf
+                      ~note:(Printf.sprintf "%d funcs" sh.rs_funcs)
+                      ("shard " ^ sh.rs_module)
+                      (sh.rs_discover +. sh.rs_rewrite))
+                  tr.Thinwpo.Engine.Report.rr_shards
+                @ [
+                    Passman.leaf
+                      ~note:
+                        (Printf.sprintf "%d selected"
+                           tr.Thinwpo.Engine.Report.rr_selected)
+                      "global-decision" tr.Thinwpo.Engine.Report.rr_decide;
+                  ]
+              | None -> []
             else []
           in
           kids :=
@@ -259,6 +308,7 @@ let build ?dump ?(config = default_config) modules =
   let phases = ref [] in
   let outline_stats = ref [] in
   let outline_profile = Outcore.Profile.create () in
+  let thin_report = Thinwpo.Engine.Report.create () in
   let ctx =
     Passman.create_ctx ~verify_each:config.verify_each
       ~print_after:config.print_after ?bisect_limit:config.bisect_limit ?dump
@@ -280,13 +330,19 @@ let build ?dump ?(config = default_config) modules =
     | Error e -> failwith e);
     let keep (f : Ir.func) = List.mem f.Ir.name config.entry_points in
     let mir_registry = Passman.mir_passes ~keep in
-    let machine_registry scope =
+    let thin_workers =
+      match config.mode with Thin_wpo { workers } -> workers | _ -> 1
+    in
+    let machine_registry ?(profile = outline_profile)
+        ?(on_stats = fun s -> outline_stats := !outline_stats @ s) scope =
       Passman.machine_passes
         {
           Passman.me_engine = config.outline_engine;
           me_scope = scope;
-          me_profile = outline_profile;
-          me_on_stats = (fun s -> outline_stats := !outline_stats @ s);
+          me_profile = profile;
+          me_on_stats = on_stats;
+          me_thin_workers = thin_workers;
+          me_thin_report = thin_report;
         }
     in
     let mir_specs, machine_specs =
@@ -357,6 +413,85 @@ let build ?dump ?(config = default_config) modules =
               Passman.run_passes ctx Passman.machine_stage
                 (machine_registry "") machine_linked_specs merged
             else merged)
+      | Thin_wpo { workers } ->
+        (* ThinLTO's shape: the per-module phase of the iOS pipeline, but
+           on a domain pool, then the linked passes — thin-outline above
+           all — over the merge.  Each unit runs in a forked pass context
+           with a precomputed bisect-step reservation and a private
+           outline profile/stats sink, so step numbering, dump order, and
+           stats order are functions of the module list alone, never of
+           domain scheduling. *)
+        let workers = Thinwpo.Pool.resolve_workers workers in
+        let marr = Array.of_list modules in
+        let unit_reserved =
+          Passman.reserved_steps (mir_specs @ machine_unit_specs)
+        in
+        let units =
+          timed "compile-modules" (fun () ->
+              let forked =
+                Array.mapi
+                  (fun i _ -> Passman.fork ctx ~offset:(i * unit_reserved))
+                  marr
+              in
+              let compiled =
+                Thinwpo.Pool.map ~workers
+                  (fun i ->
+                    let m = marr.(i) in
+                    let fctx = forked.(i) in
+                    let profile = Outcore.Profile.create () in
+                    let stats = ref [] in
+                    let optimized =
+                      Passman.run_passes fctx Passman.mir_stage mir_registry
+                        ~unit_name:m.Ir.m_name mir_specs m
+                    in
+                    let machine =
+                      mark_no_outline config (Codegen.compile_modul optimized)
+                    in
+                    let machine =
+                      if machine_unit_specs <> [] then
+                        Passman.run_passes fctx Passman.machine_stage
+                          (machine_registry ~profile
+                             ~on_stats:(fun s -> stats := !stats @ s)
+                             m.Ir.m_name)
+                          ~unit_name:m.Ir.m_name machine_unit_specs machine
+                      else machine
+                    in
+                    (machine, profile, !stats))
+                  (Array.init (Array.length marr) Fun.id)
+              in
+              Passman.join ctx
+                ~advance:(Array.length marr * unit_reserved)
+                (Array.to_list forked);
+              (* Merge the per-unit sinks in module order. *)
+              Array.iter
+                (fun (_, profile, stats) ->
+                  List.iter
+                    (fun rp ->
+                      let rp' =
+                        Outcore.Profile.new_round outline_profile
+                          rp.Outcore.Profile.rp_round
+                      in
+                      rp'.Outcore.Profile.rp_seq_build <-
+                        rp.Outcore.Profile.rp_seq_build;
+                      rp'.Outcore.Profile.rp_tree_build <-
+                        rp.Outcore.Profile.rp_tree_build;
+                      rp'.Outcore.Profile.rp_enumerate <-
+                        rp.Outcore.Profile.rp_enumerate;
+                      rp'.Outcore.Profile.rp_score <-
+                        rp.Outcore.Profile.rp_score;
+                      rp'.Outcore.Profile.rp_rewrite <-
+                        rp.Outcore.Profile.rp_rewrite)
+                    (Outcore.Profile.rounds profile);
+                  outline_stats := !outline_stats @ stats)
+                compiled;
+              Array.to_list (Array.map (fun (p, _, _) -> p) compiled))
+        in
+        timed "system-linker-merge" (fun () ->
+            let merged = Machine.Program.concat units in
+            if machine_linked_specs <> [] then
+              Passman.run_passes ctx Passman.machine_stage
+                (machine_registry "") machine_linked_specs merged
+            else merged)
     in
     (match Machine.Program.validate program with
     | Ok () -> ()
@@ -399,10 +534,11 @@ let build ?dump ?(config = default_config) modules =
         timings = List.rev !timings;
         timing_tree =
           build_timing_tree (List.rev !phases) (Passman.steps ctx)
-            outline_profile;
+            outline_profile thin_report;
         pass_steps = Passman.steps ctx;
         outline_stats = !outline_stats;
         outline_profile;
+        thin_profile = thin_report;
       }
   with Failure e -> Error e
 
@@ -448,6 +584,8 @@ let build_reference ?(config = default_config) modules =
   try
     let program =
       match config.mode with
+      | Thin_wpo _ ->
+        failwith "build_reference: thin-WPO postdates the pass-manager refactor"
       | Whole_program ->
         let merged =
           reference_timed timings "llvm-link" (fun () ->
@@ -554,5 +692,6 @@ let build_reference ?(config = default_config) modules =
         pass_steps = [];
         outline_stats = !outline_stats;
         outline_profile;
+        thin_profile = Thinwpo.Engine.Report.create ();
       }
   with Failure e -> Error e

@@ -21,6 +21,14 @@
 type mode =
   | Per_module
   | Whole_program
+  | Thin_wpo of { workers : int }
+      (** the sharded parallel whole-program pipeline (ThinLTO's shape
+          applied to outlining): per-module MIR passes and codegen run on a
+          fixed pool of [workers] domains ([<= 0] auto-detects), the units
+          are merged, and the linked [thin-outline] pass re-shards the
+          merged program for parallel candidate discovery, one serial
+          summary-exchange decision round, and parallel rewrite.  Output is
+          byte-identical for every [workers] value. *)
 
 type layout_strategy =
   [ `Append | `Caller_affinity | `Order_file | `C3 | `Balanced ]
@@ -137,6 +145,10 @@ type result = {
   outline_stats : Outcore.Outliner.round_stats list;
   outline_profile : Outcore.Profile.t;
       (** per-outline-round phase split, also woven into [timing_tree] *)
+  thin_profile : Thinwpo.Engine.Report.t;
+      (** thin-WPO only: per-round shard timings and the global decision
+          round, also woven into [timing_tree] (one subtree per shard) and
+          serialized into BENCH_thinwpo.json by the bench harness *)
 }
 
 val build :

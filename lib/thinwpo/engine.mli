@@ -1,0 +1,64 @@
+(** The thin-WPO round engine: shard the merged program by originating
+    module, discover outline candidates per shard in parallel (phase 1),
+    take one serial global decision over the exchanged summaries (phase 2),
+    and rewrite every shard in parallel against the decision table
+    (phase 3).
+
+    Determinism contract: the output program is a function of the input
+    program and the options alone — {e never} of [workers] or domain
+    scheduling.  Shards are formed in first-appearance order, workers write
+    results into index-addressed slots, the decision table is ranked by
+    (benefit, hash), outlined symbols are named from (round, rank), and
+    hosted bodies are appended in rank order.  The fuzz lattice holds a
+    byte-identity differential between [workers = 1] and [workers = 4]
+    over exactly this contract. *)
+
+type facts
+(** The cross-round global facts table: thin-outlined symbols whose bodies
+    are not SP-neutral callees.  Shared by every shard of every later
+    round, because the callee's body may be hosted anywhere. *)
+
+val create_facts : unit -> facts
+val fact_sp_unsafe : facts -> string -> bool
+
+module Report : sig
+  (** Per-round wall-time split for [--profile] and the bench harness: one
+      entry per shard (discovery and rewrite seconds) plus the serial
+      global decision round. *)
+
+  type shard = {
+    rs_module : string;
+    rs_funcs : int;
+    rs_discover : float;
+    rs_rewrite : float;
+  }
+
+  type round = {
+    rr_round : int;
+    rr_shards : shard list;      (** shard order *)
+    rr_decide : float;
+    rr_selected : int;           (** decision-table entries *)
+  }
+
+  type t
+
+  val create : unit -> t
+  val rounds : t -> round list   (** chronological *)
+
+  val to_json : t -> string
+  (** JSON array, one object per round, for BENCH_thinwpo.json. *)
+end
+
+val run_round :
+  ?report:Report.t ->
+  workers:int ->
+  facts:facts ->
+  options:Outcore.Outliner.options ->
+  Machine.Program.t ->
+  Machine.Program.t * Outcore.Outliner.round_stats
+(** One three-phase round on [workers] domains ([options.round] names the
+    round; [options.scope_name] is ignored — thin symbols are named from
+    the decision table).  Newly selected sp-unsafe symbols are added to
+    [facts].  When no global site is rewritten the input program is
+    returned unchanged (mirroring the serial outliner's early stop), and
+    [sequences_outlined = 0] tells the driver to stop iterating. *)

@@ -1,0 +1,258 @@
+open Outcore
+
+type pattern = {
+  ps_hash : int64;
+  ps_length : int;
+  ps_strategy : Candidate.strategy;
+  ps_needs_lr_frame : bool;
+  ps_touches_sp : bool;
+  ps_n_free : int;
+  ps_n_save : int;
+}
+
+type t = {
+  sm_module : string;
+  sm_patterns : pattern list;
+}
+
+let fault_truncate_hash = ref false
+
+(* --- stable content hashing -------------------------------------------- *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv_byte h b =
+  Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
+
+let fnv_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := fnv_byte !h (Char.code c)) s;
+  !h
+
+let strategy_tag = function
+  | Candidate.Ends_with_ret -> 1
+  | Candidate.Thunk -> 2
+  | Candidate.Plain_call -> 3
+
+let hash_with render (c : Candidate.t) =
+  let h = fnv_offset in
+  let h = fnv_byte h (strategy_tag c.strategy) in
+  let h = fnv_byte h (if c.needs_lr_frame then 1 else 0) in
+  let h = fnv_byte h c.length in
+  let h = fnv_byte h (c.length lsr 8) in
+  let h =
+    List.fold_left (fun h i -> fnv_byte (fnv_string h (render i)) 0) h c.insns
+  in
+  if !fault_truncate_hash then Int64.logand h 0x3fL else h
+
+let hash_candidate (c : Candidate.t) = hash_with Machine.Insn.to_string c
+
+let hasher () =
+  let cache : (Machine.Insn.t, string) Hashtbl.t = Hashtbl.create 512 in
+  let render i =
+    match Hashtbl.find_opt cache i with
+    | Some s -> s
+    | None ->
+      let s = Machine.Insn.to_string i in
+      Hashtbl.replace cache i s;
+      s
+  in
+  fun c -> hash_with render c
+
+(* --- shard-side grouping ------------------------------------------------ *)
+
+let count_sites (c : Candidate.t) =
+  List.fold_left
+    (fun (free, save) (s : Candidate.site) ->
+      match s.call with
+      | Candidate.Call_free -> (free + 1, save)
+      | Candidate.Call_save_lr -> (free, save + 1))
+    (0, 0) c.sites
+
+let of_candidates ~modul pairs =
+  let tbl : (int64, pattern ref) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (h, (c : Candidate.t)) ->
+      let n_free, n_save = count_sites c in
+      match Hashtbl.find_opt tbl h with
+      | Some p ->
+        p :=
+          {
+            !p with
+            ps_n_free = !p.ps_n_free + n_free;
+            ps_n_save = !p.ps_n_save + n_save;
+          }
+      | None ->
+        let p =
+          ref
+            {
+              ps_hash = h;
+              ps_length = c.length;
+              ps_strategy = c.strategy;
+              ps_needs_lr_frame = c.needs_lr_frame;
+              ps_touches_sp = c.touches_sp;
+              ps_n_free = n_free;
+              ps_n_save = n_save;
+            }
+        in
+        Hashtbl.replace tbl h p;
+        order := p :: !order)
+    pairs;
+  { sm_module = modul; sm_patterns = List.rev_map (fun p -> !p) !order }
+
+(* --- serialization ------------------------------------------------------ *)
+
+let strategy_name = function
+  | Candidate.Ends_with_ret -> "ret"
+  | Candidate.Thunk -> "thunk"
+  | Candidate.Plain_call -> "call"
+
+let strategy_of_name = function
+  | "ret" -> Some Candidate.Ends_with_ret
+  | "thunk" -> Some Candidate.Thunk
+  | "call" -> Some Candidate.Plain_call
+  | _ -> None
+
+let to_string s =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "thin-summary module=%s patterns=%d\n" s.sm_module
+       (List.length s.sm_patterns));
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "%016Lx len=%d strat=%s lr=%d sp=%d free=%d save=%d\n"
+           p.ps_hash p.ps_length
+           (strategy_name p.ps_strategy)
+           (if p.ps_needs_lr_frame then 1 else 0)
+           (if p.ps_touches_sp then 1 else 0)
+           p.ps_n_free p.ps_n_save))
+    s.sm_patterns;
+  Buffer.contents buf
+
+let of_string text =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match String.split_on_char '\n' (String.trim text) with
+  | [] -> fail "empty summary"
+  | header :: lines -> (
+    match
+      Scanf.sscanf header "thin-summary module=%s@ patterns=%d" (fun m n ->
+          (m, n))
+    with
+    | exception _ -> fail "malformed summary header: %S" header
+    | modul, n ->
+      if List.length lines <> n then
+        fail "summary for %s declares %d patterns but carries %d" modul n
+          (List.length lines)
+      else begin
+        let parse line =
+          match
+            Scanf.sscanf line "%Lx len=%d strat=%s@ lr=%d sp=%d free=%d save=%d"
+              (fun h len strat lr sp free save ->
+                (h, len, strat, lr, sp, free, save))
+          with
+          | exception _ -> Error (Printf.sprintf "malformed pattern: %S" line)
+          | h, len, strat, lr, sp, free, save -> (
+            match strategy_of_name strat with
+            | None -> Error (Printf.sprintf "unknown strategy: %S" strat)
+            | Some strategy ->
+              Ok
+                {
+                  ps_hash = h;
+                  ps_length = len;
+                  ps_strategy = strategy;
+                  ps_needs_lr_frame = lr <> 0;
+                  ps_touches_sp = sp <> 0;
+                  ps_n_free = free;
+                  ps_n_save = save;
+                })
+        in
+        let rec go acc = function
+          | [] -> Ok { sm_module = modul; sm_patterns = List.rev acc }
+          | line :: rest -> (
+            match parse line with
+            | Error e -> Error e
+            | Ok p -> go (p :: acc) rest)
+        in
+        go [] lines
+      end)
+
+(* --- the global decision round ------------------------------------------ *)
+
+type decision = {
+  dc_hash : int64;
+  dc_name : string;
+  dc_host : string;
+  dc_benefit : int;
+  dc_rank : int;
+  dc_sp_unsafe : bool;
+}
+
+type merged = {
+  mutable mg_meta : pattern;  (** first contributor's entry, in shard order *)
+  mutable mg_host : string;   (** least contributing module name *)
+  mutable mg_free : int;
+  mutable mg_save : int;
+}
+
+let decide ~round summaries =
+  let tbl : (int64, merged) Hashtbl.t = Hashtbl.create 256 in
+  let order = ref [] in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun p ->
+          match Hashtbl.find_opt tbl p.ps_hash with
+          | Some m ->
+            m.mg_free <- m.mg_free + p.ps_n_free;
+            m.mg_save <- m.mg_save + p.ps_n_save;
+            if s.sm_module < m.mg_host then m.mg_host <- s.sm_module
+          | None ->
+            let m =
+              {
+                mg_meta = p;
+                mg_host = s.sm_module;
+                mg_free = p.ps_n_free;
+                mg_save = p.ps_n_save;
+              }
+            in
+            Hashtbl.replace tbl p.ps_hash m;
+            order := m :: !order)
+        s.sm_patterns)
+    summaries;
+  let profitable =
+    List.filter_map
+      (fun m ->
+        let p = m.mg_meta in
+        if m.mg_free + m.mg_save < 2 then None
+        else
+          let benefit =
+            Cost_model.benefit_of_counts p.ps_strategy
+              ~needs_lr_frame:p.ps_needs_lr_frame ~pattern_len:p.ps_length
+              ~n_free:m.mg_free ~n_save:m.mg_save
+          in
+          if benefit < 1 then None else Some (benefit, m))
+      (List.rev !order)
+  in
+  let ranked =
+    List.sort
+      (fun (b1, m1) (b2, m2) ->
+        match Int.compare b2 b1 with
+        | 0 -> Int64.unsigned_compare m1.mg_meta.ps_hash m2.mg_meta.ps_hash
+        | c -> c)
+      profitable
+  in
+  List.mapi
+    (fun rank (benefit, m) ->
+      let p = m.mg_meta in
+      {
+        dc_hash = p.ps_hash;
+        dc_name = Printf.sprintf "OUTLINED_THIN_%d_%d" round rank;
+        dc_host = m.mg_host;
+        dc_benefit = benefit;
+        dc_rank = rank;
+        dc_sp_unsafe = p.ps_touches_sp || p.ps_needs_lr_frame;
+      })
+    ranked

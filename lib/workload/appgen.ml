@@ -61,6 +61,15 @@ let small =
 let at_week p week =
   { p with week; n_modules = p.n_modules + (week / 4) }
 
+let scaled ?seed ~mult p =
+  if mult < 1 then invalid_arg "Appgen.scaled: mult must be >= 1";
+  {
+    p with
+    app_name = Printf.sprintf "%s_x%d" p.app_name mult;
+    seed = (match seed with Some s -> s | None -> p.seed);
+    n_modules = p.n_modules * mult;
+  }
+
 let span_entries = List.init 9 (fun i -> Printf.sprintf "span%d" (i + 1))
 
 (* --- helpers -------------------------------------------------------------- *)

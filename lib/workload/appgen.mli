@@ -36,6 +36,12 @@ val at_week : profile -> int -> profile
 (** The growth model behind Figure 1: each week adds features to existing
     modules and occasionally a whole module. *)
 
+val scaled : ?seed:int -> mult:int -> profile -> profile
+(** [scaled ~mult p] is [p] with [mult]× the module count (app name gains
+    an [_x<mult>] suffix); [?seed] overrides the generator seed.  The one
+    deterministic scaling knob shared by [bench thinwpo] and the fuzz
+    lattice, so both exercise the same corpus shapes. *)
+
 val generate_sources : profile -> (string * string) list
 (** (module name, Swiftlet source); includes a core-helpers module and a
     main module defining [main] plus the span entry points [span1..span9]. *)

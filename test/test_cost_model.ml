@@ -29,6 +29,7 @@ let mk ?(strategy = Candidate.Plain_call) ?(needs_lr_frame = false)
             call;
           });
     needs_lr_frame;
+    touches_sp = false;
   }
 
 let test_outlined_function_bytes () =

@@ -77,17 +77,28 @@ let test_registry () =
       run_sil_outline = true; run_merge_functions = true; run_fmsa = true;
       run_canonicalize = true; outlined_layout = `Caller_affinity }
   in
+  (* outline and thin-outline are alternative build modes, so no single
+     config can emit both; the all-on config plus its thin-mode twin must
+     reach every registered pass between them. *)
+  let all_on_thin =
+    { all_on with Pipeline.mode = Pipeline.Thin_wpo { workers = 2 } }
+  in
   let spec = Pipeline.spec_of_config all_on in
+  let spec_thin = Pipeline.spec_of_config all_on_thin in
   List.iter
     (fun sp ->
       Alcotest.(check bool)
         ("registered: " ^ sp.Passman.sp_name)
         true
         (List.mem sp.Passman.sp_name Passman.registered_names))
-    spec;
-  Alcotest.(check int) "the all-on config exercises the whole registry"
+    (spec @ spec_thin);
+  let covered =
+    List.sort_uniq compare
+      (List.map (fun sp -> sp.Passman.sp_name) (spec @ spec_thin))
+  in
+  Alcotest.(check int) "the two mode configs exercise the whole registry"
     (List.length Passman.registered_names)
-    (List.length spec)
+    (List.length covered)
 
 (* --- verify-each ------------------------------------------------------------ *)
 
@@ -139,6 +150,8 @@ let run_outline ?bisect_limit ~engine p =
       me_scope = "";
       me_profile = Outcore.Profile.create ();
       me_on_stats = (fun _ -> ());
+      me_thin_workers = 1;
+      me_thin_report = Thinwpo.Engine.Report.create ();
     }
   in
   let q =
