@@ -736,6 +736,164 @@ let thinwpo_smoke () =
   thinwpo_impl ~profile:Workload.Appgen.small ~mult:2 ~workers_list:[ 1; 2 ]
     ~min_speedup:None ()
 
+(* -------------------------------------------------------- serve bench *)
+
+(* [bench serve]: replay a seeded multi-week Workload.Commits stream twice
+   — cold (a fresh from-scratch Pipeline.build_sources per commit) and
+   warm (one persistent Serve.Server keeping the incremental engine,
+   front-end caches and result cache across requests) — and report
+   builds/sec and p50/p99 latency for both.  Two hard gates: every served
+   image must be byte-identical to the scratch build of the same commit,
+   and warm replay must be strictly faster than cold.  Emits
+   BENCH_serve.json. *)
+let serve_impl ~mult ~weeks ~commits_per_week () =
+  let profile = Workload.Appgen.small in
+  let prof =
+    if mult > 1 then Workload.Appgen.scaled ~mult profile else profile
+  in
+  title
+    (Printf.sprintf "Serve replay: %s, %d weeks x %d commits"
+       prof.Workload.Appgen.app_name weeks commits_per_week);
+  let commits =
+    Workload.Commits.stream ~profile:prof ~weeks ~commits_per_week ()
+  in
+  let spec = "dce,outline(rounds=3)" in
+  let cfg = cfg_of_passes spec in
+  let cold =
+    List.map
+      (fun (c : Workload.Commits.commit) ->
+        let t0 = Unix.gettimeofday () in
+        let r = ok_exn (Pipeline.build_sources ~config:cfg c.c_sources) in
+        let img = Machine.Asm_printer.to_source r.Pipeline.program in
+        let dt = Unix.gettimeofday () -. t0 in
+        (dt, img))
+      commits
+  in
+  let server = Serve.Server.create () in
+  let warm =
+    List.map
+      (fun (c : Workload.Commits.commit) ->
+        let req =
+          Serve.Protocol.print_request
+            (Serve.Protocol.Build
+               {
+                 br_id = Printf.sprintf "c%d" c.Workload.Commits.c_index;
+                 br_app = prof.Workload.Appgen.app_name;
+                 br_mode = "wp";
+                 br_workers = 0;
+                 br_passes = Some spec;
+                 br_want_image = true;
+                 br_source = Serve.Protocol.Inline c.Workload.Commits.c_sources;
+               })
+        in
+        let t0 = Unix.gettimeofday () in
+        let payload, _ = Serve.Server.handle server req in
+        let dt = Unix.gettimeofday () -. t0 in
+        match Serve.Protocol.parse_response payload with
+        | Ok (Serve.Protocol.Built b) -> (dt, b)
+        | Ok (Serve.Protocol.Error_reply { e_message; _ }) ->
+          failwith ("serve: " ^ e_message)
+        | _ -> failwith "serve: unexpected response")
+      commits
+  in
+  let rows = List.combine commits (List.combine cold warm) in
+  let mismatches =
+    List.filter
+      (fun (_, ((_, cold_img), (_, b))) ->
+        b.Serve.Protocol.b_image <> Some cold_img)
+      rows
+  in
+  print_string
+    (table
+       ~header:[ "commit"; "week"; "dirty"; "cold s"; "warm s"; "cache" ]
+       (List.map
+          (fun ((c : Workload.Commits.commit), ((cdt, _), (wdt, b))) ->
+            [
+              string_of_int c.c_index;
+              string_of_int c.c_week;
+              (match c.c_dirty with
+              | [] -> "(retry)"
+              | ms -> String.concat " " ms);
+              Printf.sprintf "%.3f" cdt;
+              Printf.sprintf "%.3f" wdt;
+              (if b.Serve.Protocol.b_cache_hit then "hit" else "miss");
+            ])
+          rows));
+  let cold_lat = List.map fst cold and warm_lat = List.map fst warm in
+  let total = List.fold_left ( +. ) 0. in
+  let cold_total = total cold_lat and warm_total = total warm_lat in
+  let n = List.length commits in
+  let bps t = float_of_int n /. t in
+  let pct p l = Repro_stats.Percentile.percentile p l in
+  let hits =
+    List.length (List.filter (fun (_, b) -> b.Serve.Protocol.b_cache_hit) warm)
+  in
+  Printf.printf
+    "cold: %.2f builds/s (p50 %.3fs, p99 %.3fs)   warm: %.2f builds/s (p50 \
+     %.3fs, p99 %.3fs)   speedup %.2fx   cache hits %d/%d   identical \
+     images: %b\n"
+    (bps cold_total) (pct 50. cold_lat) (pct 99. cold_lat) (bps warm_total)
+    (pct 50. warm_lat) (pct 99. warm_lat) (cold_total /. warm_total) hits n
+    (mismatches = []);
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"app\": \"%s\",\n\
+      \  \"modules\": %d,\n\
+      \  \"weeks\": %d,\n\
+      \  \"commits\": %d,\n\
+      \  \"spec\": \"%s\",\n\
+      \  \"cold\": {\"total_s\":%.6f,\"builds_per_s\":%.3f,\"p50_s\":%.6f,\
+       \"p99_s\":%.6f},\n\
+      \  \"warm\": {\"total_s\":%.6f,\"builds_per_s\":%.3f,\"p50_s\":%.6f,\
+       \"p99_s\":%.6f},\n\
+      \  \"speedup\": %.3f,\n\
+      \  \"cache_hits\": %d,\n\
+      \  \"identical\": %b,\n\
+      \  \"per_commit\": [\n\
+       %s\n\
+      \  ]\n\
+       }\n"
+      prof.Workload.Appgen.app_name prof.Workload.Appgen.n_modules weeks n
+      spec cold_total (bps cold_total) (pct 50. cold_lat) (pct 99. cold_lat)
+      warm_total (bps warm_total) (pct 50. warm_lat) (pct 99. warm_lat)
+      (cold_total /. warm_total) hits
+      (mismatches = [])
+      (String.concat ",\n"
+         (List.map
+            (fun ((c : Workload.Commits.commit), ((cdt, _), (wdt, b))) ->
+              Printf.sprintf
+                "    {\"commit\":%d,\"week\":%d,\"dirty\":%d,\
+                 \"cold_s\":%.6f,\"warm_s\":%.6f,\"hit\":%b}"
+                c.c_index c.c_week
+                (List.length c.c_dirty)
+                cdt wdt b.Serve.Protocol.b_cache_hit)
+            rows))
+  in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_serve.json\n";
+  (match mismatches with
+  | ((c : Workload.Commits.commit), _) :: _ ->
+    failwith
+      (Printf.sprintf
+         "serve: image served for commit %d is not byte-identical to a \
+          from-scratch build"
+         c.c_index)
+  | [] -> ());
+  if warm_total >= cold_total then
+    failwith
+      (Printf.sprintf
+         "serve: warm replay (%.2fs) is not strictly faster than cold \
+          rebuilds (%.2fs)"
+         warm_total cold_total)
+
+let serve_bench () = serve_impl ~mult:3 ~weeks:4 ~commits_per_week:6 ()
+
+(* CI smoke: same gates at reduced scale — small enough for every push. *)
+let serve_smoke () = serve_impl ~mult:1 ~weeks:2 ~commits_per_week:4 ()
+
 (* -------------------------------------------------------- layout bench *)
 
 (* Profile-guided layout comparison: Append vs caller-affinity vs the
@@ -1173,6 +1331,8 @@ let experiments =
     ("outline_bench", outline_bench);
     ("thinwpo", thinwpo);
     ("thinwpo_smoke", thinwpo_smoke);
+    ("serve", serve_bench);
+    ("serve_smoke", serve_smoke);
     ("layout_bench", layout_bench);
     ("layout_bench_small", layout_bench_small);
     ("apps", apps);

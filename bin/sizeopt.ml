@@ -574,9 +574,10 @@ let fuzz_cmd =
   in
   let self_test =
     Arg.(value & flag & info [ "self-test" ]
-           ~doc:"Inject an outliner legality bug, then a stale dirty-set \
-                 bug in the incremental engine, and require the harness to \
-                 catch both and shrink each reproducer.")
+           ~doc:"Inject an outliner legality bug, a stale dirty-set bug in \
+                 the incremental engine, a thin-WPO summary-hash collision \
+                 and a stale serve-cache bug, and require the harness to \
+                 catch all four and shrink each reproducer.")
   in
   let list_points =
     Arg.(value & flag & info [ "list-points" ]
@@ -621,7 +622,43 @@ let fuzz_cmd =
     Term.(const run $ seed $ count $ fuel $ verbose $ self_test $ list_points
           $ verify_each)
 
+let serve_cmd =
+  let stdio =
+    Arg.(value & flag
+         & info [ "stdio" ]
+             ~doc:"Speak the framed protocol on stdin/stdout instead of a \
+                   Unix socket (what the tests and CI drive).")
+  in
+  let socket =
+    Arg.(value & opt string "sizeopt.sock"
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Unix-socket path to listen on (default sizeopt.sock); \
+                   unlinked on shutdown.")
+  in
+  let cache =
+    Arg.(value & opt int 64
+         & info [ "cache" ] ~docv:"N"
+             ~doc:"Result-cache capacity in entries; 0 disables caching.")
+  in
+  let run stdio socket cache =
+    let t = Serve.Server.create ~cache_capacity:cache () in
+    if stdio then Serve.Server.serve_channels t stdin stdout
+    else begin
+      Printf.eprintf "sizeopt serve: listening on %s\n%!" socket;
+      Serve.Server.serve_unix t ~path:socket
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Persistent build service: length-prefixed requests (app seed or \
+          inline Swiftlet sources plus a pipeline spec) answered with image \
+          size, section table and per-phase timings, keeping the \
+          incremental engine and a content-hash result cache warm across \
+          requests.")
+    Term.(const run $ stdio $ socket $ cache)
+
 let () =
   let doc = "whole-program repeated machine outlining toolchain (CGO'21 reproduction)" in
   let info = Cmd.info "sizeopt" ~doc in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; outline_cmd; stats_cmd; run_cmd; build_cmd; profile_cmd; appgen_cmd; report_cmd; fuzz_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; outline_cmd; stats_cmd; run_cmd; build_cmd; profile_cmd; appgen_cmd; report_cmd; fuzz_cmd; serve_cmd ]))

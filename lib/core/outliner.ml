@@ -800,6 +800,13 @@ type engine = {
   eng_pool : Sufftree.Arena_tree.pool;
       (** backing store recycled across rounds; each round's tree dies when
           the next round builds *)
+  eng_rewritten : (string * string, unit) Hashtbl.t;
+      (** every (func, block) the rewriter dirtied during the current build.
+          Within a build the per-round invalidation already dropped these,
+          but later rounds re-cache them from their *post-rewrite* bodies; a
+          fresh compile of the same source starts from the original bodies
+          again, so a warm engine must drop them at the next build boundary
+          (see [engine_begin_build]). *)
 }
 
 let create_engine () =
@@ -808,7 +815,52 @@ let create_engine () =
     eng_seqs = Hashtbl.create 1024;
     eng_live = Hashtbl.create 256;
     eng_pool = Sufftree.Arena_tree.create_pool ();
+    eng_rewritten = Hashtbl.create 256;
   }
+
+let reset_engine e =
+  Hashtbl.reset e.eng_seqs;
+  Hashtbl.reset e.eng_live;
+  Hashtbl.reset e.eng_rewritten
+
+(* Build-boundary invalidation for engines that outlive one build (the
+   serve daemon).  The interner and arena pool are content-addressed and
+   safe to share unconditionally; the per-block symbol arrays and liveness
+   are keyed by (func, block label) and must be dropped whenever the name
+   can rebind to different content:
+   - functions absent from the incoming pre-outline program (outlined
+     helpers from the previous build regenerate with the same names but
+     possibly different bodies; deleted functions free their names);
+   - functions from modules the caller reports changed;
+   - blocks the previous build's rewriter touched (cached post-rewrite,
+     while this build starts pre-rewrite). *)
+let engine_begin_build e ~changed (p : Program.t) =
+  let present = Hashtbl.create 512 in
+  List.iter
+    (fun (f : Mfunc.t) -> Hashtbl.replace present f.Mfunc.name f.from_module)
+    p.Program.funcs;
+  let stale_of tbl =
+    Hashtbl.fold
+      (fun name _ acc ->
+        match Hashtbl.find_opt present name with
+        | None -> name :: acc
+        | Some m -> if changed m then name :: acc else acc)
+      tbl []
+  in
+  List.iter
+    (fun n ->
+      Hashtbl.remove e.eng_seqs n;
+      Hashtbl.remove e.eng_live n)
+    (stale_of e.eng_seqs);
+  List.iter (fun n -> Hashtbl.remove e.eng_live n) (stale_of e.eng_live);
+  Hashtbl.iter
+    (fun (fname, blabel) () ->
+      (match Hashtbl.find_opt e.eng_seqs fname with
+      | Some tbl -> Hashtbl.remove tbl blabel
+      | None -> ());
+      Hashtbl.remove e.eng_live fname)
+    e.eng_rewritten;
+  Hashtbl.reset e.eng_rewritten
 
 (* Fault injection for the fuzz harness: when set, dirty blocks keep their
    stale cached sequences across rounds, so the incremental engine works on
@@ -889,7 +941,8 @@ let run_round_incremental ?profile engine options (p : Program.t) =
     in
     if not !fault_skip_invalidation then begin
       List.iter
-        (fun (fname, blabel) ->
+        (fun ((fname, blabel) as key) ->
+          Hashtbl.replace engine.eng_rewritten key ();
           (match Hashtbl.find_opt engine.eng_seqs fname with
           | Some tbl -> Hashtbl.remove tbl blabel
           | None -> ());

@@ -124,6 +124,24 @@ type engine
 
 val create_engine : unit -> engine
 
+val reset_engine : engine -> unit
+(** Drop every name-keyed cache (symbol arrays, liveness, rewrite log).
+    The content-addressed interner and arena pool are kept.  Used by the
+    serve daemon when a build fails mid-flight and the engine's view of the
+    program can no longer be trusted. *)
+
+val engine_begin_build : engine -> changed:(string -> bool) -> Machine.Program.t -> unit
+(** Build-boundary invalidation for an engine reused across whole builds
+    (the serve daemon's warm state).  [p] is the merged pre-outline program
+    about to be built; [changed m] reports whether module [m]'s source
+    differs from the build that populated the engine.  Drops cached entries
+    for functions absent from [p] (outlined helpers regenerate under the
+    same names), functions from changed modules, and blocks the previous
+    build's rewriter touched (cached post-rewrite, while this build starts
+    from the original bodies).  The interner and arena pool are
+    content-addressed and survive untouched, so byte-determinism is
+    preserved: candidate ordering never depends on interner numbering. *)
+
 val run_round_incremental :
   ?profile:Profile.t ->
   engine ->

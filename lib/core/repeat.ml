@@ -1,9 +1,10 @@
 let run ?(options = Outliner.default_options) ?profile
-    ?(engine = `Incremental) ~rounds p =
+    ?(engine = `Incremental) ?use_engine ~rounds p =
   let eng =
-    match engine with
-    | `Incremental -> Some (Outliner.create_engine ())
-    | `Scratch -> None
+    match (engine, use_engine) with
+    | `Incremental, Some e -> Some e
+    | `Incremental, None -> Some (Outliner.create_engine ())
+    | `Scratch, _ -> None
   in
   let rec go round p acc =
     if round > rounds then (p, List.rev acc)

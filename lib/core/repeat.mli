@@ -7,6 +7,7 @@ val run :
   ?options:Outliner.options ->
   ?profile:Profile.t ->
   ?engine:[ `Incremental | `Scratch ] ->
+  ?use_engine:Outliner.engine ->
   rounds:int ->
   Machine.Program.t ->
   Machine.Program.t * Outliner.round_stats list
@@ -18,7 +19,12 @@ val run :
     [engine] selects the implementation (default [`Incremental], which
     carries interner/sequence/liveness caches between rounds via the dirty
     sets; [`Scratch] is the from-scratch reference).  Both produce
-    byte-identical programs.  [profile] collects a per-round phase split. *)
+    byte-identical programs.  [profile] collects a per-round phase split.
+
+    [use_engine] supplies a caller-owned incremental engine instead of a
+    fresh one, letting warm state survive across whole builds (the serve
+    daemon).  The caller must run {!Outliner.engine_begin_build} before
+    each build; ignored under [`Scratch]. *)
 
 val cumulative : Outliner.round_stats list -> Outliner.round_stats list
 (** Per-round running totals, as presented in Table II of the paper. *)

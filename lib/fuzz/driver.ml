@@ -146,13 +146,13 @@ let fault_phase ?(log = null_log) ~seed ~salt ~flag ~fault_name
                   shrink)"
                  fault_name)))
 
-(* The thin-WPO fault needs front-end programs (the engine shards by
-   module) and dies in the thin differentials, so its phase generates
-   Swiftlet programs and checks only the thin slice of the lattice —
-   [Lattice.check_thin] — both while hunting and while shrinking; a full
-   lattice sweep per deletion attempt would dominate the self-test. *)
+(* Faults that need front-end programs (thin-WPO shards by module; the
+   serve daemon replays source edits) die in their own differential slice,
+   so their phases generate Swiftlet programs and run only [check] — the
+   slice the fault must trip — both while hunting and while shrinking; a
+   full lattice sweep per deletion attempt would dominate the self-test. *)
 let swiftlet_fault_phase ?(log = null_log) ~seed ~salt ~flag ~fault_name
-    ~max_reproducer_lines () =
+    ~check ~max_reproducer_lines () =
   let max_attempts = 100 in
   flag := true;
   Fun.protect
@@ -164,7 +164,7 @@ let swiftlet_fault_phase ?(log = null_log) ~seed ~salt ~flag ~fault_name
         let index = !attempt in
         let st = rng_for ~seed:(seed + salt) ~index in
         let p = Swiftgen.generate st ~fuel:10 in
-        (match Lattice.check_thin p with
+        (match check p with
         | Lattice.Fail f ->
           log
             (Printf.sprintf
@@ -182,12 +182,11 @@ let swiftlet_fault_phase ?(log = null_log) ~seed ~salt ~flag ~fault_name
               Swiftlet programs"
              fault_name max_attempts)
       | Some (p, f) -> (
-        (* Each thin check builds the program seven times, so a full
-           400-check shrink budget would cost minutes; 150 checks reaches
-           the same one-screen reproducer on tiny fuel-10 programs. *)
-        let p', f' =
-          Shrink.swiftlet_against ~max_checks:150 ~check:Lattice.check_thin p f
-        in
+        (* Each slice check builds the program several times over, so a
+           full 400-check shrink budget would cost minutes; 150 checks
+           reaches the same one-screen reproducer on tiny fuel-10
+           programs. *)
+        let p', f' = Shrink.swiftlet_against ~max_checks:150 ~check p f in
         let lines = Swiftgen.source_lines p' in
         if lines > max_reproducer_lines then
           Error
@@ -197,7 +196,7 @@ let swiftlet_fault_phase ?(log = null_log) ~seed ~salt ~flag ~fault_name
                fault_name lines max_reproducer_lines
                (Swiftgen.print_source p'))
         else
-          match Lattice.check_thin p' with
+          match check p' with
           | Lattice.Fail _ ->
             Ok
               (Printf.sprintf
@@ -241,7 +240,22 @@ let self_test ?(log = null_log) ~seed () =
       match
         swiftlet_fault_phase ~log ~seed ~salt:224737
           ~flag:Thinwpo.Summary.fault_truncate_hash
-          ~fault_name:"summary-hash-truncation" ~max_reproducer_lines:60 ()
+          ~fault_name:"summary-hash-truncation" ~check:Lattice.check_thin
+          ~max_reproducer_lines:60 ()
       with
       | Error _ as e -> e
-      | Ok report3 -> Ok (report1 ^ "\n\n" ^ report2 ^ "\n\n" ^ report3)))
+      | Ok report3 -> (
+        (* Phase 4: drop the module-content component of the serve
+           daemon's result-cache key, so an edited app hits the previous
+           build's image; the serve-vs-cold replay differential must
+           catch the stale bytes. *)
+        match
+          swiftlet_fault_phase ~log ~seed ~salt:1299709
+            ~flag:Serve.Server.fault_stale_cache_entry
+            ~fault_name:"stale-serve-cache" ~check:Lattice.check_serve
+            ~max_reproducer_lines:60 ()
+        with
+        | Error _ as e -> e
+        | Ok report4 ->
+          Ok
+            (report1 ^ "\n\n" ^ report2 ^ "\n\n" ^ report3 ^ "\n\n" ^ report4))))

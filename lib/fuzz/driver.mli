@@ -31,7 +31,10 @@ val self_test : ?log:(string -> unit) -> seed:int -> unit -> (string, string) re
     differential to flag the divergence, then flip
     {!Thinwpo.Summary.fault_truncate_hash} so thin-WPO's decision table
     merges colliding patterns and require the thin lattice differentials
-    ({!Lattice.check_thin}) to flag the corrupted rewrite.  Each failure
-    is shrunk and must fit in a small reproducer.  [Ok report] carries
-    all three shrunk reproducers; [Error] means the harness failed to
-    catch or shrink a bug. *)
+    ({!Lattice.check_thin}) to flag the corrupted rewrite, and finally
+    flip {!Serve.Server.fault_stale_cache_entry} so the serve daemon's
+    result cache ignores module content and require the serve-vs-cold
+    replay differential ({!Lattice.check_serve}) to flag the stale
+    bytes.  Each failure is shrunk and must fit in a small reproducer.
+    [Ok report] carries all four shrunk reproducers; [Error] means the
+    harness failed to catch or shrink a bug. *)

@@ -415,6 +415,123 @@ let thin_differential thins full_wpo =
             }
         else None))
 
+(* The serve differential: replay a short commit stream (initial build,
+   then [edits] single-module appends, then a verbatim retry) through one
+   warm server and require every served image byte-identical to a scratch
+   [Pipeline.build_sources] of the same request.  The retry must answer
+   from the result cache with the previous bytes.  This is what catches a
+   server that leaks warm engine state across edits or serves stale cache
+   entries ([Serve.Server.fault_stale_cache_entry] in the self-test). *)
+let serve_spec = "dce,outline(rounds=3)"
+
+let serve_commits sources edits =
+  let nmods = List.length sources in
+  let rec go acc cur i =
+    if i > edits then List.rev acc
+    else begin
+      let target = fst (List.nth cur ((i - 1) mod nmods)) in
+      let next =
+        List.map
+          (fun (m, s) ->
+            if String.equal m target then
+              ( m,
+                s
+                ^ Printf.sprintf
+                    "\nfunc srv_edit%d(v: Int) -> Int {\n  return v * %d + %d\n}\n"
+                    i
+                    ((2 * i) + 3)
+                    i )
+            else (m, s))
+          cur
+      in
+      go (next :: acc) next (i + 1)
+    end
+  in
+  go [ sources ] sources 1
+
+let serve_differential ?(edits = 1) sources =
+  let server = Serve.Server.create () in
+  let cfg =
+    match
+      Pipeline.config_of_passes
+        ~base:{ Pipeline.default_config with mode = Pipeline.Whole_program }
+        serve_spec
+    with
+    | Ok c -> c
+    | Error e -> invalid_arg ("serve_differential: bad spec: " ^ e)
+  in
+  let request i srcs =
+    Serve.Protocol.print_request
+      (Serve.Protocol.Build
+         {
+           br_id = Printf.sprintf "c%d" i;
+           br_app = "fuzz";
+           br_mode = "wp";
+           br_workers = 0;
+           br_passes = Some serve_spec;
+           br_want_image = true;
+           br_source = Serve.Protocol.Inline srcs;
+         })
+  in
+  let serve i srcs =
+    let payload, _ = Serve.Server.handle server (request i srcs) in
+    Serve.Protocol.parse_response payload
+  in
+  let commits = serve_commits sources edits in
+  let fail i reason = Some { point = Printf.sprintf "serve/commit%d" i; reason } in
+  let failure = ref None in
+  let last = ref None in
+  List.iteri
+    (fun i srcs ->
+      if !failure = None then
+        match (serve i srcs, Pipeline.build_sources ~config:cfg srcs) with
+        | Error e, _ ->
+          failure := fail i ("unparsable serve response: " ^ e)
+        | Ok (Serve.Protocol.Error_reply { e_message; _ }), Ok _ ->
+          failure :=
+            fail i ("server failed where scratch succeeded: " ^ e_message)
+        | Ok (Serve.Protocol.Built _), Error e ->
+          failure := fail i ("server succeeded where scratch failed: " ^ e)
+        | Ok (Serve.Protocol.Error_reply _), Error _ ->
+          (* consistently rejected; nothing to compare *)
+          last := None
+        | Ok (Serve.Protocol.Built b), Ok res ->
+          let scratch_img = Machine.Asm_printer.to_source res.Pipeline.program in
+          if b.Serve.Protocol.b_image <> Some scratch_img then
+            failure :=
+              fail i
+                "served image is not byte-identical to a from-scratch build \
+                 of the same request"
+          else if b.Serve.Protocol.b_binary_size <> res.Pipeline.binary_size
+          then
+            failure :=
+              fail i
+                (Printf.sprintf
+                   "served binary size %d disagrees with scratch %d"
+                   b.Serve.Protocol.b_binary_size res.Pipeline.binary_size)
+          else last := Some (srcs, b)
+        | Ok _, _ -> failure := fail i "unexpected response kind")
+    commits;
+  (match (!failure, !last) with
+  | None, Some (srcs, prev) -> (
+    (* CI-retry shape: same request again must hit and serve equal bytes *)
+    match serve (edits + 1) srcs with
+    | Ok (Serve.Protocol.Built b) ->
+      if not b.Serve.Protocol.b_cache_hit then
+        failure := fail (edits + 1) "request retry missed the result cache"
+      else if b.Serve.Protocol.b_image <> prev.Serve.Protocol.b_image then
+        failure :=
+          fail (edits + 1)
+            "cache hit served different bytes from the build that \
+             populated the entry"
+    | Ok (Serve.Protocol.Error_reply { e_message; _ }) ->
+      failure := fail (edits + 1) ("retry failed: " ^ e_message)
+    | Ok _ -> failure := fail (edits + 1) "unexpected response kind on retry"
+    | Error e ->
+      failure := fail (edits + 1) ("unparsable serve response: " ^ e))
+  | _ -> ());
+  !failure
+
 let check ?(verify_each = false) (p : Swiftgen.program) =
   match Swiftlet.Compile.compile_program (Swiftgen.to_sources p) with
   | Error msg -> Skip ("front-end: " ^ msg)
@@ -468,10 +585,14 @@ let check ?(verify_each = false) (p : Swiftgen.program) =
           | None -> (
             match thin_differential (List.rev !thins) !full_wpo with
             | Some f -> Fail f
-            (* every point also ran its /spec twin, plus the two
-               transition-differential points and the two thin-WPO
-               differentials *)
-            | None -> Pass ((2 * List.length pts) + 4))))))
+            | None -> (
+              match serve_differential (Swiftgen.to_sources p) with
+              | Some f -> Fail f
+              (* every point also ran its /spec twin, plus the two
+                 transition-differential points, the two thin-WPO
+                 differentials, and the three serve replay steps (build,
+                 edit, retry) *)
+              | None -> Pass ((2 * List.length pts) + 4 + 3)))))))
 
 (* The thin-only check: reference oracle, the three thin points (spec
    twins included), and both thin differentials — nothing else.  This is
@@ -547,6 +668,21 @@ let check_thin (p : Swiftgen.program) =
           match thin_differential (List.rev !thins) wp3 with
           | Some f -> Fail f
           | None -> Pass ((2 * List.length pts) + 2)))))
+
+(* The serve-only check: front-end gate, then the serve replay differential
+   with two edits — what the self-test's stale-cache fault phase and its
+   shrink loop run (a full lattice sweep per deletion attempt would
+   dominate the self-test, and the serve differential alone is what the
+   fault must trip). *)
+let check_serve (p : Swiftgen.program) =
+  let sources = Swiftgen.to_sources p in
+  match Swiftlet.Compile.compile_program sources with
+  | Error msg -> Skip ("front-end: " ^ msg)
+  | Ok _ -> (
+    match serve_differential ~edits:2 sources with
+    | Some f -> Fail f
+    (* initial build + two edits + the retry *)
+    | None -> Pass 4)
 
 (* --- the machine check ------------------------------------------------------- *)
 

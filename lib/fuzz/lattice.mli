@@ -63,6 +63,15 @@ val check_thin : Swiftgen.program -> verdict
     fault-injection loop, where the shrinker re-checks the program
     after every deletion attempt. *)
 
+val check_serve : Swiftgen.program -> verdict
+(** The serve slice: replay the program plus two single-module edits and a
+    verbatim retry through one warm {!Serve.Server}, requiring every served
+    image byte-identical to a from-scratch build of the same request and
+    the retry to answer from the result cache with the previous bytes.
+    This differential also rides on every {!check}; the standalone entry
+    point is what the self-test's stale-cache fault phase
+    ({!Serve.Server.fault_stale_cache_entry}) hunts and shrinks with. *)
+
 val check_machine : Machine.Program.t -> verdict
 (** Direct outliner stress for generated machine programs: the
     uninstrumented interpreter run is the oracle; {!Outcore.Repeat.run}

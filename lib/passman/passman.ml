@@ -446,6 +446,7 @@ type machine_env = {
   me_on_stats : Outcore.Outliner.round_stats list -> unit;
   me_thin_workers : int;
   me_thin_report : Thinwpo.Engine.Report.t;
+  me_warm : (Outcore.Outliner.engine * (string -> bool)) option;
 }
 
 (* The repeated outliner as a self-gated pass: every round is one bisect
@@ -464,9 +465,14 @@ let outline_pass env unit_name =
       (fun ctx sp p ->
         let rounds = int_param sp "rounds" ~default:5 in
         let eng =
-          match env.me_engine with
-          | `Incremental -> Some (Outcore.Outliner.create_engine ())
-          | `Scratch -> None
+          match (env.me_engine, env.me_warm) with
+          | `Incremental, Some (e, changed) ->
+            (* Warm engine from the serve daemon: invalidate at the build
+               boundary, then reuse its caches across this build's rounds. *)
+            Outcore.Outliner.engine_begin_build e ~changed p;
+            Some e
+          | `Incremental, None -> Some (Outcore.Outliner.create_engine ())
+          | `Scratch, _ -> None
         in
         let options =
           { Outcore.Outliner.default_options with scope_name = env.me_scope }

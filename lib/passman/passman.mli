@@ -193,6 +193,13 @@ type machine_env = {
   me_thin_report : Thinwpo.Engine.Report.t;
       (** per-shard/per-round wall-time split of every [thin-outline] run,
           woven into the [--profile] tree by [Pipeline.build] *)
+  me_warm : (Outcore.Outliner.engine * (string -> bool)) option;
+      (** warm incremental engine owned by a caller that outlives one build
+          (the serve daemon), with the changed-module predicate for its
+          build-boundary invalidation.  When present (and [me_engine] is
+          [`Incremental]) the [outline] pass calls
+          {!Outcore.Outliner.engine_begin_build} and reuses this engine
+          instead of creating a fresh one per run.  [None] everywhere else. *)
 }
 
 val machine_passes : machine_env -> Machine.Program.t pass list

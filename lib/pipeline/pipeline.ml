@@ -26,6 +26,7 @@ type config = {
   verify_each : bool;
   print_after : Passman.print_after;
   bisect_limit : int option;
+  warm_outline : (Outcore.Outliner.engine * (string -> bool)) option;
 }
 
 let default_config =
@@ -49,6 +50,7 @@ let default_config =
     verify_each = false;
     print_after = `Never;
     bisect_limit = None;
+    warm_outline = None;
   }
 
 let default_ios_config = { default_config with mode = Per_module }
@@ -123,6 +125,7 @@ let template_machine =
       me_on_stats = (fun _ -> ());
       me_thin_workers = 1;
       me_thin_report = Thinwpo.Engine.Report.create ();
+      me_warm = None;
     }
 
 let known_pass name =
@@ -343,6 +346,11 @@ let build ?dump ?(config = default_config) modules =
           me_on_stats = on_stats;
           me_thin_workers = thin_workers;
           me_thin_report = thin_report;
+          (* The warm engine is whole-program state: per-module scopes get
+             their own dirty-set reuse within a run but never share caches
+             across requests (module-scoped symbol arrays would leak between
+             apps). *)
+          me_warm = (if scope = "" then config.warm_outline else None);
         }
     in
     let mir_specs, machine_specs =

@@ -1,0 +1,69 @@
+type 'a entry = { mutable value : 'a; mutable stamp : int }
+
+type 'a t = {
+  cap : int;
+  tbl : (string, 'a entry) Hashtbl.t;
+  mutable tick : int;
+  mutable n_hits : int;
+  mutable n_misses : int;
+  mutable n_evictions : int;
+}
+
+let create ~capacity =
+  {
+    cap = capacity;
+    tbl = Hashtbl.create (max 16 capacity);
+    tick = 0;
+    n_hits = 0;
+    n_misses = 0;
+    n_evictions = 0;
+  }
+
+let bump t = t.tick <- t.tick + 1; t.tick
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some e ->
+    e.stamp <- bump t;
+    t.n_hits <- t.n_hits + 1;
+    Some e.value
+  | None ->
+    t.n_misses <- t.n_misses + 1;
+    None
+
+(* Linear scan for the oldest stamp: capacities are small (tens to a few
+   hundred results) and stamps are unique, so this is simple and exactly
+   deterministic. *)
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, s) when s <= e.stamp -> ()
+      | _ -> victim := Some (k, e.stamp))
+    t.tbl;
+  match !victim with
+  | Some (k, _) ->
+    Hashtbl.remove t.tbl k;
+    t.n_evictions <- t.n_evictions + 1
+  | None -> ()
+
+let add t key v =
+  if t.cap > 0 then
+    match Hashtbl.find_opt t.tbl key with
+    | Some e ->
+      e.value <- v;
+      e.stamp <- bump t
+    | None ->
+      if Hashtbl.length t.tbl >= t.cap then evict_lru t;
+      Hashtbl.replace t.tbl key { value = v; stamp = bump t }
+
+let hits t = t.n_hits
+let misses t = t.n_misses
+let evictions t = t.n_evictions
+let entries t = Hashtbl.length t.tbl
+
+let keys_by_recency t =
+  Hashtbl.fold (fun k e acc -> (k, e.stamp) :: acc) t.tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.map fst

@@ -1,0 +1,553 @@
+open Protocol
+
+(* Fault injection for [sizeopt fuzz --self-test]: key results on (app,
+   spec) only, ignoring module content, so edits serve the previous image. *)
+let fault_stale_cache_entry = ref false
+
+(* What a result-cache entry remembers: everything needed to answer a hit
+   byte-identically to the build that populated it (the image is kept even
+   when the original request did not ask for it, so a later [want-image]
+   hit can be served). *)
+type cached = {
+  cb_binary_size : int;
+  cb_code_size : int;
+  cb_sections : sections;
+  cb_image_hash : string;
+  cb_phases : (string * float) list;
+  cb_image : string;
+}
+
+(* Warm per-app state.  Keyed by the request's [app] label: name-keyed
+   caches (the engine's symbol arrays, compiled modules) must never leak
+   between apps whose functions share names. *)
+type app_state = {
+  as_engine : Outcore.Outliner.engine;
+  mutable as_hashes : (string * string) list;
+      (** module -> source hash of the last successful build *)
+  mutable as_spec : string;  (** spec fingerprint of the last build *)
+  as_sigs : (string, string * (string * Swiftlet.Sigs.fsig) list) Hashtbl.t;
+      (** module -> (source hash, exported signatures) *)
+  as_mods : (string, string * Ir.modul) Hashtbl.t;
+      (** module -> (source hash + externals hash, compiled MIR) *)
+}
+
+type t = {
+  results : cached Cache.t;
+  apps : (string, app_state) Hashtbl.t;
+  mutable served : int;
+}
+
+let create ?(cache_capacity = 64) () =
+  {
+    results = Cache.create ~capacity:cache_capacity;
+    apps = Hashtbl.create 8;
+    served = 0;
+  }
+
+let app_state t name =
+  match Hashtbl.find_opt t.apps name with
+  | Some st -> st
+  | None ->
+    let st =
+      {
+        as_engine = Outcore.Outliner.create_engine ();
+        as_hashes = [];
+        as_spec = "";
+        as_sigs = Hashtbl.create 32;
+        as_mods = Hashtbl.create 32;
+      }
+    in
+    Hashtbl.replace t.apps name st;
+    st
+
+(* --- front-end cache ---------------------------------------------------- *)
+
+(* Stable rendering of exported signatures: a module's compiled MIR depends
+   on its own source and on the signatures compile_program imports from
+   every other module, so that is exactly what the cache key hashes. *)
+let rec ty_str = function
+  | Swiftlet.Ast.T_int -> "i"
+  | Swiftlet.Ast.T_bool -> "b"
+  | Swiftlet.Ast.T_array -> "a"
+  | Swiftlet.Ast.T_class c -> "C" ^ c ^ ";"
+  | Swiftlet.Ast.T_func (ps, r) ->
+    "F(" ^ String.concat "," (List.map ty_str ps) ^ ")" ^ ty_str r
+
+let fsig_str (name, (fs : Swiftlet.Sigs.fsig)) =
+  Printf.sprintf "%s(%s)%s%s%s" name
+    (String.concat "," (List.map ty_str fs.fs_params))
+    (ty_str fs.fs_ret)
+    (if fs.fs_void then "v" else "")
+    (if fs.fs_throws then "t" else "")
+
+(* Identifier set of a source file: every maximal [A-Za-z0-9_] run not
+   starting with a digit.  An external whose name is not an identifier of
+   the module cannot be referenced by it (and cannot clash with one of its
+   definitions), so its signature cannot affect the module's compilation.
+   The body-cache key below therefore folds in only the signatures the
+   module can see — a commit that appends a fresh function to one module
+   leaves every other module's cached body valid. *)
+let ident_set src =
+  let tbl = Hashtbl.create 256 in
+  let n = String.length src in
+  let is_id c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  let i = ref 0 in
+  while !i < n do
+    if is_id src.[!i] then begin
+      let j = ref !i in
+      while !j < n && is_id src.[!j] do incr j done;
+      (match src.[!i] with
+      | '0' .. '9' -> ()
+      | _ -> Hashtbl.replace tbl (String.sub src !i (!j - !i)) ());
+      i := !j
+    end
+    else incr i
+  done;
+  tbl
+
+(* Mirror of Swiftlet.Compile.compile_program with both passes cached:
+   signatures keyed on own source, module bodies keyed on own source plus
+   the signatures of the externals the module mentions, in source order.
+   Byte-equal output is an invariant the fuzz differential checks. *)
+let compile_cached st hashes sources =
+  let rec gather acc = function
+    | [] -> Ok (List.rev acc)
+    | (name, src) :: rest -> (
+      let h = List.assoc name hashes in
+      let cached =
+        match Hashtbl.find_opt st.as_sigs name with
+        | Some (h0, sigs) when String.equal h0 h -> Ok sigs
+        | _ -> (
+          match Swiftlet.Compile.signatures_of ~name src with
+          | Ok sigs ->
+            Hashtbl.replace st.as_sigs name (h, sigs);
+            Ok sigs
+          | Error e -> Error e)
+      in
+      match cached with
+      | Ok sigs -> gather ((name, sigs) :: acc) rest
+      | Error e -> Error e)
+  in
+  match gather [] sources with
+  | Error e -> Error e
+  | Ok per_module ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | (name, src) :: rest -> (
+        let externals =
+          List.concat_map
+            (fun (m, sigs) -> if String.equal m name then [] else sigs)
+            per_module
+        in
+        let idents = ident_set src in
+        let visible =
+          List.filter (fun (n, _) -> Hashtbl.mem idents n) externals
+        in
+        let ext_fp =
+          hash_hex (String.concat ";" (List.map fsig_str visible))
+        in
+        let key = List.assoc name hashes ^ ":" ^ ext_fp in
+        match Hashtbl.find_opt st.as_mods name with
+        | Some (k0, m) when String.equal k0 key -> go (m :: acc) rest
+        | _ -> (
+          match Swiftlet.Compile.compile_module ~externals ~name src with
+          | Ok m ->
+            Hashtbl.replace st.as_mods name (key, m);
+            go (m :: acc) rest
+          | Error e -> Error e))
+    in
+    go [] sources
+
+(* --- request resolution -------------------------------------------------- *)
+
+let spec_fp b =
+  Printf.sprintf "%s/%d/%s" b.br_mode b.br_workers
+    (match b.br_passes with Some s -> s | None -> "<default>")
+
+let config_of b =
+  let base =
+    match b.br_mode with
+    | "wp" -> Ok { Pipeline.default_config with mode = Pipeline.Whole_program }
+    | "pm" -> Ok { Pipeline.default_config with mode = Pipeline.Per_module }
+    | "thin" ->
+      Ok
+        {
+          Pipeline.default_config with
+          mode = Pipeline.Thin_wpo { workers = b.br_workers };
+        }
+    | m -> Error (Printf.sprintf "unknown mode: %S (want wp|pm|thin)" m)
+  in
+  match (base, b.br_passes) with
+  | (Error _ as e), _ -> e
+  | Ok cfg, None -> Ok cfg
+  | Ok cfg, Some spec -> Pipeline.config_of_passes ~base:cfg spec
+
+let profile_named = function
+  | "small" -> Ok Workload.Appgen.small
+  | "rider" -> Ok Workload.Appgen.uber_rider
+  | "driver" -> Ok Workload.Appgen.uber_driver
+  | "eats" -> Ok Workload.Appgen.uber_eats
+  | p -> Error (Printf.sprintf "unknown profile: %S (want small|rider|driver|eats)" p)
+
+let resolve_sources = function
+  | Inline mods -> (
+    let seen = Hashtbl.create 8 in
+    let dup =
+      List.find_opt
+        (fun (n, _) ->
+          if Hashtbl.mem seen n then true
+          else begin
+            Hashtbl.replace seen n ();
+            false
+          end)
+        mods
+    in
+    match dup with
+    | Some (n, _) -> Error ("duplicate module name: " ^ n)
+    | None -> Ok mods)
+  | Seeded { sd_profile; sd_week; sd_mult } -> (
+    match profile_named sd_profile with
+    | Error e -> Error e
+    | Ok p ->
+      if sd_week < 0 then Error "week must be >= 0"
+      else if sd_mult < 1 then Error "mult must be >= 1"
+      else
+        let p = Workload.Appgen.at_week p sd_week in
+        let p =
+          if sd_mult > 1 then Workload.Appgen.scaled ~mult:sd_mult p else p
+        in
+        Ok (Workload.Appgen.generate_sources p))
+
+let result_key b sources =
+  let fp = spec_fp b in
+  if !fault_stale_cache_entry then "app:" ^ b.br_app ^ "|" ^ fp
+  else begin
+    let buf = Buffer.create 256 in
+    List.iter
+      (fun (n, s) ->
+        Buffer.add_string buf n;
+        Buffer.add_char buf '\x00';
+        Buffer.add_string buf (hash_hex s);
+        Buffer.add_char buf '\x01')
+      sources;
+    fp ^ "|" ^ hash_hex (Buffer.contents buf)
+  end
+
+(* --- building ------------------------------------------------------------ *)
+
+(* Cache-missing build against one app's warm state.  Only touches [st]
+   (never the shared result cache), so distinct apps may run on pool
+   domains concurrently. *)
+let build_miss st b sources =
+  match config_of b with
+  | Error e -> Error e
+  | Ok cfg ->
+    let hashes = List.map (fun (n, s) -> (n, hash_hex s)) sources in
+    let fp = spec_fp b in
+    let same_spec = String.equal st.as_spec fp in
+    let prev = st.as_hashes in
+    (* A module is "changed" unless the previous successful build of this
+       app used the same spec and compiled the same bytes for it; the
+       engine's begin-build invalidation trusts this predicate. *)
+    let changed m =
+      (not same_spec)
+      ||
+      match (List.assoc_opt m hashes, List.assoc_opt m prev) with
+      | Some h, Some h0 -> not (String.equal h h0)
+      | _ -> true
+    in
+    let cfg =
+      match cfg.Pipeline.mode with
+      | Pipeline.Whole_program when cfg.Pipeline.outline_engine = `Incremental
+        ->
+        { cfg with Pipeline.warm_outline = Some (st.as_engine, changed) }
+      | _ -> cfg
+    in
+    let outcome =
+      try
+        match compile_cached st hashes sources with
+        | Error e -> Error e
+        | Ok mods -> Pipeline.build ~config:cfg mods
+      with e -> Error (Printexc.to_string e)
+    in
+    (match outcome with
+    | Error e ->
+      (* a half-run build may have left partial rounds in the engine *)
+      Outcore.Outliner.reset_engine st.as_engine;
+      st.as_hashes <- [];
+      st.as_spec <- "";
+      Error e
+    | Ok res ->
+      st.as_hashes <- hashes;
+      st.as_spec <- fp;
+      let image = Machine.Asm_printer.to_source res.Pipeline.program in
+      let layout = res.Pipeline.layout in
+      Ok
+        {
+          cb_binary_size = res.Pipeline.binary_size;
+          cb_code_size = res.Pipeline.code_size;
+          cb_sections =
+            {
+              sec_text = layout.Linker.text_size;
+              sec_data = layout.Linker.data_size;
+              sec_overhead = layout.Linker.image_overhead;
+            };
+          cb_image_hash = hash_hex image;
+          cb_phases = res.Pipeline.timings;
+          cb_image = image;
+        })
+
+let built_of b ~hit c =
+  Built
+    {
+      b_id = b.br_id;
+      b_cache_hit = hit;
+      b_binary_size = c.cb_binary_size;
+      b_code_size = c.cb_code_size;
+      b_sections = c.cb_sections;
+      b_image_hash = c.cb_image_hash;
+      (* a hit ran no phases; reporting the original build's timings would
+         just be noise *)
+      b_phases = (if hit then [] else c.cb_phases);
+      b_image = (if b.br_want_image then Some c.cb_image else None);
+    }
+
+let counters t =
+  {
+    c_hits = Cache.hits t.results;
+    c_misses = Cache.misses t.results;
+    c_evictions = Cache.evictions t.results;
+    c_entries = Cache.entries t.results;
+    c_apps = Hashtbl.length t.apps;
+    c_served = t.served;
+  }
+
+(* --- serving ------------------------------------------------------------- *)
+
+let handle t payload =
+  t.served <- t.served + 1;
+  match parse_request payload with
+  | Error e ->
+    (print_response (Error_reply { e_id = "?"; e_message = e }), `Continue)
+  | Ok Ping -> (print_response Pong, `Continue)
+  | Ok Stats -> (print_response (Stats_reply (counters t)), `Continue)
+  | Ok Shutdown -> (print_response Bye, `Stop)
+  | Ok (Build b) ->
+    let resp =
+      match resolve_sources b.br_source with
+      | Error e -> Error_reply { e_id = b.br_id; e_message = e }
+      | Ok sources -> (
+        let key = result_key b sources in
+        match Cache.find t.results key with
+        | Some c -> built_of b ~hit:true c
+        | None -> (
+          let st = app_state t b.br_app in
+          match build_miss st b sources with
+          | Error e -> Error_reply { e_id = b.br_id; e_message = e }
+          | Ok c ->
+            Cache.add t.results key c;
+            built_of b ~hit:false c))
+    in
+    (print_response resp, `Continue)
+
+let handle_batch t payloads =
+  let stop = ref `Continue in
+  let n = List.length payloads in
+  let responses = Array.make n "" in
+  let set slot r = responses.(slot) <- print_response r in
+  (* Serial pass: parse, resolve, answer control requests / cache hits /
+     malformed builds inline; collect cache misses. *)
+  let pending = ref [] in
+  let pending_keys = Hashtbl.create 8 in
+  let dups = ref [] in
+  List.iteri
+    (fun slot payload ->
+      t.served <- t.served + 1;
+      match parse_request payload with
+      | Error e -> set slot (Error_reply { e_id = "?"; e_message = e })
+      | Ok Ping -> set slot Pong
+      | Ok Stats -> set slot (Stats_reply (counters t))
+      | Ok Shutdown ->
+        stop := `Stop;
+        set slot Bye
+      | Ok (Build b) -> (
+        match resolve_sources b.br_source with
+        | Error e -> set slot (Error_reply { e_id = b.br_id; e_message = e })
+        | Ok sources ->
+          let key = result_key b sources in
+          if Hashtbl.mem pending_keys key then
+            (* same key as a miss earlier in this batch: resolved after the
+               builds, exactly as if the requests had arrived in turn *)
+            dups := (slot, b, sources, key) :: !dups
+          else (
+            match Cache.find t.results key with
+            | Some c -> set slot (built_of b ~hit:true c)
+            | None ->
+              Hashtbl.replace pending_keys key ();
+              pending := (slot, b, sources, key) :: !pending)))
+    payloads;
+  let pending = List.rev !pending in
+  (* Group misses by app, in first-appearance order; within an app the
+     request order is preserved (warm state is sequential). *)
+  let order = ref [] in
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun ((_, b, _, _) as item) ->
+      match Hashtbl.find_opt groups b.br_app with
+      | Some r -> r := item :: !r
+      | None ->
+        Hashtbl.replace groups b.br_app (ref [ item ]);
+        order := b.br_app :: !order)
+    pending;
+  let apps_in_order = List.rev !order in
+  (* App states must exist before any pool domain runs. *)
+  List.iter (fun app -> ignore (app_state t app)) apps_in_order;
+  let run_group app =
+    let items = List.rev !(Hashtbl.find groups app) in
+    let st = app_state t app in
+    List.map
+      (fun (slot, b, sources, key) -> (slot, b, key, build_miss st b sources))
+      items
+  in
+  let any_thin = List.exists (fun (_, b, _, _) -> b.br_mode = "thin") pending in
+  let results =
+    (* Thin builds own the domain pool themselves; never nest pools. *)
+    if any_thin || List.length apps_in_order <= 1 then
+      List.concat_map run_group apps_in_order
+    else begin
+      let arr = Array.of_list apps_in_order in
+      let workers =
+        min (Array.length arr) (Thinwpo.Pool.resolve_workers 0)
+      in
+      Thinwpo.Pool.map ~workers run_group arr |> Array.to_list |> List.concat
+    end
+  in
+  (* Serial pass: cache insertion and response assembly. *)
+  List.iter
+    (fun (slot, b, key, outcome) ->
+      match outcome with
+      | Error e -> set slot (Error_reply { e_id = b.br_id; e_message = e })
+      | Ok c ->
+        Cache.add t.results key c;
+        set slot (built_of b ~hit:false c))
+    results;
+  (* In-batch duplicates hit the entry their first occurrence inserted; if
+     that build failed (nothing inserted), they build for themselves just
+     as they would have when served alone. *)
+  List.iter
+    (fun (slot, b, sources, key) ->
+      match Cache.find t.results key with
+      | Some c -> set slot (built_of b ~hit:true c)
+      | None -> (
+        let st = app_state t b.br_app in
+        match build_miss st b sources with
+        | Error e -> set slot (Error_reply { e_id = b.br_id; e_message = e })
+        | Ok c ->
+          Cache.add t.results key c;
+          set slot (built_of b ~hit:false c)))
+    (List.rev !dups);
+  (Array.to_list responses, !stop)
+
+(* --- transports ---------------------------------------------------------- *)
+
+let serve_channels t ic oc =
+  let send payload =
+    output_string oc (frame payload);
+    flush oc
+  in
+  let rec loop () =
+    match read_frame ic with
+    | `Eof -> ()
+    | `Bad msg ->
+      (* the stream cannot be resynchronised; answer and hang up *)
+      send (print_response (Error_reply { e_id = "?"; e_message = "framing: " ^ msg }))
+    | `Frame payload ->
+      let resp, cont = handle t payload in
+      send resp;
+      if cont = `Continue then loop ()
+  in
+  loop ()
+
+let send_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then go (off + Unix.write_substring fd s off (len - off))
+  in
+  go 0
+
+let serve_unix t ~path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX path);
+  Unix.listen srv 16;
+  let clients = ref [] in
+  let stop = ref false in
+  let chunk = Bytes.create 65536 in
+  while not !stop do
+    let readable, _, _ =
+      Unix.select (srv :: List.map fst !clients) [] [] (-1.0)
+    in
+    if List.memq srv readable then begin
+      let fd, _ = Unix.accept srv in
+      clients := !clients @ [ (fd, Buffer.create 1024) ]
+    end;
+    let dead = ref [] in
+    List.iter
+      (fun (fd, buf) ->
+        if List.memq fd readable then
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> dead := fd :: !dead
+          | n -> Buffer.add_subbytes buf chunk 0 n
+          | exception Unix.Unix_error _ -> dead := fd :: !dead)
+      !clients;
+    (* one select round's complete frames form one batch, in client order *)
+    let batch = ref [] in
+    List.iter
+      (fun (fd, buf) ->
+        if not (List.memq fd !dead) then begin
+          let rec drain data =
+            match pop_frame data with
+            | Ok (Some (payload, rest)) ->
+              batch := (fd, payload) :: !batch;
+              drain rest
+            | Ok None -> data
+            | Error msg ->
+              (try
+                 send_all fd
+                   (frame
+                      (print_response
+                         (Error_reply
+                            { e_id = "?"; e_message = "framing: " ^ msg })))
+               with Unix.Unix_error _ -> ());
+              dead := fd :: !dead;
+              ""
+          in
+          let rest = drain (Buffer.contents buf) in
+          Buffer.clear buf;
+          Buffer.add_string buf rest
+        end)
+      !clients;
+    let batch = List.rev !batch in
+    if batch <> [] then begin
+      let resps, s = handle_batch t (List.map snd batch) in
+      List.iter2
+        (fun (fd, _) resp ->
+          if not (List.memq fd !dead) then
+            try send_all fd (frame resp)
+            with Unix.Unix_error _ -> dead := fd :: !dead)
+        batch resps;
+      if s = `Stop then stop := true
+    end;
+    List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) !dead;
+    clients := List.filter (fun (fd, _) -> not (List.memq fd !dead)) !clients
+  done;
+  List.iter
+    (fun (fd, _) -> try Unix.close fd with Unix.Unix_error _ -> ())
+    !clients;
+  (try Unix.close srv with Unix.Unix_error _ -> ());
+  try Unix.unlink path with Unix.Unix_error _ -> ()

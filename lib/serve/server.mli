@@ -1,0 +1,53 @@
+(** The persistent build service behind [sizeopt serve].
+
+    One [t] holds all warm state:
+    - a content-hash result cache keyed on (pipeline spec, module hashes in
+      request order) with LRU eviction ({!Cache});
+    - per-app front-end caches (module signatures and compiled MIR, keyed
+      on own source hash plus the signatures of the externals the module's
+      source mentions — a conservative refinement of
+      {!Swiftlet.Compile.compile_program}'s import semantics, so appending
+      a fresh function to one module leaves the others' cached bodies
+      valid);
+    - per-app warm incremental outline engines, invalidated at each build
+      boundary via {!Outcore.Outliner.engine_begin_build} with a
+      changed-module predicate derived from the previous request's hashes.
+
+    Warm state is keyed by the request's [app] label, so two apps never
+    share name-keyed engine caches; a spec change invalidates the whole
+    engine for that app.  Every response is byte-identical to a
+    from-scratch {!Pipeline.build} of the same request — the fuzz
+    differential and the replay bench both gate on it. *)
+
+type t
+
+val create : ?cache_capacity:int -> unit -> t
+(** Default capacity: 64 results. *)
+
+val handle : t -> string -> string * [ `Continue | `Stop ]
+(** Serve one request payload, returning the response payload.  Never
+    raises: malformed requests and failed builds come back as [error]
+    replies.  [`Stop] only after a [shutdown] request. *)
+
+val handle_batch : t -> string list -> string list * [ `Continue | `Stop ]
+(** Serve a batch collected from concurrent clients.  Cache hits and
+    control requests answer inline; cache-missing builds are grouped by
+    app and distinct apps run in parallel on the thin-WPO domain pool
+    (requests for the same app keep their order; thin-mode requests force
+    the serial path — no nested pools).  Responses come back in request
+    order with identical bytes to serving each request alone. *)
+
+val serve_channels : t -> in_channel -> out_channel -> unit
+(** The [--stdio] transport: one frame in, one frame out, until EOF, a
+    framing error, or [shutdown]. *)
+
+val serve_unix : t -> path:string -> unit
+(** The Unix-socket transport: accepts any number of clients, reads
+    complete frames as they arrive and serves each select round as one
+    {!handle_batch}.  Returns after [shutdown]; the socket file is
+    unlinked. *)
+
+val fault_stale_cache_entry : bool ref
+(** Fault injection for [sizeopt fuzz --self-test]: drop the module-content
+    component of the result-cache key, so an edited app hits the previous
+    image.  The serve-vs-cold differential must catch the stale bytes. *)

@@ -7,6 +7,13 @@ val compile_module :
   (Ir.modul, string) result
 (** Parse, type-check and lower one module. *)
 
+val signatures_of :
+  name:string -> string -> ((string * Sigs.fsig) list, string) result
+(** Exported free-function signatures of one module, in declaration order —
+    exactly the externals {!compile_program} feeds every *other* module.
+    Exposed so callers that cache per-module front-end results (the serve
+    daemon) can key them on (own source, other modules' signatures). *)
+
 val compile_program :
   (string * string) list ->
   (Ir.modul list, string) result

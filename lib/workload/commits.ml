@@ -1,0 +1,84 @@
+type commit = {
+  c_index : int;
+  c_week : int;
+  c_dirty : string list;
+  c_sources : (string * string) list;
+}
+
+(* A small valid Swiftlet function, unique per (commit, module) so it can
+   never collide with generated code or another edit.  The body mixes the
+   argument through shifts and masks like the appgen helpers do, so the
+   outliner sees realistic (and occasionally repeated) tails. *)
+let edit_snippet st ~index ~mname =
+  let c1 = 1 + Random.State.int st 4093 in
+  let sh = 3 + Random.State.int st 13 in
+  let c2 = 2654435761 + Random.State.int st 97 in
+  Printf.sprintf
+    "\nfunc commit%d_%s(v: Int) -> Int {\n\
+    \  var h = v + %d\n\
+    \  h = (h ^ (h >> %d)) * %d\n\
+    \  h = h ^ (h >> %d)\n\
+    \  return h & 1073741823\n\
+     }\n"
+    index mname c1 sh c2 (sh + 2)
+
+let stream ?(seed = 11) ?(commits_per_week = 6) ?(retry_every = 5) ~profile
+    ~weeks () =
+  let st = Random.State.make [| seed; 0x5e57e; profile.Appgen.seed |] in
+  (* accumulated edits: module -> snippets in application order *)
+  let edits : (string, string list) Hashtbl.t = Hashtbl.create 32 in
+  let apply_edits sources =
+    List.map
+      (fun (name, src) ->
+        match Hashtbl.find_opt edits name with
+        | None -> (name, src)
+        | Some snippets -> (name, src ^ String.concat "" (List.rev snippets)))
+      sources
+  in
+  let commits = ref [] in
+  let index = ref 0 in
+  let prev_sources = ref None in
+  for week = 0 to weeks - 1 do
+    let base = Appgen.generate_sources (Appgen.at_week profile week) in
+    (* "system" plays the OS frameworks: never edited by app commits *)
+    let editable =
+      List.filter (fun (n, _) -> n <> "system") base |> List.map fst
+    in
+    for _k = 1 to commits_per_week do
+      let i = !index in
+      let retry =
+        retry_every > 0 && i > 0 && (i + 1) mod retry_every = 0
+        && !prev_sources <> None
+      in
+      let sources, dirty =
+        if retry then
+          (* a CI retry rebuilds the previous commit verbatim, even across
+             a week boundary *)
+          (Option.get !prev_sources, [])
+        else begin
+          let n_dirty = 1 + Random.State.int st 3 in
+          let picked = ref [] in
+          while List.length !picked < n_dirty do
+            let m =
+              List.nth editable (Random.State.int st (List.length editable))
+            in
+            if not (List.mem m !picked) then picked := m :: !picked
+          done;
+          let dirty = List.rev !picked in
+          List.iter
+            (fun m ->
+              let snippet = edit_snippet st ~index:i ~mname:m in
+              let prev = Option.value ~default:[] (Hashtbl.find_opt edits m) in
+              Hashtbl.replace edits m (snippet :: prev))
+            dirty;
+          (apply_edits base, dirty)
+        end
+      in
+      commits :=
+        { c_index = i; c_week = week; c_dirty = dirty; c_sources = sources }
+        :: !commits;
+      prev_sources := Some sources;
+      incr index
+    done
+  done;
+  List.rev !commits

@@ -1,0 +1,35 @@
+(** Seeded multi-week commit streams over an {!Appgen} app — the replay
+    workload for the serve daemon ([bench serve] and the serve-vs-cold fuzz
+    differential).
+
+    Each week starts from [Appgen.at_week profile w]'s sources; commits
+    within the week append small valid Swiftlet functions to a few modules
+    (the "dirty few modules per commit" shape of a CI stream).  Edits
+    accumulate: commit [k]'s sources contain every earlier edit that targets
+    a module still present.  Every [retry_every]-th commit repeats the
+    previous sources verbatim — a CI retry, which a warm server should
+    answer from its result cache.
+
+    Fully deterministic in [(seed, profile, weeks, commits_per_week)]. *)
+
+type commit = {
+  c_index : int;
+  c_week : int;
+  c_dirty : string list;
+      (** modules this commit edited; [[]] for a retry commit.  The first
+          commit of a week also picks up the profile's own weekly growth,
+          which may touch modules beyond this list — consumers that need
+          the exact delta should diff hashes, as the serve daemon does. *)
+  c_sources : (string * string) list;
+}
+
+val stream :
+  ?seed:int ->
+  ?commits_per_week:int ->
+  ?retry_every:int ->
+  profile:Appgen.profile ->
+  weeks:int ->
+  unit ->
+  commit list
+(** Defaults: [seed = 11], [commits_per_week = 6], [retry_every = 5]
+    ([<= 0] disables retries). *)

@@ -152,6 +152,7 @@ let run_outline ?bisect_limit ~engine p =
       me_on_stats = (fun _ -> ());
       me_thin_workers = 1;
       me_thin_report = Thinwpo.Engine.Report.create ();
+      me_warm = None;
     }
   in
   let q =
