@@ -896,13 +896,55 @@ let serve_smoke () = serve_impl ~mult:1 ~weeks:2 ~commits_per_week:4 ()
 
 (* -------------------------------------------------------- layout bench *)
 
+(* One definition of the layout measurement columns: display header, JSON
+   key, and how one interp result contributes.  The per-device table, the
+   totals table, and the JSON device rows all render from this list, so
+   adding a column is one entry here rather than three format strings. *)
+type layout_col = {
+  lc_head : string;   (* table column header *)
+  lc_key : string;    (* JSON field name *)
+  lc_of_run : Perfsim.Interp.result -> int;
+  lc_total : bool;    (* include in the cross-device totals table *)
+}
+
+let layout_cols =
+  [
+    { lc_head = "cycles"; lc_key = "cycles";
+      lc_of_run = (fun r -> r.Perfsim.Interp.cycles); lc_total = true };
+    { lc_head = "icache miss"; lc_key = "icache_misses";
+      lc_of_run = (fun r -> r.Perfsim.Interp.icache_misses); lc_total = true };
+    { lc_head = "itlb miss"; lc_key = "itlb_misses";
+      lc_of_run = (fun r -> r.Perfsim.Interp.itlb_misses); lc_total = true };
+    { lc_head = "data pages"; lc_key = "data_pages";
+      lc_of_run = (fun r -> r.Perfsim.Interp.data_pages_touched);
+      lc_total = false };
+    { lc_head = "cold pages"; lc_key = "cold_start_pages";
+      lc_of_run = (fun r -> r.Perfsim.Interp.cold_start_pages);
+      lc_total = true };
+    { lc_head = "cold cost"; lc_key = "cold_start_cost";
+      lc_of_run = (fun r -> r.Perfsim.Interp.cold_start_cost);
+      lc_total = false };
+  ]
+
+let layout_col_index key =
+  let rec go i = function
+    | [] -> invalid_arg ("layout_col_index: " ^ key)
+    | c :: _ when c.lc_key = key -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 layout_cols
+
 (* Profile-guided layout comparison: Append vs caller-affinity vs the
-   lib/pgo strategies (order-file, C3, balanced partitioning) across the
-   device matrix.  Every strategy is pure reordering, so the interp
-   differential (exit value + printed output per entry) is a hard
+   lib/pgo strategies (order-file, C3, balanced partitioning, bp-compress)
+   across the device matrix.  Every strategy is pure reordering, so the
+   interp differential (exit value + printed output per entry) is a hard
    assertion; on uber_rider so is the acceptance bar — some profile-guided
    strategy must beat caller-affinity on iTLB misses while staying no
-   worse than Append on icache misses.  Emits BENCH_layout.json. *)
+   worse than Append on icache misses, bp-compress must strictly beat
+   Append on estimated compressed size while staying within 5% of
+   balanced on icache misses, and no startup-ordered strategy may fault
+   more cold-start pages than Append.  A w-sweep shows the
+   locality/compression trade-off curve.  Emits BENCH_layout.json. *)
 let layout_bench_impl ~assert_wins app =
   let app_name = app.Workload.Appgen.app_name in
   title (Printf.sprintf "Layout: function-placement strategies (%s)" app_name);
@@ -924,6 +966,10 @@ let layout_bench_impl ~assert_wins app =
       ("order-file", Some (Pgo.Order.compute `Order_file profile program));
       ("c3", Some (Pgo.Order.compute `C3 profile program));
       ("balanced", Some (Pgo.Order.compute `Balanced profile program));
+      ( "bp-compress",
+        Some
+          (Pgo.Order.compute (`Bp_compress Pgo.Order.default_w) profile
+             program) );
     ]
   in
   (* The differential oracle: every strategy must reproduce the Append
@@ -958,48 +1004,63 @@ let layout_bench_impl ~assert_wins app =
       List.map
         (fun (device : Perfsim.Device.t) ->
           let config = { Perfsim.Interp.default_config with device } in
-          let cycles = ref 0 and ic = ref 0 and itlb = ref 0 and pages = ref 0 in
+          let acc = Array.make (List.length layout_cols) 0 in
           List.iter
             (fun entry ->
               let res = run ~config ?order entry in
-              cycles := !cycles + res.Perfsim.Interp.cycles;
-              ic := !ic + res.icache_misses;
-              itlb := !itlb + res.itlb_misses;
-              pages := !pages + res.data_pages_touched)
+              List.iteri (fun i c -> acc.(i) <- acc.(i) + c.lc_of_run res)
+                layout_cols)
             entries;
-          (device.Perfsim.Device.name, !cycles, !ic, !itlb, !pages))
+          (device.Perfsim.Device.name, acc))
         Perfsim.Device.devices
     in
-    (sname, per_device)
+    let compressed =
+      (Linker.compress_estimate ?order program).Linker.Compress.compressed_bytes
+    in
+    (sname, compressed, per_device)
   in
   let results = List.map measure strategies in
   print_string
     (table
-       ~header:[ "strategy"; "device"; "cycles"; "icache miss"; "itlb miss"; "data pages" ]
+       ~header:("strategy" :: "device" :: List.map (fun c -> c.lc_head) layout_cols)
        (List.concat_map
-          (fun (sname, per_device) ->
+          (fun (sname, _, per_device) ->
             List.map
-              (fun (d, cy, ic, itlb, pg) ->
-                [ sname; d; string_of_int cy; string_of_int ic;
-                  string_of_int itlb; string_of_int pg ])
+              (fun (d, acc) ->
+                sname :: d
+                :: List.map string_of_int (Array.to_list acc))
               per_device)
           results));
-  let total pick sname =
-    let _, per_device = List.find (fun (s, _) -> s = sname) results in
-    List.fold_left (fun a row -> a + pick row) 0 per_device
+  let total key sname =
+    let i = layout_col_index key in
+    let _, _, per_device =
+      List.find (fun (s, _, _) -> s = sname) results
+    in
+    List.fold_left (fun a (_, acc) -> a + acc.(i)) 0 per_device
   in
-  let cycles_of = total (fun (_, cy, _, _, _) -> cy) in
-  let icache_of = total (fun (_, _, ic, _, _) -> ic) in
-  let itlb_of = total (fun (_, _, _, itlb, _) -> itlb) in
+  let compressed_of sname =
+    let _, c, _ = List.find (fun (s, _, _) -> s = sname) results in
+    c
+  in
   title "Totals across the device matrix";
+  let total_cols = List.filter (fun c -> c.lc_total) layout_cols in
   print_string
     (table
-       ~header:[ "strategy"; "cycles"; "icache miss"; "itlb miss" ]
+       ~header:
+         ("strategy"
+         :: List.map (fun c -> c.lc_head) total_cols
+         @ [ "compressed B" ])
        (List.map
-          (fun (sname, _) ->
-            [ sname; string_of_int (cycles_of sname);
-              string_of_int (icache_of sname); string_of_int (itlb_of sname) ])
+          (fun (sname, compressed, _) ->
+            (sname
+            :: List.map
+                 (fun c -> string_of_int (total c.lc_key sname))
+                 total_cols)
+            @ [ string_of_int compressed ])
           results));
+  let icache_of = total "icache_misses" in
+  let itlb_of = total "itlb_misses" in
+  let cold_of = total "cold_start_pages" in
   let append_ic = icache_of "append" in
   let ca_itlb = itlb_of "caller-affinity" in
   let accepted =
@@ -1010,18 +1071,63 @@ let layout_bench_impl ~assert_wins app =
   Printf.printf
     "strategies beating caller-affinity on iTLB and matching append on icache: %s\n"
     (if accepted = [] then "(none)" else String.concat ", " accepted);
-  let json_strategy (sname, per_device) =
+  (* The trade-off curve: sweep bp-compress's weight from pure locality
+     (w=0, the balanced order itself) to pure compression (w=1), measured
+     on the default device. *)
+  let sweep_ws = [ 0.0; 0.25; 0.5; 0.75; 1.0 ] in
+  let sweep =
+    List.map
+      (fun w ->
+        let order = Pgo.Order.bp_compress ~w profile program in
+        let compressed =
+          (Linker.compress_estimate ~order program)
+            .Linker.Compress.compressed_bytes
+        in
+        let ic = ref 0 and cold = ref 0 in
+        List.iter
+          (fun entry ->
+            let res = run ~order entry in
+            ic := !ic + res.Perfsim.Interp.icache_misses;
+            cold := !cold + res.Perfsim.Interp.cold_start_pages)
+          entries;
+        (w, compressed, !ic, !cold))
+      sweep_ws
+  in
+  title "bp-compress w-sweep (default device): locality vs compressed size";
+  print_string
+    (table
+       ~header:[ "w"; "compressed B"; "icache miss"; "cold pages" ]
+       (List.map
+          (fun (w, compressed, ic, cold) ->
+            [ Printf.sprintf "%g" w; string_of_int compressed;
+              string_of_int ic; string_of_int cold ])
+          sweep));
+  let json_strategy (sname, compressed, per_device) =
     Printf.sprintf
-      "    {\"strategy\":\"%s\",\"devices\":[\n%s\n    ]}"
-      sname
+      "    {\"strategy\":\"%s\",\"compressed_size\":%d,\"devices\":[\n\
+       %s\n\
+      \    ]}"
+      sname compressed
       (String.concat ",\n"
          (List.map
-            (fun (d, cy, ic, itlb, pg) ->
-              Printf.sprintf
-                "      {\"device\":\"%s\",\"cycles\":%d,\"icache_misses\":%d,\
-                 \"itlb_misses\":%d,\"data_pages\":%d}"
-                d cy ic itlb pg)
+            (fun (d, acc) ->
+              Printf.sprintf "      {\"device\":\"%s\",%s}" d
+                (String.concat ","
+                   (List.mapi
+                      (fun i c ->
+                        Printf.sprintf "\"%s\":%d" c.lc_key acc.(i))
+                      layout_cols)))
             per_device))
+  in
+  let json_sweep =
+    String.concat ",\n"
+      (List.map
+         (fun (w, compressed, ic, cold) ->
+           Printf.sprintf
+             "    {\"w\":%g,\"compressed_size\":%d,\"icache_misses\":%d,\
+              \"cold_start_pages\":%d}"
+             w compressed ic cold)
+         sweep)
   in
   let json =
     Printf.sprintf
@@ -1031,21 +1137,51 @@ let layout_bench_impl ~assert_wins app =
       \  \"strategies\": [\n\
        %s\n\
       \  ],\n\
+      \  \"w_sweep\": [\n\
+       %s\n\
+      \  ],\n\
       \  \"identical\": true,\n\
       \  \"accepted\": [%s]\n\
        }\n"
       app_name (List.length entries)
       (String.concat ",\n" (List.map json_strategy results))
+      json_sweep
       (String.concat ", " (List.map (Printf.sprintf "\"%s\"") accepted))
   in
   let oc = open_out "BENCH_layout.json" in
   output_string oc json;
   close_out oc;
   Printf.printf "wrote BENCH_layout.json\n";
-  if assert_wins && accepted = [] then
-    failwith
-      "layout_bench: no profile-guided strategy beats caller-affinity on \
-       iTLB while matching append on icache"
+  if assert_wins then begin
+    if accepted = [] then
+      failwith
+        "layout_bench: no profile-guided strategy beats caller-affinity on \
+         iTLB while matching append on icache";
+    let bpc = compressed_of "bp-compress" and apc = compressed_of "append" in
+    if bpc >= apc then
+      failwith
+        (Printf.sprintf
+           "layout_bench: bp-compress does not beat append on estimated \
+            compressed size (%d vs %d bytes)"
+           bpc apc);
+    let bp_ic = icache_of "bp-compress" and bal_ic = icache_of "balanced" in
+    if bp_ic * 100 > bal_ic * 105 then
+      failwith
+        (Printf.sprintf
+           "layout_bench: bp-compress icache misses (%d) are more than 5%% \
+            past balanced (%d)"
+           bp_ic bal_ic);
+    let append_cold = cold_of "append" in
+    List.iter
+      (fun s ->
+        if cold_of s > append_cold then
+          failwith
+            (Printf.sprintf
+               "layout_bench: %s faults more cold-start pages than append \
+                (%d vs %d)"
+               s (cold_of s) append_cold))
+      [ "order-file"; "c3"; "balanced"; "bp-compress" ]
+  end
 
 let layout_bench () = layout_bench_impl ~assert_wins:true Workload.Appgen.uber_rider
 let layout_bench_small () = layout_bench_impl ~assert_wins:false Workload.Appgen.small

@@ -207,16 +207,11 @@ let app_profile = function
     prerr_endline ("unknown profile " ^ other);
     exit 1
 
-let layout_strategy_of_string = function
-  | "append" -> `Append
-  | "caller-affinity" -> `Caller_affinity
-  | "order-file" -> `Order_file
-  | "c3" -> `C3
-  | "balanced" -> `Balanced
-  | other ->
-    prerr_endline
-      ("unknown layout " ^ other
-     ^ " (want append, caller-affinity, order-file, c3 or balanced)");
+let layout_strategy_of_string s =
+  match Pipeline.layout_strategy_of_string s with
+  | Ok l -> l
+  | Error e ->
+    prerr_endline e;
     exit 1
 
 let build_cmd =
@@ -260,10 +255,13 @@ let build_cmd =
   let layout_arg =
     Arg.(value & opt string "append"
          & info [ "layout" ]
-             ~docv:"append|caller-affinity|order-file|c3|balanced"
-             ~doc:"Function-placement strategy.  order-file, c3 and \
-                   balanced are profile-guided: they use --profile-in, or \
-                   self-profile a main run when no profile is given.")
+             ~docv:"append|caller-affinity|order-file|c3|balanced|bp-compress"
+             ~doc:"Function-placement strategy.  order-file, c3, balanced \
+                   and bp-compress are profile-guided: they use \
+                   --profile-in, or self-profile a main run when no profile \
+                   is given.  bp-compress(w=0..1) mixes a compressed-size \
+                   term into the balanced-partitioning objective (default \
+                   w=0.5).")
   in
   let profile_in =
     Arg.(value & opt (some file) None
@@ -355,12 +353,18 @@ let build_cmd =
       | Some spec -> or_die (Pipeline.config_of_passes ~base:config spec)
     in
     let res = or_die (Pipeline.build_sources ~config sources) in
+    let est = Lazy.force res.Pipeline.layout.Linker.compressed in
     Printf.printf "binary size: %d B   code size: %d B   outlined rounds: %d\n"
       res.Pipeline.binary_size res.code_size
       (List.length res.outline_stats);
+    Printf.printf
+      "estimated compressed size: %d B (content %d B, %d back-references)\n"
+      est.Linker.Compress.compressed_bytes est.Linker.Compress.raw_bytes
+      est.Linker.Compress.match_count;
     (match res.Pipeline.function_order with
     | Some order ->
-      Printf.printf "layout: %s placed %d functions%s\n" layout
+      Printf.printf "layout: %s placed %d functions%s\n"
+        (Pipeline.layout_strategy_name config.Pipeline.outlined_layout)
         (List.length order)
         (match profile_in with
         | Some p -> " (profile: " ^ p ^ ")"

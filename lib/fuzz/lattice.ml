@@ -88,6 +88,8 @@ let points base =
       ("wp/r3/layout-c3", { wp3 with Pipeline.outlined_layout = `C3 });
       ( "wp/r3/layout-balanced",
         { wp3 with Pipeline.outlined_layout = `Balanced } );
+      ( "wp/r3/layout-bp-compress",
+        { wp3 with Pipeline.outlined_layout = `Bp_compress 0.5 } );
       ( "wp/r3/scratch-engine",
         { wp3 with Pipeline.outline_engine = `Scratch } );
     ]
@@ -313,6 +315,96 @@ let check_monotone results =
         in
         scan chain)
     tbl None
+
+(* The compressed-size model's property check: the estimate must be a
+   deterministic function of placement that is sensitive to permutation
+   only through window locality.  Theorem-shaped, never tuned:
+
+   - determinism: estimating twice gives identical results;
+   - content-total invariance: with the window disabled the estimate is a
+     function of content alone, so every permutation agrees byte-for-byte
+     (and raw bytes never change under any order);
+   - soundness: the windowed estimate never exceeds the pure-literal
+     bound under any order;
+   - sensitivity: if the program carries byte-identical function bodies
+     (render-keyed, exactly like [Linker.duplicate_function_bodies]),
+     placing the clones adjacent must strictly beat the literal bound —
+     redundancy inside the window has to be worth something. *)
+let compress_property (p : Machine.Program.t) =
+  let fail reason = Some { point = "compress/property"; reason } in
+  let names = List.map (fun (f : Machine.Mfunc.t) -> f.name) p.Machine.Program.funcs in
+  let rev = List.rev names in
+  let est = Linker.compress_estimate p in
+  let est2 = Linker.compress_estimate p in
+  let est_rev = Linker.compress_estimate ~order:rev p in
+  let lit = Linker.compress_estimate ~window:0 p in
+  let lit_rev = Linker.compress_estimate ~window:0 ~order:rev p in
+  if est <> est2 then fail "compressed-size estimate is not deterministic"
+  else if est.Linker.Compress.raw_bytes <> est_rev.Linker.Compress.raw_bytes
+  then
+    fail
+      (Printf.sprintf
+         "content-stream length changed under permutation: %d vs %d"
+         est.Linker.Compress.raw_bytes est_rev.Linker.Compress.raw_bytes)
+  else if lit <> lit_rev then
+    fail
+      (Printf.sprintf
+         "window-0 estimate is not content-total-invariant: %d vs %d under \
+          a reversed placement"
+         lit.Linker.Compress.compressed_bytes
+         lit_rev.Linker.Compress.compressed_bytes)
+  else if
+    est.Linker.Compress.compressed_bytes > lit.Linker.Compress.compressed_bytes
+    || est_rev.Linker.Compress.compressed_bytes
+       > lit_rev.Linker.Compress.compressed_bytes
+  then
+    fail
+      "windowed estimate exceeded the pure-literal bound under some \
+       placement"
+  else begin
+    (* Sensitivity, guarded: only meaningful when a clone family exists
+       whose body both clears the minimum match length and fits the
+       window (adjacent copies must be reachable back-references). *)
+    let by_render = Hashtbl.create 64 in
+    List.iter
+      (fun (f : Machine.Mfunc.t) ->
+        let key = Linker.Content.render f in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt by_render key) in
+        Hashtbl.replace by_render key (f.name :: prev))
+      p.Machine.Program.funcs;
+    let has_clone_family =
+      Hashtbl.fold
+        (fun key fs acc ->
+          acc
+          || (List.length fs >= 2
+             && String.length key >= Linker.Compress.min_match
+             && String.length key <= Linker.Compress.window_default / 2))
+        by_render false
+    in
+    if not has_clone_family then None
+    else begin
+      (* Clones adjacent: sort names by render key, ties on name. *)
+      let keyed =
+        List.map
+          (fun (f : Machine.Mfunc.t) -> (Linker.Content.render f, f.name))
+          p.Machine.Program.funcs
+      in
+      let sorted = List.sort compare keyed in
+      let adjacent = List.map snd sorted in
+      let est_adj = Linker.compress_estimate ~order:adjacent p in
+      if
+        est_adj.Linker.Compress.compressed_bytes
+        >= lit.Linker.Compress.compressed_bytes
+      then
+        fail
+          (Printf.sprintf
+             "placing byte-identical bodies adjacent did not beat the \
+              literal bound: %d vs %d"
+             est_adj.Linker.Compress.compressed_bytes
+             lit.Linker.Compress.compressed_bytes)
+      else None
+    end
+  end
 
 (* --- the Swiftlet check ------------------------------------------------------ *)
 
@@ -554,6 +646,7 @@ let check ?(verify_each = false) (p : Swiftgen.program) =
         let sizes = ref [] in
         let thins = ref [] in
         let full_wpo = ref None in
+        let full_prog = ref None in
         List.iter
           (fun ((label, cfg) as pt) ->
             if !failure = None then
@@ -566,8 +659,10 @@ let check ?(verify_each = false) (p : Swiftgen.program) =
                 sizes :=
                   (label, cfg, cfg.Pipeline.outline_rounds, res.binary_size)
                   :: !sizes;
-                if label = "wp/r3/plain" then
+                if label = "wp/r3/plain" then begin
                   full_wpo := Some res.binary_size;
+                  full_prog := Some res.Pipeline.program
+                end;
                 (match cfg.Pipeline.mode with
                 | Pipeline.Thin_wpo _ ->
                   thins :=
@@ -586,13 +681,18 @@ let check ?(verify_each = false) (p : Swiftgen.program) =
             match thin_differential (List.rev !thins) !full_wpo with
             | Some f -> Fail f
             | None -> (
-              match serve_differential (Swiftgen.to_sources p) with
+              match
+                Option.join (Option.map compress_property !full_prog)
+              with
               | Some f -> Fail f
-              (* every point also ran its /spec twin, plus the two
-                 transition-differential points, the two thin-WPO
-                 differentials, and the three serve replay steps (build,
-                 edit, retry) *)
-              | None -> Pass ((2 * List.length pts) + 4 + 3)))))))
+              | None -> (
+                match serve_differential (Swiftgen.to_sources p) with
+                | Some f -> Fail f
+                (* every point also ran its /spec twin, plus the two
+                   transition-differential points, the two thin-WPO
+                   differentials, the compressed-size property check, and
+                   the three serve replay steps (build, edit, retry) *)
+                | None -> Pass ((2 * List.length pts) + 4 + 1 + 3))))))))
 
 (* The thin-only check: reference oracle, the three thin points (spec
    twins included), and both thin differentials — nothing else.  This is

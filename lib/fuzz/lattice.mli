@@ -30,7 +30,14 @@
     - the default configs (both modes) are built through the pass manager
       {e and} the preserved pre-refactor sequencing
       ([Pipeline.build_reference]) and must agree byte-for-byte — the
-      transitional proof that the refactor is observationally exact. *)
+      transitional proof that the refactor is observationally exact.
+
+    The compressed-size model ({!Linker.Compress}) is property-checked on
+    the wp/r3 program: the estimate must be deterministic, never exceed
+    the pure-literal bound, be content-total-invariant with the window
+    disabled (every permutation agrees), and — when byte-identical
+    function bodies exist — strictly beat the literal bound once the
+    clones are placed adjacent. *)
 
 type failure = {
   point : string;  (** label of the offending lattice point *)

@@ -5,6 +5,169 @@ type symbol_kind =
   | Data
   | Extern
 
+(* --- function content: stable byte streams, hashes and shingles ------------- *)
+
+(* The FNV-1a machinery thin-WPO's summaries hash candidates with, hoisted
+   here so the compressed-size model and the bp-compress layout objective
+   share one definition of "content" with the summary exchange
+   (Thinwpo.Summary aliases these).  The rendered stream erases the
+   function name — byte-identical bodies render identically, exactly like
+   [duplicate_function_bodies]'s keying — so co-locating clones is visible
+   to any window that slides over the stream. *)
+module Content = struct
+  let fnv_offset = 0xcbf29ce484222325L
+  let fnv_prime = 0x100000001b3L
+
+  let fnv_byte h b =
+    Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
+
+  let fnv_string h s =
+    let h = ref h in
+    String.iter (fun c -> h := fnv_byte !h (Char.code c)) s;
+    !h
+
+  let add_func buf (f : Mfunc.t) =
+    List.iter
+      (fun (b : Block.t) ->
+        Buffer.add_string buf b.Block.label;
+        Buffer.add_char buf ':';
+        Array.iter
+          (fun i ->
+            Buffer.add_string buf (Insn.to_string i);
+            Buffer.add_char buf ';')
+          b.Block.body;
+        Buffer.add_string buf
+          (Format.asprintf "%a" Block.pp_terminator b.Block.term);
+        Buffer.add_char buf '|')
+      f.blocks
+
+  let render (f : Mfunc.t) =
+    let buf = Buffer.create 256 in
+    add_func buf f;
+    Buffer.contents buf
+
+  (* k-gram shingles over the instruction stream: every window of [k]
+     consecutive rendered instructions (terminators included) hashes to
+     one utility id, deduplicated.  Functions sharing instruction
+     subsequences — outlined-clone families, merge-function survivors,
+     codegen idioms — share shingles. *)
+  let shingles ?(k = 2) (f : Mfunc.t) =
+    let insns = ref [] in
+    List.iter
+      (fun (b : Block.t) ->
+        Array.iter (fun i -> insns := Insn.to_string i :: !insns) b.Block.body;
+        insns :=
+          Format.asprintf "%a" Block.pp_terminator b.Block.term :: !insns)
+      f.blocks;
+    let insns = Array.of_list (List.rev !insns) in
+    let n = Array.length insns in
+    if n = 0 then []
+    else begin
+      let k = min k n in
+      let out = ref [] in
+      for i = 0 to n - k do
+        let h = ref fnv_offset in
+        for j = i to i + k - 1 do
+          h := fnv_byte (fnv_string !h insns.(j)) 0
+        done;
+        out := !h :: !out
+      done;
+      List.sort_uniq Int64.compare !out
+    end
+end
+
+(* --- LZ-style compressed-size model ----------------------------------------- *)
+
+(* App-store delivery is compressed, so raw bytes are not what users
+   download.  This is a deterministic stand-in for the LZ family every
+   store uses: a greedy sliding-window parse over the image's rendered
+   content stream, literals at 9 bits, back-references at a flat 25 bits
+   (flag + window offset + 8-bit length).  No entropy coding — the model
+   only has to rank layouts, and what ranks them is how much redundancy
+   falls inside the match window, which is exactly what function order
+   controls. *)
+module Compress = struct
+  type estimate = {
+    raw_bytes : int;        (* rendered content-stream length *)
+    compressed_bytes : int; (* model output for that stream *)
+    match_count : int;      (* back-references the parse emitted *)
+  }
+
+  let window_default = 64 * 1024
+  let min_match = 8
+  let max_match = 255 + min_match
+  let literal_bits = 9
+  let match_bits = 25
+
+  let estimate_stream ?(window = window_default) s =
+    let n = String.length s in
+    if window <= 0 || n < min_match then
+      { raw_bytes = n;
+        compressed_bytes = ((n * literal_bits) + 7) / 8;
+        match_count = 0 }
+    else begin
+      let hsize = 1 lsl 15 in
+      let head = Array.make hsize (-1) in
+      let prev = Array.make n (-1) in
+      let hash i =
+        (Char.code s.[i]
+        + (131 * Char.code s.[i + 1])
+        + (131 * 131 * Char.code s.[i + 2])
+        + (131 * 131 * 131 * Char.code s.[i + 3]))
+        land (hsize - 1)
+      in
+      let insert i =
+        if i + 4 <= n then begin
+          let h = hash i in
+          prev.(i) <- head.(h);
+          head.(h) <- i
+        end
+      in
+      let bits = ref 0 and pos = ref 0 and matches = ref 0 in
+      while !pos < n do
+        let p = !pos in
+        let best_len = ref 0 in
+        if p + min_match <= n then begin
+          let limit = p - window in
+          let cand = ref head.(hash p) in
+          let tries = ref 0 in
+          (* Chains are most-recent-first, so the first position below the
+             window cuts the walk; the try cap keeps the parse linear. *)
+          while !cand >= 0 && !cand >= limit && !tries < 64 do
+            let j = !cand in
+            let len = ref 0 in
+            let maxl = min (n - p) max_match in
+            while !len < maxl && s.[j + !len] = s.[p + !len] do incr len done;
+            if !len > !best_len then best_len := !len;
+            cand := prev.(j);
+            incr tries
+          done
+        end;
+        if !best_len >= min_match then begin
+          bits := !bits + match_bits;
+          incr matches;
+          for k = p to p + !best_len - 1 do
+            insert k
+          done;
+          pos := p + !best_len
+        end
+        else begin
+          bits := !bits + literal_bits;
+          insert p;
+          pos := p + 1
+        end
+      done;
+      { raw_bytes = n;
+        compressed_bytes = (!bits + 7) / 8;
+        match_count = !matches }
+    end
+
+  let stream_of_funcs funcs =
+    let buf = Buffer.create 65536 in
+    List.iter (fun f -> Content.add_func buf f) funcs;
+    Buffer.contents buf
+end
+
 type layout = {
   addresses : (string, int) Hashtbl.t;
   kinds : (string, symbol_kind) Hashtbl.t;
@@ -13,6 +176,7 @@ type layout = {
   data_base : int;
   data_size : int;
   image_overhead : int;
+  compressed : Compress.estimate Lazy.t;
 }
 
 let text_base_default = 0x1_0000
@@ -51,12 +215,13 @@ let link ?(text_base = text_base_default)
   let addresses = Hashtbl.create 1024 in
   let kinds = Hashtbl.create 1024 in
   let cursor = ref text_base in
+  let funcs = ordered_funcs order p in
   List.iter
     (fun (f : Mfunc.t) ->
       Hashtbl.replace addresses f.name !cursor;
       Hashtbl.replace kinds f.name Text;
       cursor := !cursor + Mfunc.size_bytes f)
-    (ordered_funcs order p);
+    funcs;
   let text_size = !cursor - text_base in
   (* Segments are page-aligned, as in Mach-O (16 KiB pages on iOS). *)
   let data_base = align !cursor 16384 in
@@ -77,9 +242,28 @@ let link ?(text_base = text_base_default)
         Hashtbl.replace kinds e Extern
       end)
     p.externs;
-  { addresses; kinds; text_base; text_size; data_base; data_size; image_overhead }
+  {
+    addresses;
+    kinds;
+    text_base;
+    text_size;
+    data_base;
+    data_size;
+    image_overhead;
+    (* The download-size model rides every layout, but rendering and
+       parsing the content stream is far too slow for the interpreter's
+       per-run links — so it is lazy, forced only by callers that report
+       it (sizeopt build, bench). *)
+    compressed =
+      lazy (Compress.estimate_stream (Compress.stream_of_funcs funcs));
+  }
 
 let binary_size l = l.text_size + l.data_size + l.image_overhead
+let compressed_size l = (Lazy.force l.compressed).Compress.compressed_bytes
+
+let compress_estimate ?window ?order (p : Program.t) =
+  Compress.estimate_stream ?window
+    (Compress.stream_of_funcs (ordered_funcs order p))
 let address_of l s = Hashtbl.find l.addresses s
 
 let symbolize l addr =

@@ -7,6 +7,52 @@ type symbol_kind =
   | Data
   | Extern
 
+(** Stable function-content machinery shared by the compressed-size model
+    below, the bp-compress layout objective ({!Pgo.Order}) and thin-WPO's
+    summary hashing ({!Thinwpo.Summary} aliases the FNV helpers).  The
+    rendered stream erases the function name, so byte-identical bodies
+    render identically. *)
+module Content : sig
+  val fnv_offset : int64
+  val fnv_prime : int64
+  val fnv_byte : int64 -> int -> int64
+  val fnv_string : int64 -> string -> int64
+
+  val render : Machine.Mfunc.t -> string
+  (** The function's blocks as printed instructions and terminators,
+      name erased — the byte stream the compression model slides over. *)
+
+  val shingles : ?k:int -> Machine.Mfunc.t -> int64 list
+  (** Deduplicated FNV hashes of every [k] (default 2) consecutive
+      rendered instructions: the content-utility ids bp-compress feeds
+      to balanced partitioning. *)
+end
+
+(** The LZ-style download-size model: a deterministic greedy
+    sliding-window parse over the image's rendered content stream —
+    literals at 9 bits, back-references at a flat 25 bits (flag + offset
+    + 8-bit length, matches of [min_match]..[max_match] stream bytes).
+    No entropy coding: the model only has to {e rank} layouts, and what
+    ranks them is how much redundancy lands inside the window, which is
+    what function order controls.  [window <= 0] disables matching
+    entirely (the pure-literal bound, a function of content alone and
+    therefore identical under every permutation). *)
+module Compress : sig
+  type estimate = {
+    raw_bytes : int;        (** rendered content-stream length *)
+    compressed_bytes : int; (** model output for that stream *)
+    match_count : int;      (** back-references the parse emitted *)
+  }
+
+  val window_default : int
+  (** 64 KiB *)
+
+  val min_match : int
+  val max_match : int
+
+  val estimate_stream : ?window:int -> string -> estimate
+end
+
 type layout = {
   addresses : (string, int) Hashtbl.t;   (** symbol -> virtual address *)
   kinds : (string, symbol_kind) Hashtbl.t;
@@ -15,6 +61,9 @@ type layout = {
   data_base : int;
   data_size : int;
   image_overhead : int;   (** headers, load commands, linkedit stand-in *)
+  compressed : Compress.estimate Lazy.t;
+      (** the download-size estimate for this placement; lazy because the
+          interpreter links on every run and never reads it *)
 }
 
 val text_base_default : int
@@ -36,6 +85,15 @@ val link :
 
 val binary_size : layout -> int
 (** [text_size + data_size + image_overhead]. *)
+
+val compressed_size : layout -> int
+(** Forces the layout's lazy {!Compress.estimate} and returns its
+    [compressed_bytes] — the estimated download size of this placement. *)
+
+val compress_estimate :
+  ?window:int -> ?order:string list -> Machine.Program.t -> Compress.estimate
+(** The compression model over the program's content stream under a
+    placement, without building a full layout.  [?order] as in {!link}. *)
 
 val address_of : layout -> string -> int
 (** Raises [Not_found] for undefined symbols. *)

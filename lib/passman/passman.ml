@@ -658,6 +658,19 @@ let machine_passes env =
       p_linked = true;
       p_run = (fun _ _ p -> Outcore.Layout.optimize p);
     };
+    {
+      p_name = "pgo-layout";
+      p_params = [ "strategy"; "w" ];
+      p_self_gated = false;
+      p_linked = true;
+      (* A marker pass: profile-guided placement is pure reordering
+         realized at link time ([Linker.link ~order]) after the program
+         is final, so the pass body is the identity.  Registering it
+         makes the strategy — order-file, c3, balanced, bp-compress(w) —
+         a validated, parameterized member of the pipeline spec that the
+         pipeline raises back onto [config.outlined_layout]. *)
+      p_run = (fun _ _ p -> p);
+    };
   ]
 
 let registered_names =
@@ -670,4 +683,5 @@ let registered_names =
     "outline";
     "thin-outline";
     "caller-affinity-layout";
+    "pgo-layout";
   ]

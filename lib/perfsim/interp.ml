@@ -38,6 +38,8 @@ type result = {
   dtlb_misses : int;
   data_pages_touched : int;
   data_fault_cycles : int;
+  cold_start_pages : int;
+  cold_start_cost : int;
   branches : int;
   calls : int;
 }
@@ -104,6 +106,17 @@ type state = {
   mutable data_fault_cycles : int;
   mutable shadow_stack : string list;  (* callee names, innermost first *)
   mutable outlined_steps : int;
+  (* Cold-start page-in trace: distinct 16 KiB text pages fetched before
+     the entry frame's first completed call returns (the "first frame
+     drawn" marker).  [cold_depth] counts live frames starting at the
+     entry frame; the marker fires when control returns into the entry
+     frame after at least one intra-image call, and a run that never
+     calls is cold throughout. *)
+  cold_pages : (int, unit) Hashtbl.t;
+  mutable cold_depth : int;
+  mutable cold_called : bool;
+  mutable cold_done : bool;
+  mutable cold_last_page : int;
 }
 
 let scale st c = int_of_float (float_of_int c *. st.cfg.os.Device.penalty_scale)
@@ -347,7 +360,30 @@ let fetch_costs st addr =
     if not (Icache.access st.icache addr) then
       st.cycles <- st.cycles + scale st st.cfg.device.Device.icache_miss_penalty;
     if not (Tlb.access st.itlb addr) then
-      st.cycles <- st.cycles + scale st st.cfg.device.Device.itlb_miss_penalty
+      st.cycles <- st.cycles + scale st st.cfg.device.Device.itlb_miss_penalty;
+    if not st.cold_done then begin
+      let page = addr / st.cfg.os.Device.page_bytes in
+      if page <> st.cold_last_page then begin
+        st.cold_last_page <- page;
+        if not (Hashtbl.mem st.cold_pages page) then
+          Hashtbl.replace st.cold_pages page ()
+      end
+    end
+  end
+
+(* Entry-frame depth bookkeeping for the cold-start marker.  Tail calls
+   within the image replace the current frame, so they touch neither
+   counter; a tail transfer to an extern exits the frame like a return. *)
+let cold_push st =
+  if not st.cold_done then begin
+    st.cold_called <- true;
+    st.cold_depth <- st.cold_depth + 1
+  end
+
+let cold_pop st =
+  if not st.cold_done then begin
+    st.cold_depth <- st.cold_depth - 1;
+    if st.cold_called && st.cold_depth <= 1 then st.cold_done <- true
   end
 
 let exec_insn st (i : Insn.t) =
@@ -427,6 +463,13 @@ let run ?(config = default_config) ?(args = []) ?order ~entry (p : Program.t) =
         data_fault_cycles = 0;
         shadow_stack = [ entry ];
         outlined_steps = 0;
+        cold_pages = Hashtbl.create 64;
+        cold_depth = 1;
+        cold_called = false;
+        (* Tracking costs a page computation per fetch, so it is wired to
+           the same switch as the rest of the perf model. *)
+        cold_done = not config.model_perf;
+        cold_last_page = -1;
       }
     in
     let dump_hook = ref (fun () -> ()) in
@@ -550,6 +593,7 @@ let run ?(config = default_config) ?(args = []) ?order ~entry (p : Program.t) =
           match target with
           | T_slot s ->
             st.calls <- st.calls + 1;
+            cold_push st;
             emit_enter ~caller:(Some func_names.(idx)) ~tail:false func_names.(s);
             st.shadow_stack <- func_names.(s) :: st.shadow_stack;
             pc := s
@@ -562,6 +606,7 @@ let run ?(config = default_config) ?(args = []) ?order ~entry (p : Program.t) =
           match Hashtbl.find_opt st.slot_of_addr dest with
           | Some s ->
             st.calls <- st.calls + 1;
+            cold_push st;
             emit_enter ~caller:(Some func_names.(idx)) ~tail:false func_names.(s);
             st.shadow_stack <- func_names.(s) :: st.shadow_stack;
             pc := s
@@ -572,6 +617,7 @@ let run ?(config = default_config) ?(args = []) ?order ~entry (p : Program.t) =
         | S_ret ->
           charge_branch ();
           st.branches <- st.branches + 1;
+          cold_pop st;
           (match st.shadow_stack with _ :: rest -> st.shadow_stack <- rest | [] -> ());
           jump_to_address (get_reg st Reg.lr)
         | S_b t ->
@@ -607,6 +653,7 @@ let run ?(config = default_config) ?(args = []) ?order ~entry (p : Program.t) =
             (* A tail call to an extern returns to the current LR. *)
             let ret = get_reg st Reg.lr in
             st.calls <- st.calls + 1;
+            cold_pop st;
             if runtime_call st name then jump_to_address ret
             else (
               match config.unknown_extern with
@@ -628,6 +675,14 @@ let run ?(config = default_config) ?(args = []) ?order ~entry (p : Program.t) =
           dtlb_misses = Tlb.misses st.dtlb;
           data_pages_touched = Hashtbl.length st.data_pages;
           data_fault_cycles = st.data_fault_cycles;
+          cold_start_pages = Hashtbl.length st.cold_pages;
+          (* Reported beside [cycles], not folded into it: the fault cost
+             is paid once per install-then-launch, not per steady-state
+             run, and keeping it separate keeps [cycles] comparable with
+             pre-cold-start baselines. *)
+          cold_start_cost =
+            Hashtbl.length st.cold_pages
+            * scale st st.cfg.device.Device.data_fault_penalty;
           branches = st.branches;
           calls = st.calls;
         }

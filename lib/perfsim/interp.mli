@@ -56,6 +56,16 @@ type result = {
   dtlb_misses : int;
   data_pages_touched : int;
   data_fault_cycles : int;
+  cold_start_pages : int;
+      (** distinct text pages (16 KiB under the default OS) fetched
+          before the entry frame's first completed intra-image call
+          returned — the page-in trace a launch must fault in before the
+          first frame.  A run that never calls is cold throughout.
+          0 when [model_perf] is off. *)
+  cold_start_cost : int;
+      (** [cold_start_pages] priced at the device's fault penalty (and
+          the OS penalty scale).  Reported beside [cycles], not added to
+          it: launch page-in is paid once, not per steady-state run. *)
   branches : int;
   calls : int;
 }

@@ -1,11 +1,12 @@
 open Machine
 
-type strategy = [ `Order_file | `C3 | `Balanced ]
+type strategy = [ `Order_file | `C3 | `Balanced | `Bp_compress of float ]
 
 let strategy_name = function
   | `Order_file -> "order-file"
   | `C3 -> "c3"
   | `Balanced -> "balanced"
+  | `Bp_compress w -> Printf.sprintf "bp-compress(w=%g)" w
 
 let name_of (f : Mfunc.t) = f.Mfunc.name
 
@@ -129,8 +130,18 @@ let c3 ?(max_cluster_bytes = 16 * 1024) (profile : Profile.t) (p : Program.t) =
    iTLB no longer distinguishes orders, so BP's objective is pure noise
    there, while keeping the initial first-touch order inside each leaf is
    exactly what the icache wants (sequential startup streaming). *)
-let balanced ?max_depth ?(passes = 10) ?(leaf_bytes = 4096)
-    (profile : Profile.t) (p : Program.t) =
+(* The shared core, parameterized on the compression weight [w] of the
+   bp-compress objective.  Each hot function is a document whose weighted
+   utilities are its dynamic call-graph neighbours (weight 1-w) plus, when
+   w > 0, its content shingles (weight w, FNV k-grams from
+   Linker.Content): the BP paper's extension, where co-locating functions
+   that share instruction subsequences puts their redundancy inside the
+   compressor's window.  At w = 0 the shingle utilities are not built at
+   all and every locality weight is exactly 1.0, so the arithmetic — and
+   therefore the order — is bit-identical to the original balanced
+   partitioner; the w=0 degeneration test holds this. *)
+let balanced_core ?max_depth ?(passes = 10) ?(leaf_bytes = 4096)
+    ~content_weight (profile : Profile.t) (p : Program.t) =
   let hot, cold = split_hot_cold profile p in
   let hot_bytes =
     List.fold_left (fun a f -> a + Mfunc.size_bytes f) 0 hot
@@ -178,12 +189,41 @@ let balanced ?max_depth ?(passes = 10) ?(leaf_bytes = 4096)
       add_n u v;
       add_n v u)
     profile.Profile.edges;
+  let locality_weight = 1.0 -. content_weight in
+  let shingle_uids =
+    if content_weight <= 0.0 then fun _ -> []
+    else begin
+      let by_name = Hashtbl.create n in
+      List.iter (fun f -> Hashtbl.replace by_name (name_of f) f) hot;
+      let tbl = Hashtbl.create n in
+      Array.iter
+        (fun name ->
+          match Hashtbl.find_opt by_name name with
+          | None -> ()
+          | Some f ->
+            Hashtbl.replace tbl name
+              (List.map
+                 (fun h -> uid (Printf.sprintf "#%Lx" h))
+                 (Linker.Content.shingles f)))
+        ord;
+      fun name -> Option.value ~default:[] (Hashtbl.find_opt tbl name)
+    end
+  in
   let utils_of = Hashtbl.create n in
   Array.iter
     (fun f ->
       let ns = Option.value ~default:[] (Hashtbl.find_opt neighbours f) in
-      Hashtbl.replace utils_of f
-        (List.sort_uniq Int.compare (uid f :: List.map uid ns)))
+      let locality =
+        if locality_weight <= 0.0 then []
+        else
+          List.map
+            (fun u -> (u, locality_weight))
+            (List.sort_uniq Int.compare (uid f :: List.map uid ns))
+      in
+      let content =
+        List.map (fun u -> (u, content_weight)) (shingle_uids f)
+      in
+      Hashtbl.replace utils_of f (locality @ content))
     ord;
   let utils f = Option.value ~default:[] (Hashtbl.find_opt utils_of f) in
   let log2 x = log x /. log 2. in
@@ -198,7 +238,7 @@ let balanced ?max_depth ?(passes = 10) ?(leaf_bytes = 4096)
       while !continue_ && !pass < passes do
         incr pass;
         let deg_l = Hashtbl.create 64 and deg_r = Hashtbl.create 64 in
-        let bump tbl u =
+        let bump tbl (u, _w) =
           Hashtbl.replace tbl u (1 + Option.value ~default:0 (Hashtbl.find_opt tbl u))
         in
         for i = lo to mid - 1 do
@@ -210,14 +250,14 @@ let balanced ?max_depth ?(passes = 10) ?(leaf_bytes = 4096)
         let deg tbl u = Option.value ~default:0 (Hashtbl.find_opt tbl u) in
         let move_gain ~from_left f =
           List.fold_left
-            (fun acc u ->
+            (fun acc (u, w) ->
               let l = deg deg_l u and r = deg deg_r u in
               let before = bits l n_l +. bits r n_r in
               let after =
                 if from_left then bits (l - 1) n_l +. bits (r + 1) n_r
                 else bits (l + 1) n_l +. bits (r - 1) n_r
               in
-              acc +. (before -. after))
+              acc +. (w *. (before -. after)))
             0. (utils f)
         in
         let by_gain idxs from_left =
@@ -247,8 +287,18 @@ let balanced ?max_depth ?(passes = 10) ?(leaf_bytes = 4096)
   bisect 0 n max_depth;
   Array.to_list ord @ List.map name_of cold
 
+let balanced ?max_depth ?passes ?leaf_bytes profile p =
+  balanced_core ?max_depth ?passes ?leaf_bytes ~content_weight:0.0 profile p
+
+let default_w = 0.5
+
+let bp_compress ?max_depth ?passes ?leaf_bytes ?(w = default_w) profile p =
+  let w = Float.max 0.0 (Float.min 1.0 w) in
+  balanced_core ?max_depth ?passes ?leaf_bytes ~content_weight:w profile p
+
 let compute (s : strategy) profile p =
   match s with
   | `Order_file -> order_file profile p
   | `C3 -> c3 profile p
   | `Balanced -> balanced profile p
+  | `Bp_compress w -> bp_compress ~w profile p

@@ -6,11 +6,14 @@
     changes, and the interp differential (same exit value and output
     under every order) is part of the test suite.
 
-    All three share the hot/cold split: functions never executed in the
-    profile are placed at the image tail in program order, so startup
+    All strategies share the hot/cold split: functions never executed in
+    the profile are placed at the image tail in program order, so startup
     and steady-state never page them in. *)
 
-type strategy = [ `Order_file | `C3 | `Balanced ]
+type strategy = [ `Order_file | `C3 | `Balanced | `Bp_compress of float ]
+(** [`Bp_compress w] is {!balanced} with the compression term of weight
+    [w] (0 = pure locality, 1 = pure compression) mixed into the
+    objective; see {!bp_compress}. *)
 
 val strategy_name : strategy -> string
 
@@ -42,5 +45,27 @@ val balanced :
     first-touch order — below a few KiB the fully-associative iTLB sees
     no difference, while touch order still helps the icache.
     Deterministic: ties break on function name. *)
+
+val default_w : float
+(** The default compression weight (0.5) used when [bp-compress] is
+    requested without an explicit [w]. *)
+
+val bp_compress :
+  ?max_depth:int ->
+  ?passes:int ->
+  ?leaf_bytes:int ->
+  ?w:float ->
+  Profile.t ->
+  Machine.Program.t ->
+  string list
+(** {!balanced} with a compression-friendly term in the objective (the
+    BP paper's extension): each hot function's utility set additionally
+    carries its content shingles ({!Linker.Content.shingles}) at weight
+    [w], while call-graph-locality utilities carry weight [1-w].
+    Co-locating functions that share instruction subsequences puts their
+    redundancy inside the compressor's sliding window, shrinking the
+    estimated download size at some cost in locality.  [w] is clamped to
+    [0..1]; [w = 0] produces exactly the {!balanced} order (the shingle
+    utilities are never built and locality weights are exactly 1.0). *)
 
 val compute : strategy -> Profile.t -> Machine.Program.t -> string list

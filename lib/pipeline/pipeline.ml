@@ -4,7 +4,52 @@ type mode =
   | Thin_wpo of { workers : int }
 
 type layout_strategy =
-  [ `Append | `Caller_affinity | `Order_file | `C3 | `Balanced ]
+  [ `Append | `Caller_affinity | `Order_file | `C3 | `Balanced
+  | `Bp_compress of float ]
+
+let layout_strategy_name = function
+  | `Append -> "append"
+  | `Caller_affinity -> "caller-affinity"
+  | `Order_file -> "order-file"
+  | `C3 -> "c3"
+  | `Balanced -> "balanced"
+  | `Bp_compress w -> Printf.sprintf "bp-compress(w=%g)" w
+
+(* The one place the valid-strategy list is written down: the CLI and the
+   spec parser both route their errors through here. *)
+let layout_strategy_list =
+  "append, caller-affinity, order-file, c3, balanced or bp-compress[(w=0..1)]"
+
+let layout_strategy_of_string s =
+  let s = String.lowercase_ascii (String.trim s) in
+  let err () =
+    Error (Printf.sprintf "unknown layout %S (want %s)" s layout_strategy_list)
+  in
+  match s with
+  | "append" -> Ok `Append
+  | "caller-affinity" -> Ok `Caller_affinity
+  | "order-file" -> Ok `Order_file
+  | "c3" -> Ok `C3
+  | "balanced" -> Ok `Balanced
+  | "bp-compress" -> Ok (`Bp_compress Pgo.Order.default_w)
+  | _ ->
+    (* bp-compress(w=0.3) — also accepts the bare bp-compress(0.3). *)
+    let prefix = "bp-compress(" in
+    let np = String.length prefix and n = String.length s in
+    if n > np + 1 && String.sub s 0 np = prefix && s.[n - 1] = ')' then begin
+      let inner = String.sub s np (n - np - 1) in
+      let num =
+        match String.index_opt inner '=' with
+        | Some i when String.trim (String.sub inner 0 i) = "w" ->
+          Some (String.sub inner (i + 1) (String.length inner - i - 1))
+        | Some _ -> None
+        | None -> Some inner
+      in
+      match Option.bind num (fun v -> float_of_string_opt (String.trim v)) with
+      | Some w when w >= 0.0 && w <= 1.0 -> Ok (`Bp_compress w)
+      | Some _ | None -> err ()
+    end
+    else err ()
 
 type config = {
   mode : mode;
@@ -105,7 +150,19 @@ let lowered_spec (c : config) =
     @
     match c.outlined_layout with
     | `Caller_affinity -> [ mk "caller-affinity-layout" ]
-    | `Append | `Order_file | `C3 | `Balanced -> []
+    | `Append -> []
+    | `Order_file | `C3 | `Balanced | `Bp_compress _ ->
+      (* The profile-guided strategies surface as the linked [pgo-layout]
+         marker pass, so a spec string can request and parameterize them. *)
+      let params =
+        match c.outlined_layout with
+        | `Bp_compress w ->
+          [ ("strategy", "bp-compress"); ("w", Printf.sprintf "%g" w) ]
+        | `Order_file -> [ ("strategy", "order-file") ]
+        | `C3 -> [ ("strategy", "c3") ]
+        | _ -> [ ("strategy", "balanced") ]
+      in
+      [ { Passman.sp_name = "pgo-layout"; sp_params = params } ]
 
 let spec_of_config c =
   match c.passes with
@@ -161,6 +218,33 @@ let config_of_passes ?(base = default_config) s =
           | Some sp -> Passman.int_param sp "min" ~default:8
           | None -> base.sil_outline_min
         in
+        let pgo_layout =
+          match find "pgo-layout" with
+          | None -> None
+          | Some sp -> (
+            let param k = List.assoc_opt k sp.Passman.sp_params in
+            let w =
+              match param "w" with
+              | None -> Pgo.Order.default_w
+              | Some v -> (
+                match float_of_string_opt v with
+                | Some w when w >= 0.0 && w <= 1.0 -> w
+                | Some _ | None ->
+                  failwith
+                    (Printf.sprintf "pgo-layout: w=%s is not in 0..1" v))
+            in
+            match Option.value ~default:"bp-compress" (param "strategy") with
+            | "order-file" -> Some `Order_file
+            | "c3" -> Some `C3
+            | "balanced" -> Some `Balanced
+            | "bp-compress" -> Some (`Bp_compress w)
+            | s ->
+              failwith
+                (Printf.sprintf
+                   "pgo-layout: unknown strategy %S (want order-file, c3, \
+                    balanced or bp-compress)"
+                   s))
+        in
         Ok
           {
             base with
@@ -174,9 +258,12 @@ let config_of_passes ?(base = default_config) s =
             outlined_layout =
               (if has "caller-affinity-layout" then `Caller_affinity
                else
-                 match base.outlined_layout with
-                 | `Caller_affinity -> `Append
-                 | l -> l);
+                 match pgo_layout with
+                 | Some l -> l
+                 | None -> (
+                   match base.outlined_layout with
+                   | `Caller_affinity -> `Append
+                   | l -> l));
             passes = Some specs;
           }
       with Failure e -> Error ("bad pass pipeline: " ^ e)))
@@ -510,7 +597,7 @@ let build ?dump ?(config = default_config) modules =
     let function_order =
       match config.outlined_layout with
       | `Append | `Caller_affinity -> None
-      | (`Order_file | `C3 | `Balanced) as strategy ->
+      | (`Order_file | `C3 | `Balanced | `Bp_compress _) as strategy ->
         let profile =
           match config.layout_profile with
           | Some p -> p
@@ -628,7 +715,7 @@ let build_reference ?(config = default_config) modules =
               outline_stats := stats;
               match config.outlined_layout with
               | `Caller_affinity -> Outcore.Layout.optimize p
-              | `Append | `Order_file | `C3 | `Balanced -> p)
+              | `Append | `Order_file | `C3 | `Balanced | `Bp_compress _ -> p)
         else machine
       | Per_module ->
         let units =
@@ -657,7 +744,8 @@ let build_reference ?(config = default_config) modules =
             match config.outlined_layout with
             | `Caller_affinity when config.outline_rounds > 0 ->
               Outcore.Layout.optimize merged
-            | `Caller_affinity | `Append | `Order_file | `C3 | `Balanced ->
+            | `Caller_affinity | `Append | `Order_file | `C3 | `Balanced
+            | `Bp_compress _ ->
               merged)
     in
     (match Machine.Program.validate program with
@@ -666,7 +754,7 @@ let build_reference ?(config = default_config) modules =
     let function_order =
       match config.outlined_layout with
       | `Append | `Caller_affinity -> None
-      | (`Order_file | `C3 | `Balanced) as strategy ->
+      | (`Order_file | `C3 | `Balanced | `Bp_compress _) as strategy ->
         let profile =
           match config.layout_profile with
           | Some p -> p

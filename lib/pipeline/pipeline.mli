@@ -31,7 +31,8 @@ type mode =
           byte-identical for every [workers] value. *)
 
 type layout_strategy =
-  [ `Append | `Caller_affinity | `Order_file | `C3 | `Balanced ]
+  [ `Append | `Caller_affinity | `Order_file | `C3 | `Balanced
+  | `Bp_compress of float ]
 (** Where functions — outlined ones in particular — are placed:
     - [`Append]: program order, outlined functions appended at the end in
       one dense region (LLVM's behaviour, the default);
@@ -39,8 +40,19 @@ type layout_strategy =
       measured negative result (see {!config.outlined_layout});
     - [`Order_file] / [`C3] / [`Balanced]: profile-guided placement from
       a {!Pgo.Profile.t} — startup first-touch order, C³-style call-chain
-      clustering, and recursive-bisection balanced partitioning.  All are
-      pure reordering, realized through [Linker.link ~order]. *)
+      clustering, and recursive-bisection balanced partitioning;
+    - [`Bp_compress w]: balanced partitioning with a compression term of
+      weight [w] in the objective ({!Pgo.Order.bp_compress}) — trades
+      icache locality for estimated download size.
+    All are pure reordering, realized through [Linker.link ~order]. *)
+
+val layout_strategy_name : layout_strategy -> string
+
+val layout_strategy_of_string :
+  string -> (layout_strategy, string) Stdlib.result
+(** Parse a CLI/spec strategy name — [bp-compress] takes an optional
+    weight, [bp-compress(w=0.3)].  The error message lists the valid
+    strategies; this is the single place that list is maintained. *)
 
 type config = {
   mode : mode;

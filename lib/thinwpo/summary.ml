@@ -19,16 +19,14 @@ let fault_truncate_hash = ref false
 
 (* --- stable content hashing -------------------------------------------- *)
 
-let fnv_offset = 0xcbf29ce484222325L
-let fnv_prime = 0x100000001b3L
-
-let fnv_byte h b =
-  Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
-
-let fnv_string h s =
-  let h = ref h in
-  String.iter (fun c -> h := fnv_byte !h (Char.code c)) s;
-  !h
+(* One FNV-1a definition serves the whole repo: the linker's compression
+   model and the bp-compress layout objective hash the same way summaries
+   do, so "same content" means the same thing everywhere. *)
+let fnv_offset = Linker.Content.fnv_offset
+let fnv_prime = Linker.Content.fnv_prime
+let fnv_byte = Linker.Content.fnv_byte
+let fnv_string = Linker.Content.fnv_string
+let _ = fnv_prime
 
 let strategy_tag = function
   | Candidate.Ends_with_ret -> 1

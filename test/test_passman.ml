@@ -72,31 +72,38 @@ let test_registry () =
     { Pipeline.default_config with
       run_fmsa = true; run_canonicalize = true;
       outlined_layout = `Caller_affinity };
+  check_roundtrip
+    { Pipeline.default_config with outlined_layout = `Bp_compress 0.25 };
   let all_on =
     { Pipeline.default_config with
       run_sil_outline = true; run_merge_functions = true; run_fmsa = true;
       run_canonicalize = true; outlined_layout = `Caller_affinity }
   in
   (* outline and thin-outline are alternative build modes, so no single
-     config can emit both; the all-on config plus its thin-mode twin must
-     reach every registered pass between them. *)
+     config can emit both, and caller-affinity-layout and pgo-layout are
+     alternative placements; the all-on config, its thin-mode twin and a
+     pgo-layout variant must reach every registered pass between them. *)
   let all_on_thin =
     { all_on with Pipeline.mode = Pipeline.Thin_wpo { workers = 2 } }
   in
+  let all_on_pgo =
+    { all_on with Pipeline.outlined_layout = `Bp_compress 0.5 }
+  in
   let spec = Pipeline.spec_of_config all_on in
   let spec_thin = Pipeline.spec_of_config all_on_thin in
+  let spec_pgo = Pipeline.spec_of_config all_on_pgo in
   List.iter
     (fun sp ->
       Alcotest.(check bool)
         ("registered: " ^ sp.Passman.sp_name)
         true
         (List.mem sp.Passman.sp_name Passman.registered_names))
-    (spec @ spec_thin);
+    (spec @ spec_thin @ spec_pgo);
   let covered =
     List.sort_uniq compare
-      (List.map (fun sp -> sp.Passman.sp_name) (spec @ spec_thin))
+      (List.map (fun sp -> sp.Passman.sp_name) (spec @ spec_thin @ spec_pgo))
   in
-  Alcotest.(check int) "the two mode configs exercise the whole registry"
+  Alcotest.(check int) "the three configs exercise the whole registry"
     (List.length Passman.registered_names)
     (List.length covered)
 

@@ -284,6 +284,67 @@ let test_perf_counters () =
   Alcotest.(check bool) "icache mostly hits" true
     (r.icache_misses * 100 < r.icache_accesses)
 
+(* --- Cold-start page-in ---------------------------------------------------- *)
+
+(* main calls a tiny [early] helper, then a [late] function pushed more
+   than a page away by ~20 KiB of padding.  The cold-start window closes
+   when [early] returns — the first completed intra-image call — so only
+   the pages fetched up to that point count. *)
+let cold_start_prog () =
+  let b = Buffer.create 65536 in
+  Buffer.add_string b
+    "func main:\n\
+     entry:\n\
+     \  stp fp, lr, [sp, #-16]!\n\
+     \  bl early\n\
+     \  bl late\n\
+     \  mov x0, #5\n\
+     \  ldp fp, lr, [sp], #16\n\
+     \  ret\n";
+  Buffer.add_string b "func early:\nentry:\n  mov x9, #1\n  ret\n";
+  Buffer.add_string b "func pad:\nentry:\n";
+  for _ = 1 to 5000 do
+    Buffer.add_string b "  add x9, x9, #1\n"
+  done;
+  Buffer.add_string b "  ret\n";
+  Buffer.add_string b "func late:\nentry:\n  mov x10, #2\n  ret\n";
+  parse (Buffer.contents b)
+
+let test_cold_start_pages () =
+  let p = cold_start_prog () in
+  let run order =
+    match Perfsim.Interp.run ~order ~entry:"main" p with
+    | Ok r -> r
+    | Error e ->
+      Alcotest.fail ("exec error: " ^ Perfsim.Interp.error_to_string e)
+  in
+  let near = run [ "main"; "early"; "pad"; "late" ] in
+  (* main and early share the first 16 KiB page; late's page is faulted
+     after the marker and must not count. *)
+  Alcotest.(check int) "helper on the entry page: one cold page" 1
+    near.cold_start_pages;
+  Alcotest.(check bool) "cold-start cost priced per page" true
+    (near.cold_start_cost > 0
+    && near.cold_start_cost mod near.cold_start_pages = 0);
+  (* The padding between main and early now forces a second fault before
+     the marker. *)
+  let far = run [ "main"; "pad"; "early"; "late" ] in
+  Alcotest.(check bool) "separating the helper faults more pages" true
+    (far.cold_start_pages > near.cold_start_pages);
+  Alcotest.(check int) "same semantics either way" near.exit_value
+    far.exit_value
+
+let test_cold_start_deterministic () =
+  let p = cold_start_prog () in
+  let r1 = run_exn p ~entry:"main" and r2 = run_exn p ~entry:"main" in
+  Alcotest.(check int) "cold pages repeat" r1.cold_start_pages
+    r2.cold_start_pages;
+  Alcotest.(check int) "cold cost repeats" r1.cold_start_cost
+    r2.cold_start_cost;
+  let config = { Perfsim.Interp.default_config with model_perf = false } in
+  let r3 = run_exn ~config p ~entry:"main" in
+  Alcotest.(check int) "no perf model, no page-in trace" 0 r3.cold_start_pages;
+  Alcotest.(check int) "no perf model, no cold cost" 0 r3.cold_start_cost
 
 let test_backtrace_through_outlined_code () =
   (* §VI-4: a crash inside an outlined function must show
@@ -542,6 +603,10 @@ let () =
           Alcotest.test_case "null and unknown extern" `Quick
             test_null_and_unknown;
           Alcotest.test_case "perf counters" `Quick test_perf_counters;
+          Alcotest.test_case "cold-start page-in trace" `Quick
+            test_cold_start_pages;
+          Alcotest.test_case "cold-start determinism" `Quick
+            test_cold_start_deterministic;
           Alcotest.test_case "backtrace through outlined code" `Quick
             test_backtrace_through_outlined_code;
           Alcotest.test_case "trace ring dump is symbolized" `Quick

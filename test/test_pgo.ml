@@ -125,7 +125,8 @@ let test_profile_determinism () =
 
 (* --- Ordering strategies -------------------------------------------------- *)
 
-let strategies : Pgo.Order.strategy list = [ `Order_file; `C3; `Balanced ]
+let strategies : Pgo.Order.strategy list =
+  [ `Order_file; `C3; `Balanced; `Bp_compress 0.5 ]
 
 let test_orders_are_permutations () =
   let p, profile = collect_sample () in
@@ -193,6 +194,144 @@ let test_linker_explicit_order () =
     (Linker.address_of l2 "mid");
   Alcotest.(check int) "text size invariant" l.Linker.text_size
     l2.Linker.text_size
+
+(* --- bp-compress ----------------------------------------------------------- *)
+
+let test_bp_compress_w0_is_balanced () =
+  let p, profile = collect_sample () in
+  Alcotest.(check (list string))
+    "w=0 produces exactly the balanced order (sample)"
+    (Pgo.Order.balanced profile p)
+    (Pgo.Order.bp_compress ~w:0.0 profile p);
+  Alcotest.(check (list string))
+    "compute (`Bp_compress 0.) = compute `Balanced"
+    (Pgo.Order.compute `Balanced profile p)
+    (Pgo.Order.compute (`Bp_compress 0.0) profile p)
+
+let test_bp_compress_w0_is_balanced_app () =
+  (* The degeneration must hold on a program big enough for the bisection
+     and local search to actually run, not just on toy inputs. *)
+  let sources = Workload.Appgen.generate_sources Workload.Appgen.small in
+  let res =
+    match Pipeline.build_sources sources with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let program = res.Pipeline.program in
+  let entries = [ "main"; "span1"; "span2" ] in
+  let args_for e = if e = "main" then [] else [ 1 ] in
+  let profile =
+    Pgo.Collect.collect ~args_for ~workload:"small" ~entries program
+  in
+  Alcotest.(check (list string))
+    "w=0 produces exactly the balanced order (small app)"
+    (Pgo.Order.balanced profile program)
+    (Pgo.Order.bp_compress ~w:0.0 profile program)
+
+(* --- the compressed-size estimator ----------------------------------------- *)
+
+(* Deterministic pseudo-random content with no internal repeats longer
+   than chance: what a function body looks like to the byte model. *)
+let lcg_string seed len =
+  let b = Buffer.create len in
+  let s = ref seed in
+  for _ = 1 to len do
+    s := ((!s * 1103515245) + 12345) land 0x3fffffff;
+    Buffer.add_char b (Char.chr (Char.code 'a' + (!s mod 26)))
+  done;
+  Buffer.contents b
+
+let compressed ?window s =
+  (Linker.Compress.estimate_stream ?window s).Linker.Compress.compressed_bytes
+
+let test_adjacent_beats_interleaved () =
+  (* Two distinct bodies, two copies each.  With a window holding one
+     body but not two, adjacent clones are back-references and
+     interleaved clones are out of reach. *)
+  let len = 400 in
+  let a = lcg_string 1 len and b = lcg_string 2 len in
+  let window = len + (len / 2) in
+  let adjacent = a ^ a ^ b ^ b and interleaved = a ^ b ^ a ^ b in
+  Alcotest.(check bool)
+    "identical adjacent bodies compress strictly better than interleaved"
+    true
+    (compressed ~window adjacent < compressed ~window interleaved);
+  (* Same property through the program-level API: duplicate function
+     bodies adjacent vs separated, pure reordering. *)
+  let p =
+    parse
+      {|
+func main:
+entry:
+  mov x0, #1
+  add x0, x0, #2
+  mul x1, x0, x0
+  sub x2, x1, x0
+  eor x3, x2, x1
+  ret
+func clone_a:
+entry:
+  mov x9, #77
+  add x9, x9, #3
+  mul x10, x9, x9
+  orr x11, x10, x9
+  ret
+func filler:
+entry:
+  mov x4, #8
+  lsl x5, x4, #2
+  asr x6, x5, #1
+  and x7, x6, x5
+  ret
+func clone_b:
+entry:
+  mov x9, #77
+  add x9, x9, #3
+  mul x10, x9, x9
+  orr x11, x10, x9
+  ret
+|}
+  in
+  let body_len =
+    String.length
+      (Linker.Content.render
+         (List.find
+            (fun (f : Mfunc.t) -> f.Mfunc.name = "clone_a")
+            p.Program.funcs))
+  in
+  let window = body_len + (body_len / 2) in
+  let est order =
+    (Linker.compress_estimate ~window ~order p)
+      .Linker.Compress.compressed_bytes
+  in
+  Alcotest.(check bool)
+    "clones adjacent beat clones separated" true
+    (est [ "main"; "clone_a"; "clone_b"; "filler" ]
+    < est [ "clone_a"; "main"; "filler"; "clone_b" ])
+
+let test_estimate_monotone_in_window () =
+  (* Repeats at several distances: every window step unlocks more of
+     them, so the estimate must not grow as the window does. *)
+  let x = lcg_string 3 300 in
+  let s =
+    x ^ lcg_string 4 100 ^ x ^ lcg_string 5 800 ^ x ^ lcg_string 6 2000 ^ x
+  in
+  let windows = [ 0; 64; 512; 1024; 4096; Linker.Compress.window_default ] in
+  let sizes = List.map (fun w -> compressed ~window:w s) windows in
+  let rec check_pairs = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "estimate monotone in window size" true (b <= a);
+      check_pairs rest
+    | _ -> ()
+  in
+  check_pairs sizes;
+  (* The window-0 bound is the pure-literal encoding... *)
+  Alcotest.(check int) "window 0 is the literal bound"
+    (((String.length s * 9) + 7) / 8)
+    (compressed ~window:0 s);
+  (* ...and the widest window on this input strictly beats it. *)
+  Alcotest.(check bool) "redundancy inside the window pays" true
+    (compressed s < compressed ~window:0 s)
 
 (* --- Caller-affinity anchor chasing (the strategy pgo competes with) ------ *)
 
@@ -274,6 +413,20 @@ let () =
             test_differential_across_strategies;
           Alcotest.test_case "linker explicit order" `Quick
             test_linker_explicit_order;
+        ] );
+      ( "bp-compress",
+        [
+          Alcotest.test_case "w=0 degenerates to balanced" `Quick
+            test_bp_compress_w0_is_balanced;
+          Alcotest.test_case "w=0 degenerates to balanced (small app)" `Slow
+            test_bp_compress_w0_is_balanced_app;
+        ] );
+      ( "compress",
+        [
+          Alcotest.test_case "adjacent clones beat interleaved" `Quick
+            test_adjacent_beats_interleaved;
+          Alcotest.test_case "estimate monotone in window" `Quick
+            test_estimate_monotone_in_window;
         ] );
       ( "caller-affinity",
         [
