@@ -959,23 +959,34 @@ let layout_bench_impl ~assert_wins app =
       (fun (f : Machine.Mfunc.t) -> f.Machine.Mfunc.name)
       (Outcore.Layout.optimize program).Machine.Program.funcs
   in
+  (* Stitch is the one strategy that rewrites the program (cold blocks
+     split to __text_cold, branches elided/materialized), so it carries
+     its own program alongside its chain order. *)
+  let stitch_program = Blocklayout.split_program ~profile program in
+  (match Machine.Program.validate stitch_program with
+  | Ok () -> ()
+  | Error e -> failwith ("layout_bench: stitch split invalid: " ^ e));
   let strategies =
     [
-      ("append", None);
-      ("caller-affinity", Some caller_affinity_order);
-      ("order-file", Some (Pgo.Order.compute `Order_file profile program));
-      ("c3", Some (Pgo.Order.compute `C3 profile program));
-      ("balanced", Some (Pgo.Order.compute `Balanced profile program));
+      ("append", program, None);
+      ("caller-affinity", program, Some caller_affinity_order);
+      ("order-file", program, Some (Pgo.Order.compute `Order_file profile program));
+      ("c3", program, Some (Pgo.Order.compute `C3 profile program));
+      ("balanced", program, Some (Pgo.Order.compute `Balanced profile program));
       ( "bp-compress",
+        program,
         Some
           (Pgo.Order.compute (`Bp_compress Pgo.Order.default_w) profile
              program) );
+      ( "stitch",
+        stitch_program,
+        Some (Blocklayout.stitch_order ~profile stitch_program) );
     ]
   in
   (* The differential oracle: every strategy must reproduce the Append
      run's exit value and output on every entry. *)
-  let run ?config ?order entry =
-    match Perfsim.Interp.run ?config ?order ~args:(args_for entry) ~entry program with
+  let run ?config ?order prog entry =
+    match Perfsim.Interp.run ?config ?order ~args:(args_for entry) ~entry prog with
     | Ok res -> res
     | Error e ->
       failwith
@@ -985,14 +996,14 @@ let layout_bench_impl ~assert_wins app =
   let reference =
     List.map
       (fun entry ->
-        let res = run entry in
+        let res = run program entry in
         (entry, (res.Perfsim.Interp.exit_value, res.output)))
       entries
   in
-  let measure (sname, order) =
+  let measure (sname, prog, order) =
     List.iter
       (fun entry ->
-        let res = run ?order entry in
+        let res = run ?order prog entry in
         let ev, out = List.assoc entry reference in
         if res.Perfsim.Interp.exit_value <> ev || res.output <> out then
           failwith
@@ -1007,40 +1018,55 @@ let layout_bench_impl ~assert_wins app =
           let acc = Array.make (List.length layout_cols) 0 in
           List.iter
             (fun entry ->
-              let res = run ~config ?order entry in
+              let res = run ~config ?order prog entry in
               List.iteri (fun i c -> acc.(i) <- acc.(i) + c.lc_of_run res)
                 layout_cols)
             entries;
           (device.Perfsim.Device.name, acc))
         Perfsim.Device.devices
     in
+    (* One link per strategy: the placement-faithful compressed stream
+       (hot chains in placement order, then the cold region) plus the
+       hot-text/total-text split. *)
+    let layout = Linker.link ?order prog in
     let compressed =
-      (Linker.compress_estimate ?order program).Linker.Compress.compressed_bytes
+      (Lazy.force layout.Linker.compressed).Linker.Compress.compressed_bytes
     in
-    (sname, compressed, per_device)
+    ( sname,
+      compressed,
+      layout.Linker.hot_text_size,
+      layout.Linker.text_size,
+      per_device )
   in
   let results = List.map measure strategies in
   print_string
     (table
        ~header:("strategy" :: "device" :: List.map (fun c -> c.lc_head) layout_cols)
        (List.concat_map
-          (fun (sname, _, per_device) ->
+          (fun (sname, _, _, _, per_device) ->
             List.map
               (fun (d, acc) ->
                 sname :: d
                 :: List.map string_of_int (Array.to_list acc))
               per_device)
           results));
+  let find_result sname = List.find (fun (s, _, _, _, _) -> s = sname) results in
   let total key sname =
     let i = layout_col_index key in
-    let _, _, per_device =
-      List.find (fun (s, _, _) -> s = sname) results
-    in
+    let _, _, _, _, per_device = find_result sname in
     List.fold_left (fun a (_, acc) -> a + acc.(i)) 0 per_device
   in
   let compressed_of sname =
-    let _, c, _ = List.find (fun (s, _, _) -> s = sname) results in
+    let _, c, _, _, _ = find_result sname in
     c
+  in
+  let hot_text_of sname =
+    let _, _, h, _, _ = find_result sname in
+    h
+  in
+  let text_of sname =
+    let _, _, _, t, _ = find_result sname in
+    t
   in
   title "Totals across the device matrix";
   let total_cols = List.filter (fun c -> c.lc_total) layout_cols in
@@ -1049,14 +1075,15 @@ let layout_bench_impl ~assert_wins app =
        ~header:
          ("strategy"
          :: List.map (fun c -> c.lc_head) total_cols
-         @ [ "compressed B" ])
+         @ [ "compressed B"; "hot text B"; "text B" ])
        (List.map
-          (fun (sname, compressed, _) ->
+          (fun (sname, compressed, hot_text, text, _) ->
             (sname
             :: List.map
                  (fun c -> string_of_int (total c.lc_key sname))
                  total_cols)
-            @ [ string_of_int compressed ])
+            @ [ string_of_int compressed; string_of_int hot_text;
+                string_of_int text ])
           results));
   let icache_of = total "icache_misses" in
   let itlb_of = total "itlb_misses" in
@@ -1086,7 +1113,7 @@ let layout_bench_impl ~assert_wins app =
         let ic = ref 0 and cold = ref 0 in
         List.iter
           (fun entry ->
-            let res = run ~order entry in
+            let res = run ~order program entry in
             ic := !ic + res.Perfsim.Interp.icache_misses;
             cold := !cold + res.Perfsim.Interp.cold_start_pages)
           entries;
@@ -1102,12 +1129,13 @@ let layout_bench_impl ~assert_wins app =
             [ Printf.sprintf "%g" w; string_of_int compressed;
               string_of_int ic; string_of_int cold ])
           sweep));
-  let json_strategy (sname, compressed, per_device) =
+  let json_strategy (sname, compressed, hot_text, text, per_device) =
     Printf.sprintf
-      "    {\"strategy\":\"%s\",\"compressed_size\":%d,\"devices\":[\n\
+      "    {\"strategy\":\"%s\",\"compressed_size\":%d,\"hot_text_bytes\":%d,\
+       \"text_size\":%d,\"devices\":[\n\
        %s\n\
       \    ]}"
-      sname compressed
+      sname compressed hot_text text
       (String.concat ",\n"
          (List.map
             (fun (d, acc) ->
@@ -1180,7 +1208,36 @@ let layout_bench_impl ~assert_wins app =
                "layout_bench: %s faults more cold-start pages than append \
                 (%d vs %d)"
                s (cold_of s) append_cold))
-      [ "order-file"; "c3"; "balanced"; "bp-compress" ]
+      [ "order-file"; "c3"; "balanced"; "bp-compress"; "stitch" ];
+    (* Block-granularity gates: splitting must actually move bytes out of
+       hot text, and the stitched placement must beat append on both
+       startup metrics and stay at least as good as bp-compress on
+       cold-start pages (the block-level win function ordering cannot
+       reach). *)
+    if hot_text_of "stitch" >= text_of "stitch" then
+      failwith
+        (Printf.sprintf
+           "layout_bench: stitch hot text (%d) is not strictly smaller than \
+            total text (%d) — no blocks were split"
+           (hot_text_of "stitch") (text_of "stitch"));
+    if cold_of "stitch" >= append_cold then
+      failwith
+        (Printf.sprintf
+           "layout_bench: stitch does not reduce cold-start pages vs append \
+            (%d vs %d)"
+           (cold_of "stitch") append_cold);
+    if itlb_of "stitch" >= itlb_of "append" then
+      failwith
+        (Printf.sprintf
+           "layout_bench: stitch does not reduce iTLB misses vs append \
+            (%d vs %d)"
+           (itlb_of "stitch") (itlb_of "append"));
+    if cold_of "stitch" > cold_of "bp-compress" then
+      failwith
+        (Printf.sprintf
+           "layout_bench: stitch faults more cold-start pages than \
+            bp-compress (%d vs %d)"
+           (cold_of "stitch") (cold_of "bp-compress"))
   end
 
 let layout_bench () = layout_bench_impl ~assert_wins:true Workload.Appgen.uber_rider

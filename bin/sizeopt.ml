@@ -255,13 +255,18 @@ let build_cmd =
   let layout_arg =
     Arg.(value & opt string "append"
          & info [ "layout" ]
-             ~docv:"append|caller-affinity|order-file|c3|balanced|bp-compress"
-             ~doc:"Function-placement strategy.  order-file, c3, balanced \
-                   and bp-compress are profile-guided: they use \
+             ~docv:
+               "append|caller-affinity|order-file|c3|balanced|bp-compress|stitch"
+             ~doc:"Function-placement strategy.  order-file, c3, balanced, \
+                   bp-compress and stitch are profile-guided: they use \
                    --profile-in, or self-profile a main run when no profile \
                    is given.  bp-compress(w=0..1) mixes a compressed-size \
                    term into the balanced-partitioning objective (default \
-                   w=0.5).")
+                   w=0.5).  stitch places at block granularity: cold basic \
+                   blocks split into a __text_cold region after hot text \
+                   and hot chains stitched along the hottest \
+                   interprocedural call edges (static never-executed \
+                   heuristic when the profile has no block counts).")
   in
   let profile_in =
     Arg.(value & opt (some file) None
@@ -579,9 +584,10 @@ let fuzz_cmd =
   let self_test =
     Arg.(value & flag & info [ "self-test" ]
            ~doc:"Inject an outliner legality bug, a stale dirty-set bug in \
-                 the incremental engine, a thin-WPO summary-hash collision \
-                 and a stale serve-cache bug, and require the harness to \
-                 catch all four and shrink each reproducer.")
+                 the incremental engine, a thin-WPO summary-hash collision, \
+                 a stale serve-cache bug and a block splitter that drops \
+                 materialized branches, and require the harness to catch \
+                 all five and shrink each reproducer.")
   in
   let list_points =
     Arg.(value & flag & info [ "list-points" ]

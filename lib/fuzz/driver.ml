@@ -256,6 +256,20 @@ let self_test ?(log = null_log) ~seed () =
             ~max_reproducer_lines:60 ()
         with
         | Error _ as e -> e
-        | Ok report4 ->
-          Ok
-            (report1 ^ "\n\n" ^ report2 ^ "\n\n" ^ report3 ^ "\n\n" ^ report4))))
+        | Ok report4 -> (
+          (* Phase 5: break the block splitter's elision test so it
+             judges adjacency in the pre-split block order and drops
+             branches layout must materialize; the stitch differential in
+             check_machine must catch the dangling fallthrough, via
+             Program.validate or oracle divergence. *)
+          match
+            fault_phase ~log ~seed ~salt:15485863
+              ~flag:Blocklayout.fault_drop_materialized_branch
+              ~fault_name:"dropped-materialized-branch"
+              ~max_reproducer_lines:40 ()
+          with
+          | Error _ as e -> e
+          | Ok report5 ->
+            Ok
+              (report1 ^ "\n\n" ^ report2 ^ "\n\n" ^ report3 ^ "\n\n"
+             ^ report4 ^ "\n\n" ^ report5)))))

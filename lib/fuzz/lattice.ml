@@ -90,6 +90,10 @@ let points base =
         { wp3 with Pipeline.outlined_layout = `Balanced } );
       ( "wp/r3/layout-bp-compress",
         { wp3 with Pipeline.outlined_layout = `Bp_compress 0.5 } );
+      (* Block-granularity placement also rewrites the program (hot/cold
+         split, branch elision/materialization); the oracle run below
+         executes the split program under the stitched order. *)
+      ("wp/r3/layout-stitch", { wp3 with Pipeline.outlined_layout = `Stitch });
       ( "wp/r3/scratch-engine",
         { wp3 with Pipeline.outline_engine = `Scratch } );
     ]
@@ -897,6 +901,67 @@ let check_machine (p : Machine.Program.t) =
             end)
         end)
       machine_points;
+    (* The split-then-place differential: collect a block-level profile of
+       the base program, split its cold blocks to the __text_cold region,
+       and require the split program — run under the stitched chain order,
+       so the interpreter sees the exact placed byte sequence — to
+       validate, reproduce the base result, and never grow.  This is the
+       point the dropped-materialized-branch fault must trip. *)
+    if !failure = None then begin
+      let profile =
+        Pgo.Collect.collect
+          ~config:
+            {
+              Pgo.Collect.default_config with
+              Perfsim.Interp.max_steps = 2_000_000;
+            }
+          ~workload:"fuzz" ~entries:[ "main" ] p
+      in
+      let split, order = Blocklayout.apply ~profile p in
+      match Machine.Program.validate split with
+      | Error msg ->
+        failure :=
+          Some { point = "stitch"; reason = "invalid after hot/cold split: " ^ msg }
+      | Ok () -> (
+        let size = Machine.Program.code_size_bytes split in
+        if size > base_size then
+          failure :=
+            Some
+              {
+                point = "stitch";
+                reason =
+                  Printf.sprintf "hot/cold splitting grew the code: %d -> %d bytes"
+                    base_size size;
+              }
+        else
+          match
+            Perfsim.Interp.run ~config:machine_interp_config ~order
+              ~entry:"main" split
+          with
+          | Error e ->
+            failure :=
+              Some
+                {
+                  point = "stitch";
+                  reason =
+                    "execution failed after hot/cold split: "
+                    ^ Perfsim.Interp.error_to_string e
+                    ^ " (base: "
+                    ^ render_run base.exit_value base.output
+                    ^ ")";
+                }
+          | Ok r ->
+            if r.exit_value <> base.exit_value || r.output <> base.output then
+              failure :=
+                Some
+                  {
+                    point = "stitch";
+                    reason =
+                      Printf.sprintf "oracle divergence: base %s, stitch got %s"
+                        (render_run base.exit_value base.output)
+                        (render_run r.exit_value r.output);
+                  })
+    end;
     match !failure with
     | Some f -> Fail f
-    | None -> Pass (List.length machine_points))
+    | None -> Pass (List.length machine_points + 1))

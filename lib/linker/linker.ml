@@ -26,7 +26,7 @@ module Content = struct
     String.iter (fun c -> h := fnv_byte !h (Char.code c)) s;
     !h
 
-  let add_func buf (f : Mfunc.t) =
+  let add_blocks buf blocks =
     List.iter
       (fun (b : Block.t) ->
         Buffer.add_string buf b.Block.label;
@@ -39,7 +39,9 @@ module Content = struct
         Buffer.add_string buf
           (Format.asprintf "%a" Block.pp_terminator b.Block.term);
         Buffer.add_char buf '|')
-      f.blocks
+      blocks
+
+  let add_func buf (f : Mfunc.t) = add_blocks buf f.Mfunc.blocks
 
   let render (f : Mfunc.t) =
     let buf = Buffer.create 256 in
@@ -162,10 +164,19 @@ module Compress = struct
         match_count = !matches }
     end
 
-  let stream_of_funcs funcs =
+  (* Placement-faithful content stream: every function's hot chain in
+     placement order, then the cold chains of split functions.  For a
+     program with no split functions this is byte-identical to rendering
+     whole functions back to back. *)
+  let stream_of_chains ~hot ~cold =
     let buf = Buffer.create 65536 in
-    List.iter (fun f -> Content.add_func buf f) funcs;
+    List.iter (fun (f : Mfunc.t) -> Content.add_blocks buf (Mfunc.hot_blocks f)) hot;
+    List.iter (fun (f : Mfunc.t) -> Content.add_blocks buf (Mfunc.cold_blocks f)) cold;
     Buffer.contents buf
+
+  let stream_of_funcs funcs =
+    stream_of_chains ~hot:funcs
+      ~cold:(List.filter (fun f -> Mfunc.is_split f) funcs)
 end
 
 type layout = {
@@ -173,6 +184,7 @@ type layout = {
   kinds : (string, symbol_kind) Hashtbl.t;
   text_base : int;
   text_size : int;
+  hot_text_size : int;
   data_base : int;
   data_size : int;
   image_overhead : int;
@@ -181,6 +193,10 @@ type layout = {
 
 let text_base_default = 0x1_0000
 let image_overhead_default = 16_384 (* headers + load commands stand-in *)
+
+(* A split function's cold chain is placed under its own Text symbol in
+   the __text_cold region, so symbolize/backtraces read "f.cold+0x...". *)
+let cold_symbol name = name ^ ".cold"
 
 let align n a = (n + a - 1) / a * a
 
@@ -216,12 +232,49 @@ let link ?(text_base = text_base_default)
   let kinds = Hashtbl.create 1024 in
   let cursor = ref text_base in
   let funcs = ordered_funcs order p in
+  (* Hot text: every function's hot chain (the whole function when it is
+     not split), in placement order. *)
   List.iter
     (fun (f : Mfunc.t) ->
       Hashtbl.replace addresses f.name !cursor;
       Hashtbl.replace kinds f.name Text;
-      cursor := !cursor + Mfunc.size_bytes f)
+      cursor := !cursor + Mfunc.hot_size_bytes f)
     funcs;
+  let hot_text_size = !cursor - text_base in
+  (* __text_cold: the cold chains of split functions, contiguously after
+     hot text.  An explicit order may direct the region by naming cold
+     symbols; the rest keep their hot chain's placement order. *)
+  let split_funcs = List.filter Mfunc.is_split funcs in
+  let cold_funcs =
+    match order with
+    | None -> split_funcs
+    | Some names ->
+      let by_cold = Hashtbl.create 16 in
+      List.iter
+        (fun (f : Mfunc.t) -> Hashtbl.replace by_cold (cold_symbol f.name) f)
+        split_funcs;
+      let placed = Hashtbl.create 16 in
+      let first =
+        List.filter_map
+          (fun n ->
+            match Hashtbl.find_opt by_cold n with
+            | Some f when not (Hashtbl.mem placed f.Mfunc.name) ->
+              Hashtbl.replace placed f.Mfunc.name ();
+              Some f
+            | Some _ | None -> None)
+          names
+      in
+      first
+      @ List.filter
+          (fun (f : Mfunc.t) -> not (Hashtbl.mem placed f.name))
+          split_funcs
+  in
+  List.iter
+    (fun (f : Mfunc.t) ->
+      Hashtbl.replace addresses (cold_symbol f.name) !cursor;
+      Hashtbl.replace kinds (cold_symbol f.name) Text;
+      cursor := !cursor + Mfunc.cold_size_bytes f)
+    cold_funcs;
   let text_size = !cursor - text_base in
   (* Segments are page-aligned, as in Mach-O (16 KiB pages on iOS). *)
   let data_base = align !cursor 16384 in
@@ -247,6 +300,7 @@ let link ?(text_base = text_base_default)
     kinds;
     text_base;
     text_size;
+    hot_text_size;
     data_base;
     data_size;
     image_overhead;
@@ -255,7 +309,9 @@ let link ?(text_base = text_base_default)
        per-run links — so it is lazy, forced only by callers that report
        it (sizeopt build, bench). *)
     compressed =
-      lazy (Compress.estimate_stream (Compress.stream_of_funcs funcs));
+      lazy
+        (Compress.estimate_stream
+           (Compress.stream_of_chains ~hot:funcs ~cold:cold_funcs));
   }
 
 let binary_size l = l.text_size + l.data_size + l.image_overhead

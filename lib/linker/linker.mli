@@ -58,6 +58,9 @@ type layout = {
   kinds : (string, symbol_kind) Hashtbl.t;
   text_base : int;
   text_size : int;
+  hot_text_size : int;
+      (** bytes of hot chains only; equals [text_size] when nothing is
+          split, otherwise the __text_cold region accounts for the rest *)
   data_base : int;
   data_size : int;
   image_overhead : int;   (** headers, load commands, linkedit stand-in *)
@@ -68,6 +71,11 @@ type layout = {
 
 val text_base_default : int
 val image_overhead_default : int
+
+val cold_symbol : string -> string
+(** The Text symbol a split function's cold chain is placed under
+    (["f.cold"] for function [f]), so {!symbolize} and backtraces
+    attribute cold-region addresses to their source function. *)
 
 val link :
   ?text_base:int -> ?image_overhead:int -> ?order:string list ->
@@ -81,7 +89,13 @@ val link :
     laid out first, in that order, and the remainder follow in program
     order.  Unknown and duplicate names are ignored, so a stale profile
     cannot break linking.  Placement is pure reordering — [text_size]
-    and every function's bytes are unchanged; only addresses move. *)
+    and every function's bytes are unchanged; only addresses move.
+
+    Split functions ({!Machine.Mfunc.cold_from}) place only their hot
+    chain under the function's own symbol; the cold chains form a
+    __text_cold region directly after hot text, each under its
+    {!cold_symbol}.  [?order] entries naming cold symbols direct that
+    region; unnamed cold chains keep their hot chain's order. *)
 
 val binary_size : layout -> int
 (** [text_size + data_size + image_overhead]. *)

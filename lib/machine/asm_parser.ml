@@ -81,11 +81,13 @@ let binop_of_string = function
   | _ -> None
 
 type parsed_line =
-  | L_func of string * string * bool  (* name, module, no_outline *)
+  | L_func of string * string * bool * string option
+      (* name, module, no_outline, cold_from *)
   | L_label of string
   | L_insn of Insn.t
   | L_term_ret
   | L_term_b of string                (* branch or tail call, resolved later *)
+  | L_term_fall of string
   | L_term_bcond of Cond.t * string * string
   | L_term_cbz of Reg.t * string * string
   | L_term_cbnz of Reg.t * string * string
@@ -111,15 +113,18 @@ let parse_line lineno raw =
           (match parts with
           | name :: opts ->
             let module_ = ref "" and no_outline = ref false in
+            let cold_from = ref None in
             List.iter
               (fun o ->
                 if o = "" then ()
                 else if o = "no_outline" then no_outline := true
                 else if String.length o > 7 && String.sub o 0 7 = "module=" then
                   module_ := String.sub o 7 (String.length o - 7)
+                else if String.length o > 5 && String.sub o 0 5 = "cold=" then
+                  cold_from := Some (String.sub o 5 (String.length o - 5))
                 else fail lineno "unknown func option %S" o)
               opts;
-            L_func (name, !module_, !no_outline)
+            L_func (name, !module_, !no_outline, !cold_from)
           | [] -> fail lineno "func needs a name")
       | "extern", [ name ] -> L_extern name
       | "data", name_colon :: inits when String.length name_colon > 0 ->
@@ -147,6 +152,7 @@ let parse_line lineno raw =
         L_data (Dataobj.make ~from_module ~name inits)
       | "ret", [] -> L_term_ret
       | "b", [ l ] -> L_term_b l
+      | "fall", [ l ] -> L_term_fall l
       | "b.eq", [ a; b ] -> L_term_bcond (Cond.Eq, a, b)
       | "b.ne", [ a; b ] -> L_term_bcond (Cond.Ne, a, b)
       | "b.lt", [ a; b ] -> L_term_bcond (Cond.Lt, a, b)
@@ -199,6 +205,7 @@ type pending_func = {
   pf_name : string;
   pf_module : string;
   pf_no_outline : bool;
+  pf_cold_from : string option;
   mutable pf_blocks : pending_block list;  (* reversed *)
 }
 
@@ -219,7 +226,7 @@ let finish_func lineno (pf : pending_func) =
     | _ -> b
   in
   Mfunc.make ~from_module:pf.pf_module ~no_outline:pf.pf_no_outline
-    ~name:pf.pf_name (List.map resolve blocks)
+    ?cold_from:pf.pf_cold_from ~name:pf.pf_name (List.map resolve blocks)
 
 let parse_program text =
   let lines = String.split_on_char '\n' text in
@@ -254,10 +261,11 @@ let parse_program text =
         let lineno = i + 1 in
         match parse_line lineno raw with
         | L_blank -> ()
-        | L_func (name, m, no_outline) ->
+        | L_func (name, m, no_outline, cold_from) ->
           close_func lineno;
           cur_func :=
-            Some { pf_name = name; pf_module = m; pf_no_outline = no_outline; pf_blocks = [] }
+            Some { pf_name = name; pf_module = m; pf_no_outline = no_outline;
+                   pf_cold_from = cold_from; pf_blocks = [] }
         | L_label l -> (
           match !cur_func with
           | None -> fail lineno "label outside a function"
@@ -267,6 +275,8 @@ let parse_program text =
         | L_insn insn -> in_block lineno (fun pb -> pb.pb_body <- insn :: pb.pb_body)
         | L_term_ret -> in_block lineno (fun pb -> pb.pb_term <- Some Block.Ret)
         | L_term_b l -> in_block lineno (fun pb -> pb.pb_term <- Some (Block.B l))
+        | L_term_fall l ->
+          in_block lineno (fun pb -> pb.pb_term <- Some (Block.Fallthrough l))
         | L_term_bcond (c, a, b) ->
           in_block lineno (fun pb -> pb.pb_term <- Some (Block.Bcond (c, a, b)))
         | L_term_cbz (r, a, b) ->

@@ -12,12 +12,17 @@ let term_to_source = function
   | Block.Cbz (r, a, b) -> Printf.sprintf "cbz %s, %s, %s" (Reg.to_string r) a b
   | Block.Cbnz (r, a, b) -> Printf.sprintf "cbnz %s, %s, %s" (Reg.to_string r) a b
   | Block.Tail_call s -> Printf.sprintf "b %s" s
+  | Block.Fallthrough l -> Printf.sprintf "fall %s" l
 
 let func_to_source (f : Mfunc.t) =
   let buf = Buffer.create 512 in
   let opts =
     (if f.from_module = "" then "" else Printf.sprintf " module=%s" f.from_module)
-    ^ if f.no_outline then " no_outline" else ""
+    ^ (if f.no_outline then " no_outline" else "")
+    ^
+    match f.cold_from with
+    | None -> ""
+    | Some l -> Printf.sprintf " cold=%s" l
   in
   Buffer.add_string buf (Printf.sprintf "func %s%s:\n" f.name opts);
   List.iter

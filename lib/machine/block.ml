@@ -5,6 +5,7 @@ type terminator =
   | Cbz of Reg.t * string * string
   | Cbnz of Reg.t * string * string
   | Tail_call of string
+  | Fallthrough of string
 
 type t = {
   label : string;
@@ -13,17 +14,21 @@ type t = {
 }
 
 let make ~label body term = { label; body = Array.of_list body; term }
-let term_size_bytes (_ : terminator) = 4
+
+let term_size_bytes = function
+  | Fallthrough _ -> 0
+  | Ret | B _ | Bcond _ | Cbz _ | Cbnz _ | Tail_call _ -> 4
+
 let size_bytes b = (Array.length b.body * Insn.size_bytes) + term_size_bytes b.term
 
 let successors = function
   | Ret | Tail_call _ -> []
-  | B l -> [ l ]
+  | B l | Fallthrough l -> [ l ]
   | Bcond (_, a, b) | Cbz (_, a, b) | Cbnz (_, a, b) -> [ a; b ]
 
 let term_uses = function
   | Ret -> Regset.singleton Reg.lr
-  | B _ -> Regset.empty
+  | B _ | Fallthrough _ -> Regset.empty
   | Bcond (_, _, _) -> Regset.singleton Reg.NZCV
   | Cbz (r, _, _) | Cbnz (r, _, _) -> Regset.singleton r
   | Tail_call _ ->
@@ -43,6 +48,7 @@ let pp_terminator ppf = function
   | Cbz (r, t, f) -> Format.fprintf ppf "cbz %a, %s (else %s)" Reg.pp r t f
   | Cbnz (r, t, f) -> Format.fprintf ppf "cbnz %a, %s (else %s)" Reg.pp r t f
   | Tail_call s -> Format.fprintf ppf "b %s" s
+  | Fallthrough l -> Format.fprintf ppf "fall %s" l
 
 let pp ppf b =
   Format.fprintf ppf "%s:@." b.label;

@@ -8,6 +8,9 @@ type terminator =
   | Cbz of Reg.t * string * string        (** branch to first label if register is zero *)
   | Cbnz of Reg.t * string * string
   | Tail_call of string                   (** [B symbol]: jump to another function *)
+  | Fallthrough of string                 (** elided branch: the target block is
+                                              placed immediately after this one,
+                                              so no branch bytes are emitted *)
 
 type t = {
   label : string;
@@ -20,7 +23,9 @@ val make : label:string -> Insn.t list -> terminator -> t
 val term_size_bytes : terminator -> int
 (** [Bcond]/[Cbz]/[Cbnz] lower to a conditional branch plus an unconditional
     branch when the fallthrough is not adjacent; we charge a flat 4 bytes and
-    let layout elide the extra branch, as real assemblers do. *)
+    let layout elide the extra branch, as real assemblers do.  [Fallthrough]
+    is the elision made explicit: 0 bytes, valid only when the target block
+    is placed immediately after this one (checked by [Program.validate]). *)
 
 val size_bytes : t -> int
 (** Body plus terminator. *)

@@ -4,11 +4,12 @@ type t = {
   from_module : string;
   is_outlined : bool;
   no_outline : bool;
+  cold_from : string option;
 }
 
 let make ?(from_module = "") ?(is_outlined = false) ?(no_outline = false)
-    ~name blocks =
-  { name; blocks; from_module; is_outlined; no_outline }
+    ?cold_from ~name blocks =
+  { name; blocks; from_module; is_outlined; no_outline; cold_from }
 
 let size_bytes f =
   List.fold_left (fun acc b -> acc + Block.size_bytes b) 0 f.blocks
@@ -27,7 +28,35 @@ let entry f =
 
 let map_blocks g f = { f with blocks = List.map g f.blocks }
 
+(* The cold chain is a suffix of the block list: everything from the first
+   block labelled [cold_from] onwards.  A [cold_from] label that names no
+   block yields an empty cold chain (rejected by Program.validate). *)
+let partition f =
+  match f.cold_from with
+  | None -> (f.blocks, [])
+  | Some l ->
+    let rec go hot = function
+      | [] -> (List.rev hot, [])
+      | (b : Block.t) :: _ as cold when String.equal b.label l ->
+        (List.rev hot, cold)
+      | b :: rest -> go (b :: hot) rest
+    in
+    go [] f.blocks
+
+let hot_blocks f = fst (partition f)
+let cold_blocks f = snd (partition f)
+let is_split f = cold_blocks f <> []
+
+let sum_blocks bs =
+  List.fold_left (fun acc b -> acc + Block.size_bytes b) 0 bs
+
+let hot_size_bytes f = sum_blocks (hot_blocks f)
+let cold_size_bytes f = sum_blocks (cold_blocks f)
+
 let pp ppf f =
-  Format.fprintf ppf "%s:  ; module=%s%s@." f.name f.from_module
-    (if f.is_outlined then " [outlined]" else "");
+  Format.fprintf ppf "%s:  ; module=%s%s%s@." f.name f.from_module
+    (if f.is_outlined then " [outlined]" else "")
+    (match f.cold_from with
+    | None -> ""
+    | Some l -> Printf.sprintf " [cold from %s]" l);
   List.iter (fun b -> Block.pp ppf b) f.blocks

@@ -6,10 +6,15 @@ type t = {
   from_module : string;      (** provenance, for data/code-affinity experiments *)
   is_outlined : bool;        (** created by the outliner *)
   no_outline : bool;         (** outlining may not harvest sequences from this function *)
+  cold_from : string option; (** when set, the blocks from the first block with
+                                 this label onwards form the function's cold
+                                 chain, placed in the [__text_cold] region; the
+                                 preceding blocks (always including the entry)
+                                 form the hot chain *)
 }
 
 val make : ?from_module:string -> ?is_outlined:bool -> ?no_outline:bool ->
-  name:string -> Block.t list -> t
+  ?cold_from:string -> name:string -> Block.t list -> t
 
 val size_bytes : t -> int
 val insn_count : t -> int
@@ -20,4 +25,14 @@ val entry : t -> Block.t
 (** Raises [Invalid_argument] on a function with no blocks. *)
 
 val map_blocks : (Block.t -> Block.t) -> t -> t
+
+val partition : t -> Block.t list * Block.t list
+(** [(hot, cold)] chains.  [cold] is empty unless [cold_from] names a block. *)
+
+val hot_blocks : t -> Block.t list
+val cold_blocks : t -> Block.t list
+val is_split : t -> bool
+val hot_size_bytes : t -> int
+val cold_size_bytes : t -> int
+
 val pp : Format.formatter -> t -> unit

@@ -92,9 +92,47 @@ let validate p =
             | Some s -> err "function %s: reference to unknown symbol %s" f.name s
             | None -> Ok ())
         in
-        List.fold_left
-          (fun acc b -> match acc with Error _ -> acc | Ok () -> check_block b)
-          (Ok ()) f.blocks
+        (* Chain structure: cold_from must name a non-entry block, and a
+           Fallthrough is only valid when its target is the block placed
+           immediately after it within the same (hot or cold) section. *)
+        let check_chain section blocks =
+          let rec go = function
+            | [] -> Ok ()
+            | [ (b : Block.t) ] -> (
+              match b.term with
+              | Block.Fallthrough l ->
+                err "function %s: fallthrough to %s at the end of the %s chain"
+                  f.name l section
+              | _ -> Ok ())
+            | (b : Block.t) :: ((next : Block.t) :: _ as rest) -> (
+              match b.term with
+              | Block.Fallthrough l when not (String.equal next.label l) ->
+                err "function %s: fallthrough to %s but %s is placed next"
+                  f.name l next.label
+              | _ -> go rest)
+          in
+          go blocks
+        in
+        let check_chains () =
+          let hot, cold = Mfunc.partition f in
+          match f.cold_from with
+          | Some l when cold = [] ->
+            err "function %s: cold_from %s names no block" f.name l
+          | Some l when hot = [] ->
+            err "function %s: cold_from %s would split off the entry block"
+              f.name l
+          | _ -> (
+            match check_chain "hot" hot with
+            | Error _ as e -> e
+            | Ok () -> check_chain "cold" cold)
+        in
+        let blocks_ok =
+          List.fold_left
+            (fun acc b ->
+              match acc with Error _ -> acc | Ok () -> check_block b)
+            (Ok ()) f.blocks
+        in
+        (match blocks_ok with Error _ -> blocks_ok | Ok () -> check_chains ())
     in
     List.fold_left
       (fun acc f -> match acc with Error _ -> acc | Ok () -> check_func f)

@@ -671,6 +671,19 @@ let machine_passes env =
          pipeline raises back onto [config.outlined_layout]. *)
       p_run = (fun _ _ p -> p);
     };
+    {
+      p_name = "stitch";
+      p_params = [];
+      p_self_gated = false;
+      p_linked = true;
+      (* Marker pass for block-granularity placement, same contract as
+         pgo-layout: the real transform (hot/cold splitting plus
+         interprocedural chain stitching, [Blocklayout.apply]) runs in
+         the pipeline's layout phase on the linked program, so the pass
+         body is the identity and registering it only makes "stitch" a
+         validated pipeline-spec member. *)
+      p_run = (fun _ _ p -> p);
+    };
   ]
 
 let registered_names =
@@ -684,4 +697,5 @@ let registered_names =
     "thin-outline";
     "caller-affinity-layout";
     "pgo-layout";
+    "stitch";
   ]

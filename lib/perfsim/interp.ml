@@ -4,6 +4,7 @@ type trace_event =
   | Ev_entry of string
   | Ev_call of { caller : string; callee : string; tail : bool }
   | Ev_first_touch of string
+  | Ev_block of { func : string; label : string }
 
 type config = {
   device : Device.t;
@@ -235,22 +236,66 @@ let runtime_call st name =
     true
   | _ -> false
 
-let build_slots (p : Program.t) layout =
+(* The interpreter's code image is a flat slot array.  A split function
+   contributes two chains — hot blocks at the function's own symbol, cold
+   blocks at its [Linker.cold_symbol] in the __text_cold region — and the
+   chains are emitted in *address* order so that slot adjacency equals
+   placement adjacency.  A [Fallthrough] terminator occupies no slot (it
+   is an elided branch): execution simply continues into the next block's
+   first slot, which byte-faithfully models the merged chain. *)
+let term_slots (b : Block.t) =
+  match b.Block.term with Block.Fallthrough _ -> 0 | _ -> 1
+
+let build_slots ?(track_blocks = false) (p : Program.t) layout =
+  let chains =
+    List.concat_map
+      (fun (f : Mfunc.t) ->
+        match Mfunc.partition f with
+        | blocks, [] -> [ (Linker.address_of layout f.name, f, blocks) ]
+        | hot, cold ->
+          [
+            (Linker.address_of layout f.name, f, hot);
+            (Linker.address_of layout (Linker.cold_symbol f.name), f, cold);
+          ])
+      p.funcs
+    |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+  in
   let slots = ref [] and n = ref 0 in
   let addr_acc = ref [] in
   let slot_of_addr = Hashtbl.create 4096 in
-  (* First pass: assign slot indices to every (func, block) start. *)
+  (* First pass: assign slot indices to every (func, block) start.  An
+     empty block whose branch was elided shares its start slot with the
+     next block in the chain. *)
   let block_slot = Hashtbl.create 1024 in
   let func_slot = Hashtbl.create 256 in
+  let block_starts = Hashtbl.create (if track_blocks then 1024 else 1) in
   let counter = ref 0 in
   List.iter
-    (fun (f : Mfunc.t) ->
-      Hashtbl.replace func_slot f.name !counter;
+    (fun (_, (f : Mfunc.t), blocks) ->
       List.iter
         (fun (b : Block.t) ->
           Hashtbl.replace block_slot (f.name, b.Block.label) !counter;
-          counter := !counter + Array.length b.Block.body + 1)
-        f.blocks)
+          if track_blocks then
+            Hashtbl.replace block_starts !counter
+              ((f.name, b.Block.label)
+              :: Option.value ~default:[]
+                   (Hashtbl.find_opt block_starts !counter));
+          counter := !counter + Array.length b.Block.body + term_slots b)
+        blocks)
+    chains;
+  if track_blocks then
+    (* Shared start slots accumulate labels in reverse chain order; put
+       them back in execution order. *)
+    Hashtbl.iter
+      (fun k v -> Hashtbl.replace block_starts k (List.rev v))
+      (Hashtbl.copy block_starts);
+  List.iter
+    (fun (f : Mfunc.t) ->
+      match f.blocks with
+      | [] -> ()
+      | b :: _ ->
+        Hashtbl.replace func_slot f.name
+          (Hashtbl.find block_slot (f.name, b.Block.label)))
     p.funcs;
   let extern_of_addr = Hashtbl.create 64 in
   List.iter
@@ -266,8 +311,7 @@ let build_slots (p : Program.t) layout =
     | None -> T_extern sym
   in
   List.iter
-    (fun (f : Mfunc.t) ->
-      let base = Linker.address_of layout f.name in
+    (fun (base, (f : Mfunc.t), blocks) ->
       let block_idx l =
         match Hashtbl.find_opt block_slot (f.name, l) with
         | Some i -> i
@@ -292,40 +336,48 @@ let build_slots (p : Program.t) layout =
             b.Block.body;
           let t =
             match b.Block.term with
-            | Block.Ret -> S_ret
-            | Block.B l -> S_b (block_idx l)
-            | Block.Bcond (c, a, b') -> S_bcond (c, block_idx a, block_idx b')
-            | Block.Cbz (r, a, b') -> S_cbz (r, block_idx a, block_idx b')
-            | Block.Cbnz (r, a, b') -> S_cbnz (r, block_idx a, block_idx b')
-            | Block.Tail_call sym -> S_tail (target_of sym)
+            | Block.Ret -> Some S_ret
+            | Block.B l -> Some (S_b (block_idx l))
+            | Block.Bcond (c, a, b') ->
+              Some (S_bcond (c, block_idx a, block_idx b'))
+            | Block.Cbz (r, a, b') -> Some (S_cbz (r, block_idx a, block_idx b'))
+            | Block.Cbnz (r, a, b') ->
+              Some (S_cbnz (r, block_idx a, block_idx b'))
+            | Block.Tail_call sym -> Some (S_tail (target_of sym))
+            | Block.Fallthrough _ -> None
           in
-          slots := t :: !slots;
-          addr_acc := (base + !off) :: !addr_acc;
-          Hashtbl.replace slot_of_addr (base + !off) !n;
-          incr n;
-          off := !off + 4)
-        f.blocks)
-    p.funcs;
+          match t with
+          | None -> ()
+          | Some t ->
+            slots := t :: !slots;
+            addr_acc := (base + !off) :: !addr_acc;
+            Hashtbl.replace slot_of_addr (base + !off) !n;
+            incr n;
+            off := !off + 4)
+        blocks)
+    chains;
   let func_names = Array.make !n "" in
   let slot_outlined = Array.make !n false in
   let fidx = ref 0 in
   List.iter
-    (fun (f : Mfunc.t) ->
+    (fun (_, (f : Mfunc.t), blocks) ->
       let count =
         List.fold_left
-          (fun acc (b : Block.t) -> acc + Array.length b.Block.body + 1)
-          0 f.blocks
+          (fun acc (b : Block.t) ->
+            acc + Array.length b.Block.body + term_slots b)
+          0 blocks
       in
       Array.fill func_names !fidx count f.name;
       if f.is_outlined then Array.fill slot_outlined !fidx count true;
       fidx := !fidx + count)
-    p.funcs;
+    chains;
   ( Array.of_list (List.rev !slots),
     Array.of_list (List.rev !addr_acc),
     slot_of_addr,
     extern_of_addr,
     func_names,
-    slot_outlined )
+    slot_outlined,
+    block_starts )
 
 let init_memory (p : Program.t) layout mem =
   List.iter
@@ -430,8 +482,14 @@ let run ?(config = default_config) ?(args = []) ?order ~entry (p : Program.t) =
   | None -> Error (No_entry entry)
   | Some _ -> (
     let layout = Linker.link ?order p in
-    let slots, addr_of_slot, slot_of_addr, extern_of_addr, func_names, slot_outlined =
-      build_slots p layout
+    let ( slots,
+          addr_of_slot,
+          slot_of_addr,
+          extern_of_addr,
+          func_names,
+          slot_outlined,
+          block_starts ) =
+      build_slots ~track_blocks:(config.trace <> None) p layout
     in
     let d = config.device in
     let st =
@@ -547,6 +605,18 @@ let run ?(config = default_config) ?(args = []) ?order ~entry (p : Program.t) =
           emit (Ev_entry callee)
       in
       emit_enter ~caller:None ~tail:false entry;
+      let emit_block =
+        match config.trace with
+        | None -> fun _ -> ()
+        | Some emit ->
+          fun idx ->
+            (match Hashtbl.find_opt block_starts idx with
+            | Some bs ->
+              List.iter
+                (fun (fn, l) -> emit (Ev_block { func = fn; label = l }))
+                bs
+            | None -> ())
+      in
       let jump_to_address a =
         if a = exit_address then running := false
         else
@@ -580,6 +650,7 @@ let run ?(config = default_config) ?(args = []) ?order ~entry (p : Program.t) =
           incr ring_pos
         | None -> ());
         fetch_costs st addr;
+        emit_block idx;
         st.steps <- st.steps + 1;
         if slot_outlined.(idx) then st.outlined_steps <- st.outlined_steps + 1;
         (match st.slots.(idx) with
@@ -589,7 +660,7 @@ let run ?(config = default_config) ?(args = []) ?order ~entry (p : Program.t) =
           pc := idx + 1
         | S_bl (target, i) -> (
           if config.model_perf then st.cycles <- st.cycles + insn_cost st i;
-          set_reg st Reg.lr st.addr_of_slot.(idx + 1);
+          set_reg st Reg.lr (st.addr_of_slot.(idx) + 4);
           match target with
           | T_slot s ->
             st.calls <- st.calls + 1;
@@ -602,7 +673,7 @@ let run ?(config = default_config) ?(args = []) ?order ~entry (p : Program.t) =
           if config.model_perf then
             st.cycles <- st.cycles + insn_cost st (Insn.Blr r);
           let dest = get_reg st r in
-          set_reg st Reg.lr st.addr_of_slot.(idx + 1);
+          set_reg st Reg.lr (st.addr_of_slot.(idx) + 4);
           match Hashtbl.find_opt st.slot_of_addr dest with
           | Some s ->
             st.calls <- st.calls + 1;

@@ -21,6 +21,9 @@ type trace_event =
   | Ev_first_touch of string
       (** the first time any instruction of the function executes —
           the startup first-touch order *)
+  | Ev_block of { func : string; label : string }
+      (** a basic block begins executing; the block-granularity counts
+          behind hot/cold splitting (see Blocklayout) *)
 
 type config = {
   device : Device.t;

@@ -2,6 +2,7 @@ type t = {
   mutable entries_rev : string list;
   counts : (string, int) Hashtbl.t;
   edges : (string * string, int) Hashtbl.t;
+  blocks : (string * string, int) Hashtbl.t;
   mutable touch_rev : string list;
   touched : (string, unit) Hashtbl.t;
 }
@@ -11,6 +12,7 @@ let create () =
     entries_rev = [];
     counts = Hashtbl.create 256;
     edges = Hashtbl.create 1024;
+    blocks = Hashtbl.create 4096;
     touch_rev = [];
     touched = Hashtbl.create 256;
   }
@@ -29,6 +31,10 @@ let hook c (ev : Perfsim.Interp.trace_event) =
       Hashtbl.replace c.touched f ();
       c.touch_rev <- f :: c.touch_rev
     end
+  | Perfsim.Interp.Ev_block { func; label } ->
+    let key = (func, label) in
+    Hashtbl.replace c.blocks key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt c.blocks key))
 
 let record_entry c e = c.entries_rev <- e :: c.entries_rev
 
@@ -38,6 +44,8 @@ let profile c ~workload =
     ~first_touch:(List.rev c.touch_rev)
     ~counts:(Hashtbl.fold (fun f n acc -> (f, n) :: acc) c.counts [])
     ~edges:(Hashtbl.fold (fun k n acc -> (k, n) :: acc) c.edges [])
+    ~blocks:(Hashtbl.fold (fun k n acc -> (k, n) :: acc) c.blocks [])
+    ()
 
 (* Profiling wants events, not timings: the cost model off makes the run
    cheaper without changing a single event.  Unknown externs are no-ops so

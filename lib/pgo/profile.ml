@@ -1,4 +1,4 @@
-let current_version = 1
+let current_version = 2
 
 type t = {
   workload : string;
@@ -6,25 +6,33 @@ type t = {
   first_touch : string list;
   counts : (string * int) list;
   edges : ((string * string) * int) list;
+  blocks : ((string * string) * int) list;
 }
 
 let compare_edge ((c1, e1), _) ((c2, e2), _) =
   match String.compare c1 c2 with 0 -> String.compare e1 e2 | n -> n
 
-let make ~workload ~entries ~first_touch ~counts ~edges =
+let make ?(blocks = []) ~workload ~entries ~first_touch ~counts ~edges () =
   {
     workload;
     entries;
     first_touch;
     counts = List.sort (fun (a, _) (b, _) -> String.compare a b) counts;
     edges = List.sort compare_edge edges;
+    blocks = List.sort compare_edge blocks;
   }
 
-let empty ~workload = make ~workload ~entries:[] ~first_touch:[] ~counts:[] ~edges:[]
+let empty ~workload =
+  make ~workload ~entries:[] ~first_touch:[] ~counts:[] ~edges:[] ()
 
 let count p f = Option.value ~default:0 (List.assoc_opt f p.counts)
 let edge_weight p ~caller ~callee =
   Option.value ~default:0 (List.assoc_opt (caller, callee) p.edges)
+
+let block_count p ~func ~label =
+  Option.value ~default:0 (List.assoc_opt (func, label) p.blocks)
+
+let has_block_counts p = p.blocks <> []
 
 let executed p f = List.mem f p.first_touch
 
@@ -33,21 +41,26 @@ let total_edge_weight p = List.fold_left (fun a (_, w) -> a + w) 0 p.edges
 let equal a b =
   a.workload = b.workload && a.entries = b.entries
   && a.first_touch = b.first_touch && a.counts = b.counts && a.edges = b.edges
+  && a.blocks = b.blocks
 
 (* --- serialization --------------------------------------------------------
 
    A line-oriented versioned text format so profiles can be recorded once
    (`sizeopt profile`) and replayed (`sizeopt build --profile-in`):
 
-     pgo-profile v1
+     pgo-profile v2
      workload <name>
      entry <symbol>             # traced entry points, in run order
      touch <func>               # first-touch order, oldest first
      count <func> <n>           # function entry counts, sorted by name
      edge <caller> <callee> <n> # dynamic call edges, sorted
+     block <func> <label> <n>   # basic-block execution counts, sorted
 
-   Serialization is canonical (sorted counts/edges), so equal profiles
-   render byte-identically — the determinism property the tests pin. *)
+   v1 profiles (no block lines) still parse; they simply carry no
+   block-granularity data, so consumers fall back to function-level
+   heuristics.  Serialization is canonical (sorted counts/edges/blocks),
+   so equal profiles render byte-identically — the determinism property
+   the tests pin. *)
 
 let to_string p =
   let buf = Buffer.create 4096 in
@@ -62,6 +75,10 @@ let to_string p =
     (fun ((c, e), n) ->
       Buffer.add_string buf (Printf.sprintf "edge %s %s %d\n" c e n))
     p.edges;
+  List.iter
+    (fun ((f, l), n) ->
+      Buffer.add_string buf (Printf.sprintf "block %s %s %d\n" f l n))
+    p.blocks;
   Buffer.contents buf
 
 let of_string text =
@@ -69,15 +86,21 @@ let of_string text =
   match List.filter (fun l -> String.trim l <> "") lines with
   | [] -> Error "empty profile"
   | header :: rest ->
-    if header <> Printf.sprintf "pgo-profile v%d" current_version then
+    let version =
+      if header = "pgo-profile v1" then Some 1
+      else if header = "pgo-profile v2" then Some 2
+      else None
+    in
+    (match version with
+    | None ->
       Error
         (Printf.sprintf
            "unsupported profile header %S (expected \"pgo-profile v%d\")" header
            current_version)
-    else begin
+    | Some version ->
       let workload = ref "" in
       let entries = ref [] and touches = ref [] in
-      let counts = ref [] and edges = ref [] in
+      let counts = ref [] and edges = ref [] and blocks = ref [] in
       let err = ref None in
       List.iteri
         (fun i line ->
@@ -98,6 +121,10 @@ let of_string text =
               match int_of_string_opt n with
               | Some n -> edges := ((c, e), n) :: !edges
               | None -> fail "bad edge weight")
+            | [ "block"; f; l; n ] when version >= 2 -> (
+              match int_of_string_opt n with
+              | Some n -> blocks := ((f, l), n) :: !blocks
+              | None -> fail "bad block count")
             | _ -> fail "unknown directive")
         rest;
       match !err with
@@ -105,8 +132,8 @@ let of_string text =
       | None ->
         Ok
           (make ~workload:!workload ~entries:(List.rev !entries)
-             ~first_touch:(List.rev !touches) ~counts:!counts ~edges:!edges)
-    end
+             ~first_touch:(List.rev !touches) ~counts:!counts ~edges:!edges
+             ~blocks:!blocks ()))
 
 let save path p =
   let oc = open_out path in

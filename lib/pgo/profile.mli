@@ -14,24 +14,36 @@ type t = {
   counts : (string * int) list;  (** function entry counts, sorted by name *)
   edges : ((string * string) * int) list;
       (** dynamic call edges (caller, callee) -> weight, sorted *)
+  blocks : ((string * string) * int) list;
+      (** basic-block execution counts (func, label) -> count, sorted;
+          empty for v1 profiles, which predate block-level events *)
 }
 
 val current_version : int
 
 val make :
+  ?blocks:((string * string) * int) list ->
   workload:string ->
   entries:string list ->
   first_touch:string list ->
   counts:(string * int) list ->
   edges:((string * string) * int) list ->
+  unit ->
   t
-(** Canonicalizes: counts and edges are sorted, so {!to_string} is a
-    deterministic function of the profile's contents. *)
+(** Canonicalizes: counts, edges and blocks are sorted, so {!to_string}
+    is a deterministic function of the profile's contents. *)
 
 val empty : workload:string -> t
 
 val count : t -> string -> int
 val edge_weight : t -> caller:string -> callee:string -> int
+
+val block_count : t -> func:string -> label:string -> int
+val has_block_counts : t -> bool
+(** Whether the profile carries any block-granularity data; when it does
+    not, block-level consumers (hot/cold splitting) must fall back to
+    static heuristics. *)
+
 val executed : t -> string -> bool
 (** A function is "hot" iff it was first-touched; never-executed
     functions are what hot/cold splitting sends to the image tail. *)
@@ -40,12 +52,12 @@ val total_edge_weight : t -> int
 val equal : t -> t -> bool
 
 val to_string : t -> string
-(** The versioned text serialization (header ["pgo-profile v1"]).
+(** The versioned text serialization (header ["pgo-profile v2"]).
     Canonical: structurally equal profiles serialize byte-identically. *)
 
 val of_string : string -> (t, string) result
-(** Rejects unknown versions and malformed directives with a line-
-    numbered error. *)
+(** Accepts v1 (no block counts) and v2 headers; rejects unknown
+    versions and malformed directives with a line-numbered error. *)
 
 val save : string -> t -> unit
 val load : string -> (t, string) result

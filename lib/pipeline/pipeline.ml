@@ -5,7 +5,7 @@ type mode =
 
 type layout_strategy =
   [ `Append | `Caller_affinity | `Order_file | `C3 | `Balanced
-  | `Bp_compress of float ]
+  | `Bp_compress of float | `Stitch ]
 
 let layout_strategy_name = function
   | `Append -> "append"
@@ -14,11 +14,13 @@ let layout_strategy_name = function
   | `C3 -> "c3"
   | `Balanced -> "balanced"
   | `Bp_compress w -> Printf.sprintf "bp-compress(w=%g)" w
+  | `Stitch -> "stitch"
 
 (* The one place the valid-strategy list is written down: the CLI and the
    spec parser both route their errors through here. *)
 let layout_strategy_list =
-  "append, caller-affinity, order-file, c3, balanced or bp-compress[(w=0..1)]"
+  "append, caller-affinity, order-file, c3, balanced, bp-compress[(w=0..1)] \
+   or stitch"
 
 let layout_strategy_of_string s =
   let s = String.lowercase_ascii (String.trim s) in
@@ -32,6 +34,7 @@ let layout_strategy_of_string s =
   | "c3" -> Ok `C3
   | "balanced" -> Ok `Balanced
   | "bp-compress" -> Ok (`Bp_compress Pgo.Order.default_w)
+  | "stitch" -> Ok `Stitch
   | _ ->
     (* bp-compress(w=0.3) — also accepts the bare bp-compress(0.3). *)
     let prefix = "bp-compress(" in
@@ -151,6 +154,7 @@ let lowered_spec (c : config) =
     match c.outlined_layout with
     | `Caller_affinity -> [ mk "caller-affinity-layout" ]
     | `Append -> []
+    | `Stitch -> [ mk "stitch" ]
     | `Order_file | `C3 | `Balanced | `Bp_compress _ ->
       (* The profile-guided strategies surface as the linked [pgo-layout]
          marker pass, so a spec string can request and parameterize them. *)
@@ -257,12 +261,13 @@ let config_of_passes ?(base = default_config) s =
             outline_rounds;
             outlined_layout =
               (if has "caller-affinity-layout" then `Caller_affinity
+               else if has "stitch" then `Stitch
                else
                  match pgo_layout with
                  | Some l -> l
                  | None -> (
                    match base.outlined_layout with
-                   | `Caller_affinity -> `Append
+                   | `Caller_affinity | `Stitch -> `Append
                    | l -> l));
             passes = Some specs;
           }
@@ -594,26 +599,46 @@ let build ?dump ?(config = default_config) modules =
     (* Profile-guided strategies close the loop here: use the recorded
        profile (--profile-in), or self-profile by tracing a [main] run of
        the just-built program. *)
-    let function_order =
+    let layout_profile () =
+      match config.layout_profile with
+      | Some p -> p
+      | None ->
+        timed "pgo-collect" (fun () ->
+            Pgo.Collect.collect
+              ~config:
+                {
+                  Pgo.Collect.default_config with
+                  Perfsim.Interp.max_steps = 20_000_000;
+                }
+              ~workload:"self" ~entries:[ "main" ] program)
+    in
+    let program, function_order =
       match config.outlined_layout with
-      | `Append | `Caller_affinity -> None
+      | `Append | `Caller_affinity -> (program, None)
       | (`Order_file | `C3 | `Balanced | `Bp_compress _) as strategy ->
-        let profile =
-          match config.layout_profile with
-          | Some p -> p
-          | None ->
-            timed "pgo-collect" (fun () ->
-                Pgo.Collect.collect
-                  ~config:
-                    {
-                      Pgo.Collect.default_config with
-                      Perfsim.Interp.max_steps = 20_000_000;
-                    }
-                  ~workload:"self" ~entries:[ "main" ] program)
+        let profile = layout_profile () in
+        ( program,
+          Some
+            (timed "pgo-layout" (fun () ->
+                 Pgo.Order.compute strategy profile program)) )
+      | `Stitch ->
+        (* Block-granularity placement transforms the program itself:
+           cold blocks split to the [__text_cold] region, fallthroughs
+           materialized where the split separates them, then chains
+           ordered along the hottest interprocedural edges. *)
+        let profile = layout_profile () in
+        let split =
+          timed "stitch-split" (fun () ->
+              Blocklayout.split_program ~profile program)
         in
-        Some
-          (timed "pgo-layout" (fun () ->
-               Pgo.Order.compute strategy profile program))
+        (match Machine.Program.validate split with
+        | Ok () -> ()
+        | Error e -> failwith ("stitch produced invalid program: " ^ e));
+        let order =
+          timed "stitch-order" (fun () ->
+              Blocklayout.stitch_order ~profile split)
+        in
+        (split, Some order)
     in
     let layout =
       timed "system-linker" (fun () ->
@@ -715,7 +740,9 @@ let build_reference ?(config = default_config) modules =
               outline_stats := stats;
               match config.outlined_layout with
               | `Caller_affinity -> Outcore.Layout.optimize p
-              | `Append | `Order_file | `C3 | `Balanced | `Bp_compress _ -> p)
+              | `Append | `Order_file | `C3 | `Balanced | `Bp_compress _
+              | `Stitch ->
+                p)
         else machine
       | Per_module ->
         let units =
@@ -745,7 +772,7 @@ let build_reference ?(config = default_config) modules =
             | `Caller_affinity when config.outline_rounds > 0 ->
               Outcore.Layout.optimize merged
             | `Caller_affinity | `Append | `Order_file | `C3 | `Balanced
-            | `Bp_compress _ ->
+            | `Bp_compress _ | `Stitch ->
               merged)
     in
     (match Machine.Program.validate program with
@@ -754,6 +781,8 @@ let build_reference ?(config = default_config) modules =
     let function_order =
       match config.outlined_layout with
       | `Append | `Caller_affinity -> None
+      | `Stitch ->
+        failwith "build_reference: stitch postdates the pass-manager refactor"
       | (`Order_file | `C3 | `Balanced | `Bp_compress _) as strategy ->
         let profile =
           match config.layout_profile with

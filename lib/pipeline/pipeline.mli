@@ -32,7 +32,7 @@ type mode =
 
 type layout_strategy =
   [ `Append | `Caller_affinity | `Order_file | `C3 | `Balanced
-  | `Bp_compress of float ]
+  | `Bp_compress of float | `Stitch ]
 (** Where functions — outlined ones in particular — are placed:
     - [`Append]: program order, outlined functions appended at the end in
       one dense region (LLVM's behaviour, the default);
@@ -43,8 +43,14 @@ type layout_strategy =
       clustering, and recursive-bisection balanced partitioning;
     - [`Bp_compress w]: balanced partitioning with a compression term of
       weight [w] in the objective ({!Pgo.Order.bp_compress}) — trades
-      icache locality for estimated download size.
-    All are pure reordering, realized through [Linker.link ~order]. *)
+      icache locality for estimated download size;
+    - [`Stitch]: block-granularity placement ({!Blocklayout}) — cold
+      basic blocks split into the linker's [__text_cold] region and hot
+      chains stitched along the hottest interprocedural call edges.
+    All but [`Stitch] are pure reordering, realized through
+    [Linker.link ~order]; [`Stitch] also rewrites the program (block
+    reordering with branch elision/materialization), preserving observable
+    behavior. *)
 
 val layout_strategy_name : layout_strategy -> string
 

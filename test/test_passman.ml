@@ -80,30 +80,33 @@ let test_registry () =
       run_canonicalize = true; outlined_layout = `Caller_affinity }
   in
   (* outline and thin-outline are alternative build modes, so no single
-     config can emit both, and caller-affinity-layout and pgo-layout are
-     alternative placements; the all-on config, its thin-mode twin and a
-     pgo-layout variant must reach every registered pass between them. *)
+     config can emit both, and caller-affinity-layout, pgo-layout and
+     stitch are alternative placements; the all-on config, its thin-mode
+     twin and the pgo-layout and stitch variants must reach every
+     registered pass between them. *)
   let all_on_thin =
     { all_on with Pipeline.mode = Pipeline.Thin_wpo { workers = 2 } }
   in
   let all_on_pgo =
     { all_on with Pipeline.outlined_layout = `Bp_compress 0.5 }
   in
+  let all_on_stitch = { all_on with Pipeline.outlined_layout = `Stitch } in
   let spec = Pipeline.spec_of_config all_on in
   let spec_thin = Pipeline.spec_of_config all_on_thin in
   let spec_pgo = Pipeline.spec_of_config all_on_pgo in
+  let spec_stitch = Pipeline.spec_of_config all_on_stitch in
+  let specs = spec @ spec_thin @ spec_pgo @ spec_stitch in
   List.iter
     (fun sp ->
       Alcotest.(check bool)
         ("registered: " ^ sp.Passman.sp_name)
         true
         (List.mem sp.Passman.sp_name Passman.registered_names))
-    (spec @ spec_thin @ spec_pgo);
+    specs;
   let covered =
-    List.sort_uniq compare
-      (List.map (fun sp -> sp.Passman.sp_name) (spec @ spec_thin @ spec_pgo))
+    List.sort_uniq compare (List.map (fun sp -> sp.Passman.sp_name) specs)
   in
-  Alcotest.(check int) "the three configs exercise the whole registry"
+  Alcotest.(check int) "the four configs exercise the whole registry"
     (List.length Passman.registered_names)
     (List.length covered)
 

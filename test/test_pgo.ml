@@ -62,6 +62,8 @@ let test_profile_roundtrip () =
       ~first_touch:[ "main"; "b"; "a" ]
       ~counts:[ ("b", 2); ("main", 1); ("a", 5) ]
       ~edges:[ (("main", "b"), 2); (("b", "a"), 5) ]
+      ~blocks:[ (("main", "entry"), 1); (("b", "l1"), 2) ]
+      ()
   in
   let s = Pgo.Profile.to_string profile in
   (match Pgo.Profile.of_string s with
