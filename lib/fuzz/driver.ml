@@ -269,7 +269,20 @@ let self_test ?(log = null_log) ~seed () =
               ~max_reproducer_lines:40 ()
           with
           | Error _ as e -> e
-          | Ok report5 ->
-            Ok
-              (report1 ^ "\n\n" ^ report2 ^ "\n\n" ^ report3 ^ "\n\n"
-             ^ report4 ^ "\n\n" ^ report5)))))
+          | Ok report5 -> (
+            (* Phase 6: truncate global-merge fingerprints to six bits so
+               unequal functions land in one optimistic group AND skip the
+               serial confirmation round that exists to reject exactly
+               those groups; the gmerge slice must catch the surviving
+               bad merge via the validator or oracle divergence. *)
+            match
+              swiftlet_fault_phase ~log ~seed ~salt:32452843
+                ~flag:Merge.fault_drop_rollback
+                ~fault_name:"dropped-merge-rollback"
+                ~check:Lattice.check_gmerge ~max_reproducer_lines:60 ()
+            with
+            | Error _ as e -> e
+            | Ok report6 ->
+              Ok
+                (report1 ^ "\n\n" ^ report2 ^ "\n\n" ^ report3 ^ "\n\n"
+               ^ report4 ^ "\n\n" ^ report5 ^ "\n\n" ^ report6))))))

@@ -17,6 +17,7 @@ let pass_combos =
     ("sil", fun c -> { c with Pipeline.run_sil_outline = true });
     ("merge", fun c -> { c with Pipeline.run_merge_functions = true });
     ("fmsa", fun c -> { c with Pipeline.run_fmsa = true });
+    ("gmerge", fun c -> { c with Pipeline.run_global_merge = true });
     ("canon", fun c -> { c with Pipeline.run_canonicalize = true });
     ( "all",
       fun c ->
@@ -25,6 +26,7 @@ let pass_combos =
           Pipeline.run_sil_outline = true;
           run_merge_functions = true;
           run_fmsa = true;
+          run_global_merge = true;
           run_canonicalize = true;
         } );
   ]
@@ -372,7 +374,7 @@ let compress_property (p : Machine.Program.t) =
     let by_render = Hashtbl.create 64 in
     List.iter
       (fun (f : Machine.Mfunc.t) ->
-        let key = Linker.Content.render f in
+        let key = Content.render f in
         let prev = Option.value ~default:[] (Hashtbl.find_opt by_render key) in
         Hashtbl.replace by_render key (f.name :: prev))
       p.Machine.Program.funcs;
@@ -390,7 +392,7 @@ let compress_property (p : Machine.Program.t) =
       (* Clones adjacent: sort names by render key, ties on name. *)
       let keyed =
         List.map
-          (fun (f : Machine.Mfunc.t) -> (Linker.Content.render f, f.name))
+          (fun (f : Machine.Mfunc.t) -> (Content.render f, f.name))
           p.Machine.Program.funcs
       in
       let sorted = List.sort compare keyed in
@@ -467,6 +469,44 @@ let transition_differential modules =
   match one "transition/wp-default" Pipeline.default_config with
   | Some f -> Some f
   | None -> one "transition/pm-default" Pipeline.default_ios_config
+
+(* The refactor-exactness differential: the thin strategy instances over
+   the lib/merge framework must reproduce the frozen pre-refactor passes
+   ([Merge_reference]) byte-for-byte — per module and on the linked whole
+   module, with the entry point kept, exactly as the pipeline runs them. *)
+let merge_refactor_differential modules whole =
+  let keep (f : Ir.func) = f.Ir.name = "main" in
+  let pp m = Format.asprintf "%a" Ir.pp_modul m in
+  let diff name (m : Ir.modul) =
+    if
+      pp (fst (Merge_functions.run ~keep m))
+      <> pp (fst (Merge_reference.Merge_functions.run ~keep m))
+    then
+      Some
+        {
+          point = "refactor/merge-functions";
+          reason =
+            "lib/merge Merge_functions diverged from the frozen pre-refactor \
+             pass on module " ^ name;
+        }
+    else if
+      pp (fst (Fmsa.run ~keep m))
+      <> pp (fst (Merge_reference.Fmsa.run ~keep m))
+    then
+      Some
+        {
+          point = "refactor/fmsa";
+          reason =
+            "lib/merge Fmsa diverged from the frozen pre-refactor pass on \
+             module " ^ name;
+        }
+    else None
+  in
+  List.fold_left
+    (fun acc (m : Ir.modul) ->
+      match acc with Some _ -> acc | None -> diff m.Ir.m_name m)
+    None
+    (modules @ [ whole ])
 
 (* The thin-WPO differentials.  Two properties ride on the thin points:
 
@@ -647,6 +687,8 @@ let check ?(verify_each = false) (p : Swiftgen.program) =
           points { Pipeline.default_config with Pipeline.verify_each }
         in
         let failure = ref (transition_differential modules) in
+        if !failure = None then
+          failure := merge_refactor_differential modules whole;
         let sizes = ref [] in
         let thins = ref [] in
         let full_wpo = ref None in
@@ -693,10 +735,12 @@ let check ?(verify_each = false) (p : Swiftgen.program) =
                 match serve_differential (Swiftgen.to_sources p) with
                 | Some f -> Fail f
                 (* every point also ran its /spec twin, plus the two
-                   transition-differential points, the two thin-WPO
+                   transition-differential points, the two refactor-exactness
+                   differentials (merge-functions and fmsa against their
+                   frozen pre-refactor copies), the two thin-WPO
                    differentials, the compressed-size property check, and
                    the three serve replay steps (build, edit, retry) *)
-                | None -> Pass ((2 * List.length pts) + 4 + 1 + 3))))))))
+                | None -> Pass ((2 * List.length pts) + 4 + 2 + 1 + 3))))))))
 
 (* The thin-only check: reference oracle, the three thin points (spec
    twins included), and both thin differentials — nothing else.  This is
@@ -787,6 +831,79 @@ let check_serve (p : Swiftgen.program) =
     | Some f -> Fail f
     (* initial build + two edits + the retry *)
     | None -> Pass 4)
+
+(* The global-merge-only check: reference oracle, then the optimistic
+   merger at round 0 in all three modes, with a two-worker-count thin pair
+   whose images must be byte-identical.  This is what the self-test's
+   dropped-rollback fault phase and its shrink loop run: the fault lives
+   entirely in Global_merge, so sweeping the full lattice per deletion
+   attempt would bury the signal in unrelated points. *)
+let check_gmerge (p : Swiftgen.program) =
+  match Swiftlet.Compile.compile_program (Swiftgen.to_sources p) with
+  | Error msg -> Skip ("front-end: " ^ msg)
+  | Ok modules -> (
+    let modules = attach_flags p.flag_style modules in
+    match
+      Link.link ~flag_semantics:Link.Attributes
+        ~data_order:Link.Module_preserving ~name:"whole" modules
+    with
+    | Error e -> Skip ("reference link: " ^ Link.error_to_string e)
+    | Ok whole -> (
+      match Eval.run ~max_steps:5_000_000 ~entry:"main" whole with
+      | Error e -> Skip ("reference eval: " ^ Eval.error_to_string e)
+      | Ok ref_res -> (
+        let ref_exit = ref_res.exit_value and ref_output = ref_res.output in
+        let base =
+          {
+            Pipeline.default_config with
+            Pipeline.flag_semantics = Link.Attributes;
+            data_order = Link.Module_preserving;
+            outlined_layout = `Append;
+            layout_profile = None;
+            run_global_merge = true;
+            outline_rounds = 0;
+          }
+        in
+        let pts =
+          [
+            ("gmerge/pm/r0", { base with Pipeline.mode = Per_module });
+            ("gmerge/wp/r0", { base with Pipeline.mode = Whole_program });
+            ( "gmerge/thin/r0/w1",
+              { base with Pipeline.mode = Thin_wpo { workers = 1 } } );
+            ( "gmerge/thin/r0/w2",
+              { base with Pipeline.mode = Thin_wpo { workers = 2 } } );
+          ]
+        in
+        let failure = ref None in
+        let thins = ref [] in
+        List.iter
+          (fun ((label, cfg) as pt) ->
+            if !failure = None then
+              (* Corrupted merges routinely loop; the tight machine budget
+                 keeps the shrink loop fast (honest round-0 programs finish
+                 well within it). *)
+              match
+                run_point ~interp:machine_interp_config modules pt
+                  ~style:p.flag_style ~ref_exit ~ref_output
+              with
+              | Error f -> failure := Some f
+              | Ok None -> ()
+              | Ok (Some res) -> (
+                match cfg.Pipeline.mode with
+                | Pipeline.Thin_wpo _ ->
+                  thins :=
+                    ( label,
+                      Machine.Asm_printer.to_source res.Pipeline.program,
+                      res.binary_size )
+                    :: !thins
+                | _ -> ()))
+          pts;
+        match !failure with
+        | Some f -> Fail f
+        | None -> (
+          match thin_differential (List.rev !thins) None with
+          | Some f -> Fail f
+          | None -> Pass ((2 * List.length pts) + 1)))))
 
 (* --- the machine check ------------------------------------------------------- *)
 

@@ -70,6 +70,15 @@ val check_thin : Swiftgen.program -> verdict
     fault-injection loop, where the shrinker re-checks the program
     after every deletion attempt. *)
 
+val check_gmerge : Swiftgen.program -> verdict
+(** The global-merge slice: reference oracle, then round-0 [gmerge] points
+    in per-module, whole-program and thin (workers 1 and 2) modes, with
+    the thin pair required byte-identical.  This is what the self-test's
+    dropped-rollback fault phase ({!Merge.fault_drop_rollback}) hunts and
+    shrinks with: the fault manufactures fingerprint collisions and skips
+    the serial confirmation round, so an unequal pair of functions gets
+    merged and the oracle (or the validator) trips. *)
+
 val check_serve : Swiftgen.program -> verdict
 (** The serve slice: replay the program plus two single-module edits and a
     verbatim retry through one warm {!Serve.Server}, requiring every served

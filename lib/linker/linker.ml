@@ -5,80 +5,11 @@ type symbol_kind =
   | Data
   | Extern
 
-(* --- function content: stable byte streams, hashes and shingles ------------- *)
-
-(* The FNV-1a machinery thin-WPO's summaries hash candidates with, hoisted
-   here so the compressed-size model and the bp-compress layout objective
-   share one definition of "content" with the summary exchange
-   (Thinwpo.Summary aliases these).  The rendered stream erases the
-   function name — byte-identical bodies render identically, exactly like
-   [duplicate_function_bodies]'s keying — so co-locating clones is visible
-   to any window that slides over the stream. *)
-module Content = struct
-  let fnv_offset = 0xcbf29ce484222325L
-  let fnv_prime = 0x100000001b3L
-
-  let fnv_byte h b =
-    Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
-
-  let fnv_string h s =
-    let h = ref h in
-    String.iter (fun c -> h := fnv_byte !h (Char.code c)) s;
-    !h
-
-  let add_blocks buf blocks =
-    List.iter
-      (fun (b : Block.t) ->
-        Buffer.add_string buf b.Block.label;
-        Buffer.add_char buf ':';
-        Array.iter
-          (fun i ->
-            Buffer.add_string buf (Insn.to_string i);
-            Buffer.add_char buf ';')
-          b.Block.body;
-        Buffer.add_string buf
-          (Format.asprintf "%a" Block.pp_terminator b.Block.term);
-        Buffer.add_char buf '|')
-      blocks
-
-  let add_func buf (f : Mfunc.t) = add_blocks buf f.Mfunc.blocks
-
-  let render (f : Mfunc.t) =
-    let buf = Buffer.create 256 in
-    add_func buf f;
-    Buffer.contents buf
-
-  (* k-gram shingles over the instruction stream: every window of [k]
-     consecutive rendered instructions (terminators included) hashes to
-     one utility id, deduplicated.  Functions sharing instruction
-     subsequences — outlined-clone families, merge-function survivors,
-     codegen idioms — share shingles. *)
-  let shingles ?(k = 2) (f : Mfunc.t) =
-    let insns = ref [] in
-    List.iter
-      (fun (b : Block.t) ->
-        Array.iter (fun i -> insns := Insn.to_string i :: !insns) b.Block.body;
-        insns :=
-          Format.asprintf "%a" Block.pp_terminator b.Block.term :: !insns)
-      f.blocks;
-    let insns = Array.of_list (List.rev !insns) in
-    let n = Array.length insns in
-    if n = 0 then []
-    else begin
-      let k = min k n in
-      let out = ref [] in
-      for i = 0 to n - k do
-        let h = ref fnv_offset in
-        for j = i to i + k - 1 do
-          h := fnv_byte (fnv_string !h insns.(j)) 0
-        done;
-        out := !h :: !out
-      done;
-      List.sort_uniq Int64.compare !out
-    end
-end
-
 (* --- LZ-style compressed-size model ----------------------------------------- *)
+
+(* Function-content rendering (name-erased byte streams) and FNV hashing
+   live in lib/content; the estimator below only consumes the rendered
+   stream. *)
 
 (* App-store delivery is compressed, so raw bytes are not what users
    download.  This is a deterministic stand-in for the LZ family every

@@ -7,27 +7,6 @@ type symbol_kind =
   | Data
   | Extern
 
-(** Stable function-content machinery shared by the compressed-size model
-    below, the bp-compress layout objective ({!Pgo.Order}) and thin-WPO's
-    summary hashing ({!Thinwpo.Summary} aliases the FNV helpers).  The
-    rendered stream erases the function name, so byte-identical bodies
-    render identically. *)
-module Content : sig
-  val fnv_offset : int64
-  val fnv_prime : int64
-  val fnv_byte : int64 -> int -> int64
-  val fnv_string : int64 -> string -> int64
-
-  val render : Machine.Mfunc.t -> string
-  (** The function's blocks as printed instructions and terminators,
-      name erased — the byte stream the compression model slides over. *)
-
-  val shingles : ?k:int -> Machine.Mfunc.t -> int64 list
-  (** Deduplicated FNV hashes of every [k] (default 2) consecutive
-      rendered instructions: the content-utility ids bp-compress feeds
-      to balanced partitioning. *)
-end
-
 (** The LZ-style download-size model: a deterministic greedy
     sliding-window parse over the image's rendered content stream —
     literals at 9 bits, back-references at a flat 25 bits (flag + offset

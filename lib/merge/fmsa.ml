@@ -1,0 +1,82 @@
+type stats = {
+  groups : int;
+  funcs_merged : int;
+  instrs_saved : int;
+  merged_created : int;
+}
+
+(* The immediate-holing strategy: [Merge.key] under [fmsa_policy] holes
+   immediates at value sites and keeps everything else verbatim; the
+   key/hole pair is byte-identical to the pre-refactor [key_with_holes]
+   (holes are all [H_imm]). *)
+let key_with_holes (f : Ir.func) = Merge.key ~policy:Merge.fmsa_policy f
+
+let parameterize (f : Ir.func) ~merged_name =
+  Merge.parameterize ~policy:Merge.fmsa_policy f ~merged_name
+
+let make_thunk (f : Ir.func) target holes =
+  Merge.make_thunk f ~target (Merge.extras_of_holes holes)
+
+let run ?(max_holes = 6) ?(min_instrs = 4) ?(keep = fun _ -> false)
+    (m : Ir.modul) =
+  let groups : (string, (Ir.func * Merge.hole list) list) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  List.iter
+    (fun (f : Ir.func) ->
+      if Ir.instr_count f >= min_instrs && not (keep f) then begin
+        let key, holes = key_with_holes f in
+        (* The merged function gains one parameter per hole; stay within
+           the register-passed argument budget or the back end cannot
+           lower calls to it (caught by the differential fuzzer). *)
+        if
+          List.length holes <= max_holes
+          && List.length f.Ir.params + List.length holes
+             <= Machine.Reg.max_args
+        then
+          let prev = Option.value ~default:[] (Hashtbl.find_opt groups key) in
+          Hashtbl.replace groups key ((f, holes) :: prev)
+      end)
+    m.funcs;
+  let replacements : (string, Ir.func) Hashtbl.t = Hashtbl.create 64 in
+  let created = ref [] in
+  let ngroups = ref 0 and merged = ref 0 and saved = ref 0 in
+  Hashtbl.iter
+    (fun _ members ->
+      match members with
+      | [] | [ _ ] -> ()
+      | members ->
+        (* All members share a hole-normalized shape with identical arity
+           and hole count.  If all hole vectors are equal, MergeFunctions
+           territory; still fine to merge here. *)
+        let members = List.rev members in
+        let base, _ = List.hd members in
+        incr ngroups;
+        let merged_name = Printf.sprintf "fmsa_merged_%s" base.Ir.name in
+        let merged_func = parameterize base ~merged_name in
+        created := merged_func :: !created;
+        List.iter
+          (fun ((f : Ir.func), holes) ->
+            let thunk = make_thunk f merged_name holes in
+            Hashtbl.replace replacements f.name thunk;
+            incr merged;
+            saved := !saved + Ir.instr_count f - Ir.instr_count thunk)
+          members;
+        saved := !saved - Ir.instr_count merged_func)
+    groups;
+  let funcs =
+    List.map
+      (fun (f : Ir.func) ->
+        match Hashtbl.find_opt replacements f.name with
+        | Some thunk -> thunk
+        | None -> f)
+      m.funcs
+    @ List.rev !created
+  in
+  ( { m with funcs },
+    {
+      groups = !ngroups;
+      funcs_merged = !merged;
+      instrs_saved = !saved;
+      merged_created = List.length !created;
+    } )

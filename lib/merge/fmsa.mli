@@ -8,7 +8,11 @@
     passing their literals.  This catches the "same code, different
     constants" near-clones that exact MergeFunction misses, and like the
     paper's measurement it recovers a little more than MergeFunction but
-    far less than machine outlining. *)
+    far less than machine outlining.
+
+    A thin instance of the {!Merge} framework under {!Merge.fmsa_policy};
+    output is byte-identical to the pre-refactor pass (enforced against
+    {!Merge_reference} by the fuzz lattice). *)
 
 type stats = {
   groups : int;

@@ -1,0 +1,269 @@
+(* The strategy-agnostic core of function merging: one alpha-normalizing
+   key builder parameterized on a hole policy, one thunk constructor, and
+   one body parameterizer.  The three merge strategies — exact
+   [Merge_functions], immediate-holing [Fmsa], and the optimistic
+   [Global_merge] — are thin instances over these.
+
+   Byte-compatibility contract: under {!exact_policy} the key is
+   byte-identical to the pre-refactor [Merge_functions.normalize_key], and
+   under {!fmsa_policy} the key/hole pair and {!parameterize} reproduce
+   the pre-refactor [Fmsa] exactly (the fuzz lattice enforces this against
+   the frozen copies in [Merge_reference]).  The hole recording order is
+   coupled to OCaml's right-to-left evaluation of [add]'s arguments the
+   same way the originals were — keep the expression shapes below in sync
+   with [parameterize]. *)
+
+type hole =
+  | H_imm of int       (* differing immediate: thunk passes [Imm n] *)
+  | H_op of Ir.operand (* differing Global/Fn operand: thunk passes it *)
+  | H_target of string (* differing direct-call target: thunk passes [Fn g],
+                          the merged body calls through the parameter *)
+
+(* Operand sites, named so a policy can decide hole-ability per position.
+   Phis, load/store bases, calli callees, retain/release, alloc lengths
+   and terminators never hole — holes there would need more plumbing than
+   the strategies warrant (same judgement as the original FMSA pass). *)
+type site =
+  | S_phi
+  | S_assign
+  | S_binop
+  | S_icmp
+  | S_load_base
+  | S_store_val
+  | S_store_base
+  | S_calli_fn
+  | S_call_arg
+  | S_calli_arg
+  | S_retain
+  | S_release
+  | S_alloc_len
+  | S_term
+
+type policy = {
+  imm_hole : site -> bool;   (* hole an [Imm] at this site? *)
+  sym_hole : site -> bool;   (* hole a [Global]/[Fn] operand at this site? *)
+  target_hole : bool;        (* hole direct-call targets? *)
+}
+
+let exact_policy =
+  { imm_hole = (fun _ -> false); sym_hole = (fun _ -> false);
+    target_hole = false }
+
+let value_sites = function
+  | S_assign | S_binop | S_icmp | S_store_val | S_call_arg | S_calli_arg ->
+    true
+  | S_phi | S_load_base | S_store_base | S_calli_fn | S_retain | S_release
+  | S_alloc_len | S_term ->
+    false
+
+let fmsa_policy =
+  { imm_hole = value_sites; sym_hole = (fun _ -> false); target_hole = false }
+
+let global_policy =
+  { imm_hole = value_sites; sym_hole = value_sites; target_hole = true }
+
+(* Alpha-normalize: rename values in order of first appearance (params
+   first), labels likewise, then print; operands the policy holes print
+   ["?"] and are recorded in traversal order.  Equal keys = mergeable
+   under the policy. *)
+let key ~policy (f : Ir.func) =
+  let vmap = Hashtbl.create 64 and vnext = ref 0 in
+  let lmap = Hashtbl.create 16 and lnext = ref 0 in
+  let v x =
+    match Hashtbl.find_opt vmap x with
+    | Some i -> i
+    | None ->
+      let i = !vnext in
+      incr vnext;
+      Hashtbl.replace vmap x i;
+      i
+  in
+  let l x =
+    match Hashtbl.find_opt lmap x with
+    | Some i -> i
+    | None ->
+      let i = !lnext in
+      incr lnext;
+      Hashtbl.replace lmap x i;
+      i
+  in
+  List.iter (fun p -> ignore (v p)) f.Ir.params;
+  List.iter (fun (b : Ir.block) -> ignore (l b.label)) f.Ir.blocks;
+  let holes = ref [] in
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let op site o =
+    match o with
+    | Ir.V x -> "v" ^ string_of_int (v x)
+    | Ir.Imm n ->
+      if policy.imm_hole site then begin
+        holes := H_imm n :: !holes;
+        "?"
+      end
+      else "#" ^ string_of_int n
+    | Ir.Global g ->
+      if policy.sym_hole site then begin
+        holes := H_op o :: !holes;
+        "?"
+      end
+      else "@" ^ g
+    | Ir.Fn g ->
+      if policy.sym_hole site then begin
+        holes := H_op o :: !holes;
+        "?"
+      end
+      else "&" ^ g
+  in
+  add "params:%d;" (List.length f.Ir.params);
+  List.iter
+    (fun (b : Ir.block) ->
+      add "L%d:" (l b.label);
+      List.iter
+        (fun (p : Ir.phi) ->
+          add "phi v%d=" (v p.phi_dst);
+          List.iter
+            (fun (lbl, o) -> add "[L%d %s]" (l lbl) (op S_phi o))
+            p.incoming)
+        b.phis;
+      List.iter
+        (fun i ->
+          (match Ir.def_of_instr i with
+          | Some d -> add "v%d=" (v d)
+          | None -> ());
+          (match i with
+          | Ir.Assign (_, o) -> add "asn %s" (op S_assign o)
+          | Ir.Binop (_, o2, a, b2) ->
+            let tag =
+              match o2 with
+              | Ir.Add -> "add"
+              | Ir.Sub -> "sub"
+              | Ir.Mul -> "mul"
+              | Ir.Div -> "div"
+              | Ir.And -> "and"
+              | Ir.Or -> "or"
+              | Ir.Xor -> "xor"
+              | Ir.Shl -> "shl"
+              | Ir.Lshr -> "lshr"
+              | Ir.Ashr -> "ashr"
+            in
+            add "bin.%s %s %s" tag (op S_binop a) (op S_binop b2)
+          | Ir.Icmp (_, c, a, b2) ->
+            add "icmp %s %s %s" (Machine.Cond.to_string c) (op S_icmp a)
+              (op S_icmp b2)
+          | Ir.Load (_, base, off) -> add "ld %s %d" (op S_load_base base) off
+          | Ir.Store (x, base, off) ->
+            add "st %s %s %d" (op S_store_val x) (op S_store_base base) off
+          | Ir.Call (_, fn, args) ->
+            if policy.target_hole then begin
+              holes := H_target fn :: !holes;
+              add "call ?"
+            end
+            else add "call %s" fn;
+            List.iter (fun a -> add " %s" (op S_call_arg a)) args
+          | Ir.Call_indirect (_, fn, args) ->
+            add "calli %s" (op S_calli_fn fn);
+            List.iter (fun a -> add " %s" (op S_calli_arg a)) args
+          | Ir.Retain o -> add "retain %s" (op S_retain o)
+          | Ir.Release o -> add "release %s" (op S_release o)
+          | Ir.Alloc_object (_, meta, size) -> add "alloco %s %d" meta size
+          | Ir.Alloc_array (_, n) -> add "alloca %s" (op S_alloc_len n));
+          add ";")
+        b.instrs;
+      (match b.term with
+      | Ir.Ret o -> add "ret %s" (op S_term o)
+      | Ir.Br lbl -> add "br L%d" (l lbl)
+      | Ir.Cond_br (o, a, b2) -> add "cbr %s L%d L%d" (op S_term o) (l a) (l b2)
+      | Ir.Unreachable -> add "unreachable");
+      add "|")
+    f.Ir.blocks;
+  (Buffer.contents buf, List.rev !holes)
+
+let fingerprint ~policy f = Content.hash_string (fst (key ~policy f))
+
+(* Rebuild a function body with its holes replaced by fresh parameters,
+   in the same traversal order as [key] (the expression shapes mirror
+   [key]'s so the side-effect order matches site for site).  A holed
+   direct call becomes an indirect call through its target parameter. *)
+let parameterize ~policy (f : Ir.func) ~merged_name =
+  let next = ref f.Ir.next_value in
+  let new_params = ref [] in
+  let fresh () =
+    let p = !next in
+    incr next;
+    new_params := p :: !new_params;
+    Ir.V p
+  in
+  let sub site o =
+    match o with
+    | Ir.Imm _ -> if policy.imm_hole site then fresh () else o
+    | Ir.Global _ | Ir.Fn _ -> if policy.sym_hole site then fresh () else o
+    | Ir.V _ -> o
+  in
+  let instr i =
+    match i with
+    | Ir.Assign (d, o) -> Ir.Assign (d, sub S_assign o)
+    | Ir.Binop (d, op, a, b) ->
+      Ir.Binop (d, op, sub S_binop a, sub S_binop b)
+    | Ir.Icmp (d, c, a, b) -> Ir.Icmp (d, c, sub S_icmp a, sub S_icmp b)
+    | Ir.Load (_, _, _) -> i
+    | Ir.Store (x, base, off) -> Ir.Store (sub S_store_val x, base, off)
+    | Ir.Call (d, fn, args) ->
+      if policy.target_hole then begin
+        let target = fresh () in
+        Ir.Call_indirect (d, target, List.map (sub S_call_arg) args)
+      end
+      else Ir.Call (d, fn, List.map (sub S_call_arg) args)
+    | Ir.Call_indirect (d, fn, args) ->
+      Ir.Call_indirect (d, fn, List.map (sub S_calli_arg) args)
+    | Ir.Retain _ | Ir.Release _ | Ir.Alloc_object _ | Ir.Alloc_array _ -> i
+  in
+  let blocks =
+    List.map
+      (fun (b : Ir.block) -> { b with Ir.instrs = List.map instr b.instrs })
+      f.Ir.blocks
+  in
+  {
+    f with
+    Ir.name = merged_name;
+    params = f.Ir.params @ List.rev !new_params;
+    blocks;
+    next_value = !next;
+  }
+
+(* The operand a thunk passes for each of its holes, in hole order. *)
+let extras_of_holes holes =
+  List.map
+    (function
+      | H_imm n -> Ir.Imm n
+      | H_op o -> o
+      | H_target g -> Ir.Fn g)
+    holes
+
+(* One entry block: forward the original parameters (plus the hole
+   operands) to [target] and return its result. *)
+let make_thunk (f : Ir.func) ~target extras =
+  let ret = f.Ir.next_value in
+  let args = List.map (fun p -> Ir.V p) f.Ir.params @ extras in
+  {
+    f with
+    Ir.blocks =
+      [
+        {
+          Ir.label = "entry";
+          phis = [];
+          instrs = [ Ir.Call (Some ret, target, args) ];
+          term = Ir.Ret (Ir.V ret);
+        };
+      ];
+    next_value = ret + 1;
+  }
+
+(* Fault injection for [sizeopt fuzz --self-test]: the global merger's
+   serial decision round exists to reject optimistic fingerprint groups
+   whose members do not actually share a key.  Honest 64-bit FNV
+   fingerprints essentially never collide, so the fault both truncates
+   fingerprints to 6 bits (manufacturing the collisions the rollback is
+   there to absorb) and drops the rollback itself — an optimistic merge
+   that survives global rejection.  The merge lattice points must catch
+   the corruption. *)
+let fault_drop_rollback = ref false

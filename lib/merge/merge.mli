@@ -1,0 +1,83 @@
+(** Strategy-agnostic core of the IR function-merging passes.
+
+    A {e merge strategy} is a {!policy}: a decision, per operand site, of
+    which operands are "holes" — positions allowed to differ between the
+    functions being merged.  {!key} renders an alpha-normalized body with
+    holes printed as ["?"] and returns the concrete operands that fell into
+    them; two functions merge under a policy iff their keys are equal.
+    {!parameterize} rebuilds a body with each hole replaced by a fresh
+    trailing parameter (same traversal order as {!key}), and
+    {!make_thunk} rewrites a merged-away function into a single forwarding
+    call that passes its own hole operands ({!extras_of_holes}).
+
+    The three strategies: {!exact_policy} (no holes — MergeFunction),
+    {!fmsa_policy} (immediates at value sites — the FMSA substitute), and
+    {!global_policy} (immediates, address-constant operands {e and} direct
+    call targets — {!Global_merge}'s cross-module strategy).
+
+    Byte-compatibility contract: under [exact_policy] and [fmsa_policy] the
+    outputs are byte-identical to the pre-refactor [lib/mir] passes, frozen
+    in {!Merge_reference} and enforced by the fuzz lattice's
+    refactor-exactness differential. *)
+
+type hole =
+  | H_imm of int       (** differing immediate: thunk passes [Imm n] *)
+  | H_op of Ir.operand (** differing [Global]/[Fn] operand *)
+  | H_target of string
+      (** differing direct-call target: thunk passes [Fn g] and the merged
+          body calls indirectly through the parameter *)
+
+(** Operand positions, named so a policy can decide hole-ability per site. *)
+type site =
+  | S_phi
+  | S_assign
+  | S_binop
+  | S_icmp
+  | S_load_base
+  | S_store_val
+  | S_store_base
+  | S_calli_fn
+  | S_call_arg
+  | S_calli_arg
+  | S_retain
+  | S_release
+  | S_alloc_len
+  | S_term
+
+type policy = {
+  imm_hole : site -> bool;
+  sym_hole : site -> bool;
+  target_hole : bool;
+}
+
+val exact_policy : policy
+val fmsa_policy : policy
+val global_policy : policy
+
+val value_sites : site -> bool
+(** The sites where holing is structurally safe without extra plumbing:
+    assign/binop/icmp sources, stored values and call arguments. *)
+
+val key : policy:policy -> Ir.func -> string * hole list
+(** Alpha-normalized body rendering plus the holes in traversal order.
+    Equal keys (same policy) = mergeable; identical hole {e counts} are
+    implied by equal keys, identical hole {e values} are not. *)
+
+val fingerprint : policy:policy -> Ir.func -> int64
+(** FNV-1a of [fst (key ~policy f)] — the body-free summary entry
+    {!Global_merge} ships between shards. *)
+
+val parameterize : policy:policy -> Ir.func -> merged_name:string -> Ir.func
+(** The shared merged function: holes become fresh trailing parameters;
+    a holed direct call becomes an indirect call through its parameter. *)
+
+val extras_of_holes : hole list -> Ir.operand list
+
+val make_thunk : Ir.func -> target:string -> Ir.operand list -> Ir.func
+(** Replace [f]'s body with [call target (params @ extras); ret]. *)
+
+val fault_drop_rollback : bool ref
+(** Fault injection for [sizeopt fuzz --self-test]: truncates global-merge
+    fingerprints to 6 bits (manufacturing collisions) {e and} skips the
+    serial confirmation round that exists to absorb them, so optimistic
+    merges of unequal functions survive into the output. *)

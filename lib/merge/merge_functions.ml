@@ -1,0 +1,57 @@
+type stats = {
+  groups : int;
+  funcs_merged : int;
+  instrs_saved : int;
+}
+
+(* The exact strategy: only alpha-equivalent duplicates share a key
+   (immediates and symbols verbatim).  [Merge.key] under [exact_policy]
+   records no holes and is byte-identical to the pre-refactor
+   [normalize_key]. *)
+let normalize_key (f : Ir.func) = fst (Merge.key ~policy:Merge.exact_policy f)
+
+let make_thunk (f : Ir.func) target = Merge.make_thunk f ~target []
+
+let run ?(min_instrs = 8) ?(keep = fun _ -> false) (m : Ir.modul) =
+  let groups = Hashtbl.create 256 in
+  List.iter
+    (fun (f : Ir.func) ->
+      if Ir.instr_count f >= min_instrs then begin
+        let key = normalize_key f in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt groups key) in
+        Hashtbl.replace groups key (f :: prev)
+      end)
+    m.funcs;
+  let canon : (string, string) Hashtbl.t = Hashtbl.create 256 in
+  let ngroups = ref 0 in
+  Hashtbl.iter
+    (fun _ fs ->
+      match fs with
+      | [] | [ _ ] -> ()
+      | fs -> (
+        (* Prefer a keep-exempt function as canonical representative. *)
+        let fs = List.rev fs in
+        let representative =
+          match List.find_opt keep fs with Some f -> f | None -> List.hd fs
+        in
+        incr ngroups;
+        List.iter
+          (fun (f : Ir.func) ->
+            if f.name <> representative.Ir.name && not (keep f) then
+              Hashtbl.replace canon f.name representative.Ir.name)
+          fs))
+    groups;
+  let merged = ref 0 and saved = ref 0 in
+  let funcs =
+    List.map
+      (fun (f : Ir.func) ->
+        match Hashtbl.find_opt canon f.name with
+        | None -> f
+        | Some target ->
+          incr merged;
+          let thunk = make_thunk f target in
+          saved := !saved + Ir.instr_count f - Ir.instr_count thunk;
+          thunk)
+      m.funcs
+  in
+  ({ m with funcs }, { groups = !ngroups; funcs_merged = !merged; instrs_saved = !saved })

@@ -2,7 +2,11 @@
     structurally identical bodies (alpha-equivalent values and labels) into
     one, turning the duplicates into tail-call thunks.  On the UberRider app
     this saved less than 0.9% — the point of the row is that IR-level
-    identity is far too coarse compared to machine-level repeats. *)
+    identity is far too coarse compared to machine-level repeats.
+
+    A thin instance of the {!Merge} framework under {!Merge.exact_policy};
+    output is byte-identical to the pre-refactor pass (enforced against
+    {!Merge_reference} by the fuzz lattice). *)
 
 type stats = {
   groups : int;           (** duplicate groups found *)

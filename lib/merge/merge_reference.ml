@@ -1,3 +1,169 @@
+(* Frozen verbatim copies of the pre-refactor lib/mir passes.  These are
+   NOT used by the pipeline: they exist so the fuzz lattice can enforce
+   the refactor-exactness contract — the thin strategy instances in
+   Merge_functions/Fmsa must produce byte-identical modules to these on
+   every lattice program.  Do not edit the bodies. *)
+
+module Merge_functions = struct
+type stats = {
+  groups : int;
+  funcs_merged : int;
+  instrs_saved : int;
+}
+
+(* Alpha-normalize: rename values in order of first appearance (params
+   first), labels likewise, then print.  Immediates and symbols are kept
+   verbatim, so only exact duplicates share a key. *)
+let normalize_key (f : Ir.func) =
+  let vmap = Hashtbl.create 64 and vnext = ref 0 in
+  let lmap = Hashtbl.create 16 and lnext = ref 0 in
+  let v x =
+    match Hashtbl.find_opt vmap x with
+    | Some i -> i
+    | None ->
+      let i = !vnext in
+      incr vnext;
+      Hashtbl.replace vmap x i;
+      i
+  in
+  let l x =
+    match Hashtbl.find_opt lmap x with
+    | Some i -> i
+    | None ->
+      let i = !lnext in
+      incr lnext;
+      Hashtbl.replace lmap x i;
+      i
+  in
+  List.iter (fun p -> ignore (v p)) f.Ir.params;
+  List.iter (fun (b : Ir.block) -> ignore (l b.label)) f.Ir.blocks;
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let op = function
+    | Ir.V x -> "v" ^ string_of_int (v x)
+    | Ir.Imm n -> "#" ^ string_of_int n
+    | Ir.Global g -> "@" ^ g
+    | Ir.Fn g -> "&" ^ g
+  in
+  add "params:%d;" (List.length f.Ir.params);
+  List.iter
+    (fun (b : Ir.block) ->
+      add "L%d:" (l b.label);
+      List.iter
+        (fun (p : Ir.phi) ->
+          add "phi v%d=" (v p.phi_dst);
+          List.iter (fun (lbl, o) -> add "[L%d %s]" (l lbl) (op o)) p.incoming)
+        b.phis;
+      List.iter
+        (fun i ->
+          (match Ir.def_of_instr i with
+          | Some d -> add "v%d=" (v d)
+          | None -> ());
+          (match i with
+          | Ir.Assign (_, o) -> add "asn %s" (op o)
+          | Ir.Binop (_, o2, a, b2) ->
+            let tag =
+              match o2 with
+              | Ir.Add -> "add"
+              | Ir.Sub -> "sub"
+              | Ir.Mul -> "mul"
+              | Ir.Div -> "div"
+              | Ir.And -> "and"
+              | Ir.Or -> "or"
+              | Ir.Xor -> "xor"
+              | Ir.Shl -> "shl"
+              | Ir.Lshr -> "lshr"
+              | Ir.Ashr -> "ashr"
+            in
+            add "bin.%s %s %s" tag (op a) (op b2)
+          | Ir.Icmp (_, c, a, b2) ->
+            add "icmp %s %s %s" (Machine.Cond.to_string c) (op a) (op b2)
+          | Ir.Load (_, base, off) -> add "ld %s %d" (op base) off
+          | Ir.Store (x, base, off) -> add "st %s %s %d" (op x) (op base) off
+          | Ir.Call (_, fn, args) ->
+            add "call %s" fn;
+            List.iter (fun a -> add " %s" (op a)) args
+          | Ir.Call_indirect (_, fn, args) ->
+            add "calli %s" (op fn);
+            List.iter (fun a -> add " %s" (op a)) args
+          | Ir.Retain o -> add "retain %s" (op o)
+          | Ir.Release o -> add "release %s" (op o)
+          | Ir.Alloc_object (_, meta, size) -> add "alloco %s %d" meta size
+          | Ir.Alloc_array (_, n) -> add "alloca %s" (op n));
+          add ";")
+        b.instrs;
+      (match b.term with
+      | Ir.Ret o -> add "ret %s" (op o)
+      | Ir.Br lbl -> add "br L%d" (l lbl)
+      | Ir.Cond_br (o, a, b2) -> add "cbr %s L%d L%d" (op o) (l a) (l b2)
+      | Ir.Unreachable -> add "unreachable");
+      add "|")
+    f.Ir.blocks;
+  Buffer.contents buf
+
+let make_thunk (f : Ir.func) target =
+  let ret = f.Ir.next_value in
+  {
+    f with
+    blocks =
+      [
+        {
+          Ir.label = "entry";
+          phis = [];
+          instrs =
+            [ Ir.Call (Some ret, target, List.map (fun p -> Ir.V p) f.Ir.params) ];
+          term = Ir.Ret (Ir.V ret);
+        };
+      ];
+    next_value = ret + 1;
+  }
+
+let run ?(min_instrs = 8) ?(keep = fun _ -> false) (m : Ir.modul) =
+  let groups = Hashtbl.create 256 in
+  List.iter
+    (fun (f : Ir.func) ->
+      if Ir.instr_count f >= min_instrs then begin
+        let key = normalize_key f in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt groups key) in
+        Hashtbl.replace groups key (f :: prev)
+      end)
+    m.funcs;
+  let canon : (string, string) Hashtbl.t = Hashtbl.create 256 in
+  let ngroups = ref 0 in
+  Hashtbl.iter
+    (fun _ fs ->
+      match fs with
+      | [] | [ _ ] -> ()
+      | fs -> (
+        (* Prefer a keep-exempt function as canonical representative. *)
+        let fs = List.rev fs in
+        let representative =
+          match List.find_opt keep fs with Some f -> f | None -> List.hd fs
+        in
+        incr ngroups;
+        List.iter
+          (fun (f : Ir.func) ->
+            if f.name <> representative.Ir.name && not (keep f) then
+              Hashtbl.replace canon f.name representative.Ir.name)
+          fs))
+    groups;
+  let merged = ref 0 and saved = ref 0 in
+  let funcs =
+    List.map
+      (fun (f : Ir.func) ->
+        match Hashtbl.find_opt canon f.name with
+        | None -> f
+        | Some target ->
+          incr merged;
+          let thunk = make_thunk f target in
+          saved := !saved + Ir.instr_count f - Ir.instr_count thunk;
+          thunk)
+      m.funcs
+  in
+  ({ m with funcs }, { groups = !ngroups; funcs_merged = !merged; instrs_saved = !saved })
+end
+
+module Fmsa = struct
 type stats = {
   groups : int;
   funcs_merged : int;
@@ -220,3 +386,4 @@ let run ?(max_holes = 6) ?(min_instrs = 4) ?(keep = fun _ -> false)
       instrs_saved = !saved;
       merged_created = List.length !created;
     } )
+end

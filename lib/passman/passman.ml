@@ -437,6 +437,17 @@ let mir_passes ~keep =
       p_linked = false;
       p_run = (fun _ _ m -> fst (Fmsa.run ~keep m));
     };
+    {
+      p_name = "global-merge";
+      p_params = [ "min"; "max-holes" ];
+      p_self_gated = false;
+      p_linked = false;
+      p_run =
+        (fun _ sp m ->
+          let min_instrs = int_param sp "min" ~default:4 in
+          let max_holes = int_param sp "max-holes" ~default:6 in
+          fst (Global_merge.run_module ~min_instrs ~max_holes ~keep m));
+    };
   ]
 
 type machine_env = {
@@ -692,6 +703,7 @@ let registered_names =
     "sil-outline";
     "merge-functions";
     "fmsa";
+    "global-merge";
     "canonicalize";
     "outline";
     "thin-outline";

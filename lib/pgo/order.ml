@@ -134,7 +134,7 @@ let c3 ?(max_cluster_bytes = 16 * 1024) (profile : Profile.t) (p : Program.t) =
    bp-compress objective.  Each hot function is a document whose weighted
    utilities are its dynamic call-graph neighbours (weight 1-w) plus, when
    w > 0, its content shingles (weight w, FNV k-grams from
-   Linker.Content): the BP paper's extension, where co-locating functions
+   lib/content): the BP paper's extension, where co-locating functions
    that share instruction subsequences puts their redundancy inside the
    compressor's window.  At w = 0 the shingle utilities are not built at
    all and every locality weight is exactly 1.0, so the arithmetic — and
@@ -204,7 +204,7 @@ let balanced_core ?max_depth ?(passes = 10) ?(leaf_bytes = 4096)
             Hashtbl.replace tbl name
               (List.map
                  (fun h -> uid (Printf.sprintf "#%Lx" h))
-                 (Linker.Content.shingles f)))
+                 (Content.shingles f)))
         ord;
       fun name -> Option.value ~default:[] (Hashtbl.find_opt tbl name)
     end

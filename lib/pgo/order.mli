@@ -60,7 +60,7 @@ val bp_compress :
   string list
 (** {!balanced} with a compression-friendly term in the objective (the
     BP paper's extension): each hot function's utility set additionally
-    carries its content shingles ({!Linker.Content.shingles}) at weight
+    carries its content shingles ({!Content.shingles}) at weight
     [w], while call-graph-locality utilities carry weight [1-w].
     Co-locating functions that share instruction subsequences puts their
     redundancy inside the compressor's sliding window, shrinking the

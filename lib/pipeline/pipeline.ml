@@ -64,6 +64,9 @@ type config = {
   sil_outline_min : int;
   run_merge_functions : bool;
   run_fmsa : bool;
+  run_global_merge : bool;
+  global_merge_min : int;
+  global_merge_max_holes : int;
   entry_points : string list;
   no_outline_modules : string list;
   outlined_layout : layout_strategy;
@@ -88,6 +91,9 @@ let default_config =
     sil_outline_min = 8;
     run_merge_functions = false;
     run_fmsa = false;
+    run_global_merge = false;
+    global_merge_min = 4;
+    global_merge_max_holes = 6;
     entry_points = [ "main" ];
     no_outline_modules = [ "system" ];
     outlined_layout = `Append;
@@ -132,6 +138,18 @@ let lowered_spec (c : config) =
      else [])
   @ (if c.run_merge_functions then [ mk "merge-functions" ] else [])
   @ (if c.run_fmsa then [ mk "fmsa" ] else [])
+  @ (if c.run_global_merge then
+       [
+         {
+           Passman.sp_name = "global-merge";
+           sp_params =
+             [
+               ("min", string_of_int c.global_merge_min);
+               ("max-holes", string_of_int c.global_merge_max_holes);
+             ];
+         };
+       ]
+     else [])
   @
   if c.outline_rounds <= 0 then []
   else
@@ -249,6 +267,13 @@ let config_of_passes ?(base = default_config) s =
                     balanced or bp-compress)"
                    s))
         in
+        let global_merge_min, global_merge_max_holes =
+          match find "global-merge" with
+          | Some sp ->
+            ( Passman.int_param sp "min" ~default:4,
+              Passman.int_param sp "max-holes" ~default:6 )
+          | None -> (base.global_merge_min, base.global_merge_max_holes)
+        in
         Ok
           {
             base with
@@ -257,6 +282,9 @@ let config_of_passes ?(base = default_config) s =
             sil_outline_min;
             run_merge_functions = has "merge-functions";
             run_fmsa = has "fmsa";
+            run_global_merge = has "global-merge";
+            global_merge_min;
+            global_merge_max_holes;
             run_canonicalize = has "canonicalize";
             outline_rounds;
             outlined_layout =
@@ -458,6 +486,82 @@ let build ?dump ?(config = default_config) modules =
           | None -> true)
         machine_specs
     in
+    (* global-merge is the one MIR pass whose decision spans compilation
+       units, so the per-module modes split their MIR spec around it:
+       the prefix runs per unit, the merge runs once over every unit,
+       the suffix (and the machine unit passes) run per unit after. *)
+    let mir_local_specs, gm_spec, mir_post_specs =
+      let rec split acc = function
+        | [] -> (List.rev acc, None, [])
+        | sp :: rest when sp.Passman.sp_name = "global-merge" ->
+          (List.rev acc, Some sp, rest)
+        | sp :: rest -> split (sp :: acc) rest
+      in
+      split [] mir_specs
+    in
+    (* One bisect step on the parent context — the decision is global, so
+       it cannot live inside any unit's step reservation; verify-each and
+       print-after apply per module, as run_passes would. *)
+    let global_merge_phase ~workers sp ms =
+      let min_instrs = Passman.int_param sp "min" ~default:4 in
+      let max_holes = Passman.int_param sp "max-holes" ~default:6 in
+      let size ms =
+        List.fold_left (fun a m -> a + Ir.module_instr_count m) 0 ms
+      in
+      let before = size ms in
+      if Passman.gate ctx ~pass:"global-merge" ~detail:"" then begin
+        let t0 = Unix.gettimeofday () in
+        let out =
+          fst
+            (Global_merge.run_modules ~workers ~min_instrs ~max_holes
+               ~keep:(fun (f : Ir.func) ->
+                 List.mem f.Ir.name config.entry_points)
+               ms)
+        in
+        Passman.record ctx
+          {
+            Passman.st_pass = "global-merge";
+            st_detail = "";
+            st_unit = "";
+            st_applied = true;
+            st_seconds = Unix.gettimeofday () -. t0;
+            st_before = before;
+            st_after = size out;
+          };
+        if Passman.verify_each ctx then
+          List.iter
+            (fun (m : Ir.modul) ->
+              match Ir.validate m with
+              | Ok () -> ()
+              | Error e ->
+                failwith
+                  (Printf.sprintf "verify-each after %s: %s"
+                     (m.Ir.m_name ^ "/global-merge")
+                     e))
+            out;
+        if Passman.should_print_after ctx "global-merge" then
+          List.iter
+            (fun (m : Ir.modul) ->
+              Passman.dump ctx
+                (m.Ir.m_name ^ "/global-merge")
+                (Format.asprintf "%a" Ir.pp_modul m))
+            out;
+        out
+      end
+      else begin
+        Passman.record ctx
+          {
+            Passman.st_pass = "global-merge";
+            st_detail = "";
+            st_unit = "";
+            st_applied = false;
+            st_seconds = 0.;
+            st_before = before;
+            st_after = before;
+          };
+        ms
+      end
+    in
     let program =
       match config.mode with
       | Whole_program ->
@@ -485,34 +589,51 @@ let build ?dump ?(config = default_config) modules =
               Passman.run_passes ctx Passman.machine_stage
                 (machine_registry "") machine_specs machine)
         else machine
-      | Per_module ->
+      | Per_module -> (
         (* Independent per-module compilation, then the system linker.
            The same registered passes run, per compilation unit; linked
            passes (layout) wait for the merge. *)
+        let finish_units (m : Ir.modul) post_specs =
+          let optimized =
+            Passman.run_passes ctx Passman.mir_stage mir_registry
+              ~unit_name:m.Ir.m_name post_specs m
+          in
+          let machine =
+            mark_no_outline config (Codegen.compile_modul optimized)
+          in
+          if machine_unit_specs <> [] then
+            Passman.run_passes ctx Passman.machine_stage
+              (machine_registry m.Ir.m_name) ~unit_name:m.Ir.m_name
+              machine_unit_specs machine
+          else machine
+        in
         let units =
-          timed "compile-modules" (fun () ->
-              List.map
-                (fun (m : Ir.modul) ->
-                  let optimized =
-                    Passman.run_passes ctx Passman.mir_stage mir_registry
-                      ~unit_name:m.Ir.m_name mir_specs m
-                  in
-                  let machine =
-                    mark_no_outline config (Codegen.compile_modul optimized)
-                  in
-                  if machine_unit_specs <> [] then
-                    Passman.run_passes ctx Passman.machine_stage
-                      (machine_registry m.Ir.m_name) ~unit_name:m.Ir.m_name
-                      machine_unit_specs machine
-                  else machine)
-                modules)
+          match gm_spec with
+          | None ->
+            timed "compile-modules" (fun () ->
+                List.map (fun m -> finish_units m mir_specs) modules)
+          | Some gm ->
+            let locals =
+              timed "compile-modules-local" (fun () ->
+                  List.map
+                    (fun (m : Ir.modul) ->
+                      Passman.run_passes ctx Passman.mir_stage mir_registry
+                        ~unit_name:m.Ir.m_name mir_local_specs m)
+                    modules)
+            in
+            let merged_mods =
+              timed "global-merge" (fun () ->
+                  global_merge_phase ~workers:1 gm locals)
+            in
+            timed "compile-modules" (fun () ->
+                List.map (fun m -> finish_units m mir_post_specs) merged_mods)
         in
         timed "system-linker-merge" (fun () ->
             let merged = Machine.Program.concat units in
             if machine_linked_specs <> [] then
               Passman.run_passes ctx Passman.machine_stage
                 (machine_registry "") machine_linked_specs merged
-            else merged)
+            else merged))
       | Thin_wpo { workers } ->
         (* ThinLTO's shape: the per-module phase of the iOS pipeline, but
            on a domain pool, then the linked passes — thin-outline above
@@ -520,11 +641,46 @@ let build ?dump ?(config = default_config) modules =
            with a precomputed bisect-step reservation and a private
            outline profile/stats sink, so step numbering, dump order, and
            stats order are functions of the module list alone, never of
-           domain scheduling. *)
+           domain scheduling.  A global-merge spec splits the phase in
+           three — parallel local MIR, the serial cross-module merge on
+           the parent context, parallel finish — mirroring the merger's
+           own summary-exchange protocol. *)
         let workers = Thinwpo.Pool.resolve_workers workers in
-        let marr = Array.of_list modules in
+        let marr =
+          match gm_spec with
+          | None -> Array.of_list modules
+          | Some gm ->
+            let pre_reserved = Passman.reserved_steps mir_local_specs in
+            let locals =
+              timed "compile-modules-local" (fun () ->
+                  let forked =
+                    Array.mapi
+                      (fun i _ -> Passman.fork ctx ~offset:(i * pre_reserved))
+                      (Array.of_list modules)
+                  in
+                  let out =
+                    Thinwpo.Pool.map ~workers
+                      (fun i ->
+                        let m = List.nth modules i in
+                        Passman.run_passes forked.(i) Passman.mir_stage
+                          mir_registry ~unit_name:m.Ir.m_name mir_local_specs
+                          m)
+                      (Array.init (List.length modules) Fun.id)
+                  in
+                  Passman.join ctx
+                    ~advance:(List.length modules * pre_reserved)
+                    (Array.to_list forked);
+                  out)
+            in
+            timed "global-merge" (fun () ->
+                Array.of_list
+                  (global_merge_phase ~workers gm (Array.to_list locals)))
+        in
+        let finish_specs =
+          match gm_spec with None -> mir_specs | Some _ -> mir_post_specs
+        in
         let unit_reserved =
-          Passman.reserved_steps (mir_specs @ machine_unit_specs)
+          Passman.reserved_steps (finish_specs @ machine_unit_specs)
         in
         let units =
           timed "compile-modules" (fun () ->
@@ -542,7 +698,7 @@ let build ?dump ?(config = default_config) modules =
                     let stats = ref [] in
                     let optimized =
                       Passman.run_passes fctx Passman.mir_stage mir_registry
-                        ~unit_name:m.Ir.m_name mir_specs m
+                        ~unit_name:m.Ir.m_name finish_specs m
                     in
                     let machine =
                       mark_no_outline config (Codegen.compile_modul optimized)

@@ -72,6 +72,14 @@ type config = {
           spec; default 8, the value the old pipeline hardcoded) *)
   run_merge_functions : bool;     (** the MergeFunction baseline *)
   run_fmsa : bool;                (** the FMSA baseline *)
+  run_global_merge : bool;
+      (** optimistic cross-module merging ({!Global_merge}).  In
+          whole-program mode it is an ordinary MIR pass over the linked
+          module; in per-module and thin modes the pipeline splits the MIR
+          phase around it — local passes per unit, one global decision
+          over every unit, the rest per unit after *)
+  global_merge_min : int;         (** [global-merge(min=N)]; default 4 *)
+  global_merge_max_holes : int;   (** [global-merge(max-holes=N)]; default 6 *)
   entry_points : string list;
       (** functions the merging baselines must never turn into thunks
           (default [["main"]]) *)

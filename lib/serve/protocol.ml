@@ -49,13 +49,9 @@ let read_frame ic =
 
 (* --- hashing ------------------------------------------------------------ *)
 
-let hash64 s =
-  let h = ref 0xcbf29ce484222325L in
-  String.iter
-    (fun c ->
-      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
-    s;
-  !h
+(* FNV-1a from lib/content — the same definition the linker's
+   compression model, thin-WPO summaries and the merge layer use. *)
+let hash64 = Content.hash_string
 
 let hash_hex s = Printf.sprintf "%016Lx" (hash64 s)
 

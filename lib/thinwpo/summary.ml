@@ -19,14 +19,13 @@ let fault_truncate_hash = ref false
 
 (* --- stable content hashing -------------------------------------------- *)
 
-(* One FNV-1a definition serves the whole repo: the linker's compression
-   model and the bp-compress layout objective hash the same way summaries
-   do, so "same content" means the same thing everywhere. *)
-let fnv_offset = Linker.Content.fnv_offset
-let fnv_prime = Linker.Content.fnv_prime
-let fnv_byte = Linker.Content.fnv_byte
-let fnv_string = Linker.Content.fnv_string
-let _ = fnv_prime
+(* One FNV-1a definition (lib/content) serves the whole repo: the
+   linker's compression model, the bp-compress layout objective and the
+   merge layer hash the same way summaries do, so "same content" means
+   the same thing everywhere. *)
+let fnv_offset = Content.fnv_offset
+let fnv_byte = Content.fnv_byte
+let fnv_string = Content.fnv_string
 
 let strategy_tag = function
   | Candidate.Ends_with_ret -> 1

@@ -1,0 +1,365 @@
+(* The unified merge layer: policy keys and fingerprints, thunk semantics
+   under the evaluator, keep/entry exemptions, hole-budget boundaries, the
+   optimistic global merger's cross-module protocol and its worker-count
+   determinism, and the interaction with block-granularity layout (thunks
+   are never executed by the workload, so stitch must classify them cold). *)
+
+let empty_module name =
+  { Ir.m_name = name; funcs = []; globals = []; externs = []; flags = [] }
+
+let eval_exn ?args m ~entry =
+  match Eval.run ?args ~entry m with
+  | Ok r -> r
+  | Error e -> Alcotest.fail ("eval error: " ^ Eval.error_to_string e)
+
+let link_exn mods =
+  match
+    Link.link ~flag_semantics:Link.Attributes
+      ~data_order:Link.Module_preserving ~name:"whole" mods
+  with
+  | Ok m -> m
+  | Error e -> Alcotest.fail ("link error: " ^ Link.error_to_string e)
+
+let pp_modul m = Format.asprintf "%a" Ir.pp_modul m
+
+(* A four-instruction body whose immediate and callee differ per clone:
+   exact under [exact_policy], immediate-holed under [fmsa_policy], and a
+   three-hole (two immediates + the call target) candidate under
+   [global_policy]. *)
+let call_func name ~target ~k ~scale =
+  let b = Builder.create ~name ~nparams:1 () in
+  let p = List.hd (Builder.params b) in
+  let x = Builder.binop b Ir.Add (Ir.V p) (Ir.Imm k) in
+  let r = Builder.call b target [ Ir.V x ] in
+  let s = Builder.binop b Ir.Mul (Ir.V r) (Ir.Imm scale) in
+  let t = Builder.binop b Ir.Sub (Ir.V s) (Ir.V p) in
+  Builder.terminate b (Ir.Ret (Ir.V t));
+  Builder.finish b
+
+let helper name op =
+  let b = Builder.create ~name ~nparams:1 () in
+  let p = List.hd (Builder.params b) in
+  let x = Builder.binop b op (Ir.V p) (Ir.V p) in
+  Builder.terminate b (Ir.Ret (Ir.V x));
+  Builder.finish b
+
+(* --- keys and fingerprints -------------------------------------------------- *)
+
+let test_fingerprint () =
+  let f1 = call_func "f1" ~target:"ha" ~k:5 ~scale:3 in
+  let f1' = call_func "renamed" ~target:"ha" ~k:5 ~scale:3 in
+  let f2 = call_func "f2" ~target:"hb" ~k:9 ~scale:7 in
+  List.iter
+    (fun policy ->
+      Alcotest.(check bool)
+        "fingerprint is deterministic" true
+        (Merge.fingerprint ~policy f1 = Merge.fingerprint ~policy f1);
+      Alcotest.(check bool)
+        "fingerprint ignores the function name" true
+        (Merge.fingerprint ~policy f1 = Merge.fingerprint ~policy f1'))
+    [ Merge.exact_policy; Merge.fmsa_policy; Merge.global_policy ];
+  (* Differing immediates and callees: only the global policy unifies. *)
+  Alcotest.(check bool)
+    "exact policy distinguishes the clones" false
+    (Merge.fingerprint ~policy:Merge.exact_policy f1
+    = Merge.fingerprint ~policy:Merge.exact_policy f2);
+  Alcotest.(check bool)
+    "fmsa policy still sees the callee difference" false
+    (Merge.fingerprint ~policy:Merge.fmsa_policy f1
+    = Merge.fingerprint ~policy:Merge.fmsa_policy f2);
+  Alcotest.(check bool)
+    "global policy unifies immediates and callees" true
+    (Merge.fingerprint ~policy:Merge.global_policy f1
+    = Merge.fingerprint ~policy:Merge.global_policy f2);
+  let _, holes = Merge.key ~policy:Merge.global_policy f1 in
+  Alcotest.(check int) "two immediates and one target hole" 3
+    (List.length holes)
+
+(* --- global merging across modules ------------------------------------------ *)
+
+let two_modules () =
+  let ma =
+    {
+      (empty_module "ma") with
+      Ir.funcs =
+        [ helper "ha" Ir.Add; call_func "ca" ~target:"ha" ~k:5 ~scale:3 ];
+    }
+  in
+  let mb =
+    {
+      (empty_module "mb") with
+      Ir.funcs =
+        [ helper "hb" Ir.Xor; call_func "cb" ~target:"hb" ~k:9 ~scale:7 ];
+    }
+  in
+  (ma, mb)
+
+let test_global_merge_semantics () =
+  let ma, mb = two_modules () in
+  let merged, stats = Global_merge.run_modules [ ma; mb ] in
+  Alcotest.(check int) "one group" 1 stats.Global_merge.groups;
+  Alcotest.(check int) "both clones thunked" 2 stats.Global_merge.funcs_merged;
+  Alcotest.(check int) "one merged function" 1 stats.Global_merge.merged_created;
+  Alcotest.(check int) "nothing rolled back" 0 stats.Global_merge.rolled_back;
+  let ma', mb' = (List.nth merged 0, List.nth merged 1) in
+  (* Host is the first member's module; the other module calls via extern. *)
+  Alcotest.(check bool)
+    "merged function hosted in ma" true
+    (List.exists
+       (fun (f : Ir.func) -> String.length f.Ir.name >= 3
+                             && String.sub f.Ir.name 0 3 = "gm_")
+       ma'.Ir.funcs);
+  Alcotest.(check bool)
+    "mb gained an extern for the merged function" true
+    (List.exists
+       (fun e -> String.length e >= 3 && String.sub e 0 3 = "gm_")
+       mb'.Ir.externs);
+  List.iter
+    (fun m ->
+      match Ir.validate m with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("merged module invalid: " ^ e))
+    merged;
+  (* Thunk semantics: the linked merged program computes what the linked
+     original did, for every entry and argument. *)
+  let whole = link_exn [ ma; mb ] and whole' = link_exn merged in
+  List.iter
+    (fun (entry, arg) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s(%d)" entry arg)
+        (eval_exn whole ~entry ~args:[ arg ]).exit_value
+        (eval_exn whole' ~entry ~args:[ arg ]).exit_value)
+    [ ("ca", 0); ("ca", 11); ("cb", 0); ("cb", 11); ("ha", 4); ("hb", 4) ]
+
+let test_keep_exemption () =
+  let ma, mb = two_modules () in
+  let keep (f : Ir.func) = f.Ir.name = "ca" in
+  let _, stats = Global_merge.run_modules ~keep [ ma; mb ] in
+  (* With ca kept, cb's group is a singleton: no merge may happen. *)
+  Alcotest.(check int) "no group" 0 stats.Global_merge.groups;
+  Alcotest.(check int) "nothing thunked" 0 stats.Global_merge.funcs_merged
+
+let test_hole_budgets () =
+  let ma, mb = two_modules () in
+  (* call_func has 3 global-policy holes: max_holes=3 merges, 2 refuses. *)
+  let _, at3 = Global_merge.run_modules ~max_holes:3 [ ma; mb ] in
+  Alcotest.(check int) "max_holes=3 admits the pair" 1 at3.Global_merge.groups;
+  let _, at2 = Global_merge.run_modules ~max_holes:2 [ ma; mb ] in
+  Alcotest.(check int) "max_holes=2 refuses the pair" 0 at2.Global_merge.groups;
+  (* min_instrs above the body size (4 instructions + terminator = 5)
+     refuses too, and the boundary value still admits. *)
+  let _, at5 = Global_merge.run_modules ~min_instrs:5 [ ma; mb ] in
+  Alcotest.(check int) "min_instrs=5 still admits the 5-count bodies" 1
+    at5.Global_merge.groups;
+  let _, big = Global_merge.run_modules ~min_instrs:6 [ ma; mb ] in
+  Alcotest.(check int) "min_instrs=6 refuses the 5-count bodies" 0
+    big.Global_merge.groups;
+  (* The register budget: params + holes must fit Machine.Reg.max_args.
+     Six params + three holes = 9 > 8 is refused; five params + three
+     holes = 8 is admitted. *)
+  let wide name nparams target k =
+    let b = Builder.create ~name ~nparams () in
+    let p = List.hd (Builder.params b) in
+    let x = Builder.binop b Ir.Add (Ir.V p) (Ir.Imm k) in
+    let r = Builder.call b target [ Ir.V x ] in
+    let s = Builder.binop b Ir.Mul (Ir.V r) (Ir.Imm k) in
+    let t = Builder.binop b Ir.Sub (Ir.V s) (Ir.V p) in
+    Builder.terminate b (Ir.Ret (Ir.V t));
+    Builder.finish b
+  in
+  let mods nparams =
+    [
+      {
+        (empty_module "wa") with
+        Ir.funcs = [ helper "ha" Ir.Add; wide "wca" nparams "ha" 5 ];
+      };
+      {
+        (empty_module "wb") with
+        Ir.funcs = [ helper "hb" Ir.Xor; wide "wcb" nparams "hb" 9 ];
+      };
+    ]
+  in
+  let _, over = Global_merge.run_modules (mods 6) in
+  Alcotest.(check int) "9 registers refused" 0 over.Global_merge.groups;
+  let _, fits = Global_merge.run_modules (mods 5) in
+  Alcotest.(check int) "8 registers admitted" 1 fits.Global_merge.groups
+
+let test_worker_determinism () =
+  (* Enough clone families spread over several modules to give the
+     parallel rounds real work, then: byte-identical output for any
+     worker count. *)
+  let mods =
+    List.init 6 (fun i ->
+        {
+          (empty_module (Printf.sprintf "m%d" i)) with
+          Ir.funcs =
+            [
+              helper (Printf.sprintf "h%d" i)
+                (if i mod 2 = 0 then Ir.Add else Ir.Xor);
+              call_func
+                (Printf.sprintf "c%d" i)
+                ~target:(Printf.sprintf "h%d" i)
+                ~k:(3 + i) ~scale:(2 * i + 1);
+            ];
+        })
+  in
+  let run w =
+    let out, _ = Global_merge.run_modules ~workers:w mods in
+    String.concat "\n---\n" (List.map pp_modul out)
+  in
+  let w1 = run 1 in
+  Alcotest.(check string) "workers 2 = workers 1" w1 (run 2);
+  Alcotest.(check string) "workers 4 = workers 1" w1 (run 4)
+
+(* --- pipeline-level determinism and stitch interaction ----------------------- *)
+
+let pipeline_modules () =
+  let ma, mb = two_modules () in
+  let bmain = Builder.create ~name:"main" ~nparams:0 () in
+  let r = Builder.call bmain "ca" [ Ir.Imm 7 ] in
+  let s = Builder.binop bmain Ir.And (Ir.V r) (Ir.Imm 255) in
+  Builder.terminate bmain (Ir.Ret (Ir.V s));
+  let mm =
+    { (empty_module "mmain") with Ir.funcs = [ Builder.finish bmain ] }
+  in
+  [ ma; mb; mm ]
+
+let build_exn cfg mods =
+  match Pipeline.build ~config:cfg mods with
+  | Ok r -> r
+  | Error e -> Alcotest.fail ("pipeline build failed: " ^ e)
+
+let test_thin_pipeline_determinism () =
+  let mods = pipeline_modules () in
+  let cfg w =
+    {
+      Pipeline.default_config with
+      Pipeline.mode = Pipeline.Thin_wpo { workers = w };
+      run_global_merge = true;
+      outline_rounds = 3;
+    }
+  in
+  let image w =
+    Machine.Asm_printer.to_source (build_exn (cfg w) mods).Pipeline.program
+  in
+  let w1 = image 1 in
+  Alcotest.(check string) "thin gmerge workers 2 = 1" w1 (image 2);
+  Alcotest.(check string) "thin gmerge workers 4 = 1" w1 (image 4);
+  (* And the per-module build agrees with thin (same phased pipeline). *)
+  let pm =
+    build_exn
+      {
+        Pipeline.default_config with
+        Pipeline.mode = Pipeline.Per_module;
+        run_global_merge = true;
+        outline_rounds = 3;
+      }
+      mods
+  in
+  Alcotest.(check string) "pm gmerge = thin gmerge" w1
+    (Machine.Asm_printer.to_source pm.Pipeline.program)
+
+let test_merge_then_stitch () =
+  (* Global merging rewrites functions into thunks; the stitch layout then
+     rewrites blocks and emits an explicit placement order.  The two must
+     compose: the merged function survives into the placed image and the
+     program still computes main's answer under the stitched order. *)
+  let mods = pipeline_modules () in
+  let plain =
+    build_exn
+      { Pipeline.default_config with Pipeline.mode = Pipeline.Per_module }
+      mods
+  in
+  let cfg =
+    {
+      Pipeline.default_config with
+      Pipeline.mode = Pipeline.Per_module;
+      run_global_merge = true;
+      outlined_layout = `Stitch;
+    }
+  in
+  let res = build_exn cfg mods in
+  Alcotest.(check bool)
+    "a merged function exists" true
+    (List.exists
+       (fun (f : Machine.Mfunc.t) ->
+         String.length f.Machine.Mfunc.name >= 3
+         && String.sub f.Machine.Mfunc.name 0 3 = "gm_")
+       res.Pipeline.program.Machine.Program.funcs);
+  let order =
+    match res.Pipeline.function_order with
+    | Some o -> o
+    | None -> Alcotest.fail "stitch produced no order"
+  in
+  Alcotest.(check bool)
+    "merged function placed by the stitch order" true
+    (List.exists
+       (fun s -> String.length s >= 3 && String.sub s 0 3 = "gm_")
+       order);
+  let run =
+    match
+      Perfsim.Interp.run
+        ~config:
+          { Perfsim.Interp.default_config with model_perf = false }
+        ~order ~entry:"main" res.Pipeline.program
+    with
+    | Ok r -> r
+    | Error e ->
+      Alcotest.fail
+        ("merged+stitched execution failed: "
+        ^ Perfsim.Interp.error_to_string e)
+  in
+  let base =
+    match
+      Perfsim.Interp.run
+        ~config:
+          { Perfsim.Interp.default_config with model_perf = false }
+        ~entry:"main" plain.Pipeline.program
+    with
+    | Ok r -> r
+    | Error e ->
+      Alcotest.fail ("plain execution failed: " ^ Perfsim.Interp.error_to_string e)
+  in
+  Alcotest.(check int) "merge+stitch preserves main" base.exit_value
+    run.exit_value
+
+(* --- refactor exactness (unit-sized spot check) ------------------------------ *)
+
+let test_reference_exactness () =
+  let ma, mb = two_modules () in
+  let keep (f : Ir.func) = f.Ir.name = "main" in
+  List.iter
+    (fun m ->
+      Alcotest.(check string) "merge-functions matches the frozen pass"
+        (pp_modul (fst (Merge_reference.Merge_functions.run ~keep m)))
+        (pp_modul (fst (Merge_functions.run ~keep m)));
+      Alcotest.(check string) "fmsa matches the frozen pass"
+        (pp_modul (fst (Merge_reference.Fmsa.run ~keep m)))
+        (pp_modul (fst (Fmsa.run ~keep m))))
+    [ ma; mb; link_exn [ ma; mb ] ]
+
+let () =
+  Alcotest.run "merge"
+    [
+      ( "framework",
+        [
+          Alcotest.test_case "fingerprints" `Quick test_fingerprint;
+          Alcotest.test_case "reference exactness" `Quick
+            test_reference_exactness;
+        ] );
+      ( "global",
+        [
+          Alcotest.test_case "cross-module semantics" `Quick
+            test_global_merge_semantics;
+          Alcotest.test_case "keep exemption" `Quick test_keep_exemption;
+          Alcotest.test_case "hole budgets" `Quick test_hole_budgets;
+          Alcotest.test_case "worker determinism" `Quick
+            test_worker_determinism;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "thin determinism" `Quick
+            test_thin_pipeline_determinism;
+          Alcotest.test_case "merge then stitch" `Quick test_merge_then_stitch;
+        ] );
+    ]

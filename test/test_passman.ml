@@ -60,6 +60,9 @@ let test_registry () =
       && c'.Pipeline.sil_outline_min = c.Pipeline.sil_outline_min
       && c'.Pipeline.run_merge_functions = c.Pipeline.run_merge_functions
       && c'.Pipeline.run_fmsa = c.Pipeline.run_fmsa
+      && c'.Pipeline.run_global_merge = c.Pipeline.run_global_merge
+      && c'.Pipeline.global_merge_min = c.Pipeline.global_merge_min
+      && c'.Pipeline.global_merge_max_holes = c.Pipeline.global_merge_max_holes
       && c'.Pipeline.run_canonicalize = c.Pipeline.run_canonicalize
       && c'.Pipeline.outline_rounds = c.Pipeline.outline_rounds
       && c'.Pipeline.outlined_layout = c.Pipeline.outlined_layout)
@@ -74,10 +77,14 @@ let test_registry () =
       outlined_layout = `Caller_affinity };
   check_roundtrip
     { Pipeline.default_config with outlined_layout = `Bp_compress 0.25 };
+  check_roundtrip
+    { Pipeline.default_config with
+      run_global_merge = true; global_merge_min = 6; global_merge_max_holes = 3 };
   let all_on =
     { Pipeline.default_config with
       run_sil_outline = true; run_merge_functions = true; run_fmsa = true;
-      run_canonicalize = true; outlined_layout = `Caller_affinity }
+      run_global_merge = true; run_canonicalize = true;
+      outlined_layout = `Caller_affinity }
   in
   (* outline and thin-outline are alternative build modes, so no single
      config can emit both, and caller-affinity-layout, pgo-layout and

@@ -296,7 +296,7 @@ entry:
   in
   let body_len =
     String.length
-      (Linker.Content.render
+      (Content.render
          (List.find
             (fun (f : Mfunc.t) -> f.Mfunc.name = "clone_a")
             p.Program.funcs))
